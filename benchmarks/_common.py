@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark files.
+
+Every bench prints the paper-style rows/series AND saves them under
+``benchmarks/results/`` so ``pytest benchmarks/ --benchmark-only`` leaves
+reviewable artifacts regardless of output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Dataset scale shared by the benches (keeps each bench under ~1 min).
+BENCH_SCALE = 0.3
+BENCH_SEED = 0
+
+
+def emit(name: str, text: str) -> None:
+    """Print a bench's report and persist it to benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

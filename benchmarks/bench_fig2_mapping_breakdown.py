@@ -1,0 +1,44 @@
+"""Figure 2: Seq2Graph per-stage timing breakdown.
+
+Paper shape: GraphAligner ~90% alignment / ~5% clustering; Minigraph is
+chaining-heavy (GWFA inside chaining); Giraffe resolves most reads in
+seeding+clustering+filtering; vg map is alignment-heavy (GSSW).
+"""
+
+from _common import BENCH_SCALE, BENCH_SEED, emit
+
+from repro.analysis.report import render_stacked_fractions
+from repro.kernels.datasets import suite_data
+from repro.tools import Giraffe, GraphAligner, Minigraph, VgMap
+from repro.tools.base import STAGES
+
+
+def run_experiment():
+    data = suite_data(BENCH_SCALE, BENCH_SEED)
+    short = list(data.short_reads)[:20]
+    long = list(data.long_reads)[:5]
+    runs = {
+        "vg_map": VgMap(data.graph).map_reads(short),
+        "giraffe": Giraffe(data.graph).map_reads(short),
+        "graphaligner": GraphAligner(data.graph).map_reads(long),
+        "minigraph-lr": Minigraph(data.graph).map_reads(long),
+    }
+    return {name: run.timer.fractions() for name, run in runs.items()}, runs
+
+
+def test_fig2(benchmark):
+    fractions, runs = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        "fig2_mapping_breakdown",
+        render_stacked_fractions(
+            fractions, STAGES, title="Figure 2: mapping stage fractions"
+        ),
+    )
+    # GraphAligner: alignment dominates, clustering is tiny.
+    assert fractions["graphaligner"]["align"] > 0.7
+    assert fractions["graphaligner"].get("cluster", 0.0) < 0.15
+    # Minigraph: chaining (cluster stage) outweighs base-level alignment.
+    assert fractions["minigraph-lr"]["cluster"] > fractions["minigraph-lr"].get("align", 0.0)
+    # Giraffe resolves most reads without DP.
+    resolved = runs["giraffe"].counters.get("resolved_by_extension", 0)
+    assert resolved >= 0.6 * 20

@@ -1,0 +1,45 @@
+"""Figure 3: graph-building pipeline stage breakdown (MC vs PGGB).
+
+Paper shape: four stages (alignment, induction, polish, visualization);
+PGGB's alignment is all-to-all (quadratic) while MC is progressive;
+smoothxg's polish stage is POA-dominated.
+"""
+
+from _common import emit
+
+from repro.analysis.report import render_stacked_fractions, render_table
+from repro.layout.pgsgd import PGSGDParams
+from repro.sequence.simulate import simulate_pangenome
+from repro.tools.pipelines import BUILD_STAGES, run_minigraph_cactus, run_pggb
+
+
+def run_experiment():
+    records = simulate_pangenome(genome_length=4000, n_haplotypes=5, seed=0).records
+    layout = PGSGDParams(iterations=5, updates_per_iteration=2000)
+    mc = run_minigraph_cactus(records, layout_params=layout)
+    pggb = run_pggb(records, layout_params=layout)
+    return mc, pggb
+
+
+def test_fig3(benchmark):
+    mc, pggb = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    fractions = {
+        "minigraph-cactus": mc.timer.fractions(),
+        "pggb": pggb.timer.fractions(),
+    }
+    rows = [
+        [name, *(f"{run.timer.seconds.get(stage, 0.0):.2f}" for stage in BUILD_STAGES)]
+        for name, run in (("minigraph-cactus", mc), ("pggb", pggb))
+    ]
+    text = render_table(
+        ["pipeline", *BUILD_STAGES], rows,
+        title="Figure 3: graph-building stage seconds",
+    ) + "\n\n" + render_stacked_fractions(
+        fractions, BUILD_STAGES, title="stage fractions"
+    )
+    emit("fig3_graphbuild_breakdown", text)
+    # Both pipelines produced usable graphs; PGGB spells all inputs.
+    assert mc.graph is not None and pggb.graph is not None
+    # Alignment is a major cost in both pipelines.
+    assert fractions["pggb"]["alignment"] > 0.15
+    assert fractions["minigraph-cactus"]["alignment"] > 0.15

@@ -1,0 +1,36 @@
+"""Figure 5: end-to-end thread scaling (modelled; see DESIGN.md).
+
+Paper shape: mapping tools scale near-linearly to 28 cores then bend at
+the hyperthreading knee; Minigraph-cr does not scale; seqwish saturates
+around 4 threads; odgi layout is sublinear (serial path index + memory).
+"""
+
+from _common import emit
+
+from repro.analysis.report import render_table
+from repro.analysis.threads import FIGURE5_THREADS, figure5_table
+
+
+def run_experiment():
+    return figure5_table()
+
+
+def test_fig5(benchmark):
+    table = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        [name, *(f"{curve[t]:.2f}x" for t in FIGURE5_THREADS)]
+        for name, curve in table.items()
+    ]
+    emit(
+        "fig5_thread_scaling",
+        render_table(
+            ["workload", *(f"{t} thr" for t in FIGURE5_THREADS)],
+            rows,
+            title="Figure 5: speedup relative to 4 threads (Machine A model)",
+        ),
+    )
+    assert table["vg_map"][28] > 5.0
+    assert table["vg_map"][56] / table["vg_map"][28] < 1.5  # HT knee
+    assert table["minigraph-cr"][56] == 1.0
+    assert table["seqwish"][56] < 1.3
+    assert table["odgi-layout"][28] < table["graphaligner"][28]

@@ -1,0 +1,45 @@
+"""Figure 6: top-down microarchitecture analysis of the CPU kernels.
+
+Paper shape: GSSW/GBV/GWFA core-bound (GSSW also memory-bound); GBV has
+high bad-speculation; GBWT is front-end/bad-spec exposed but NOT memory
+bound; PGSGD is memory+core bound; TC retires the most.
+"""
+
+from _common import BENCH_SCALE, BENCH_SEED, emit
+
+from repro.analysis.report import render_stacked_fractions, render_table
+from repro.harness.runner import run_suite
+from repro.kernels import CPU_KERNELS
+
+COMPONENTS = ("retiring", "frontend_bound", "bad_speculation", "core_bound",
+              "memory_bound")
+
+
+def run_experiment():
+    return run_suite(CPU_KERNELS, studies=("topdown",), scale=BENCH_SCALE,
+                     seed=BENCH_SEED)
+
+
+def test_fig6(benchmark):
+    reports = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    fractions = {name: report.topdown for name, report in reports.items()}
+    rows = [
+        [name, *(f"{fractions[name][c]:.2f}" for c in COMPONENTS)]
+        for name in CPU_KERNELS
+    ]
+    text = render_table(
+        ["kernel", *COMPONENTS], rows, title="Figure 6: top-down slot fractions"
+    ) + "\n\n" + render_stacked_fractions(fractions, COMPONENTS)
+    emit("fig6_topdown", text)
+
+    topdown = fractions
+    # TC retires the most of any kernel.
+    assert topdown["tc"]["retiring"] == max(t["retiring"] for t in topdown.values())
+    # PGSGD: memory + core dominate.
+    assert topdown["pgsgd"]["memory_bound"] + topdown["pgsgd"]["core_bound"] > 0.6
+    # GBWT is NOT memory bound (the paper's surprise).
+    assert topdown["gbwt"]["memory_bound"] < 0.15
+    # GBV shows heavy bad speculation; GSSW shows core + some memory.
+    assert topdown["gbv"]["bad_speculation"] > 0.15
+    assert topdown["gssw"]["core_bound"] > 0.25
+    assert topdown["gssw"]["memory_bound"] > 0.05

@@ -1,0 +1,37 @@
+"""Figure 7: cache misses per kilo-instruction (exclusive).
+
+Paper shape: the DP kernels miss mostly in L1 and almost never in L3
+(they align to cache-resident subgraphs); PGSGD misses at every level
+(whole-graph random access).
+"""
+
+from _common import BENCH_SCALE, BENCH_SEED, emit
+
+from repro.analysis.report import render_table
+from repro.harness.runner import run_suite
+from repro.kernels import CPU_KERNELS
+
+
+def run_experiment():
+    return run_suite(CPU_KERNELS, studies=("cache",), scale=BENCH_SCALE,
+                     seed=BENCH_SEED)
+
+
+def test_fig7(benchmark):
+    reports = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        [name, *(f"{reports[name].mpki[level]:.2f}" for level in ("l1", "l2", "l3"))]
+        for name in CPU_KERNELS
+    ]
+    emit(
+        "fig7_mpki",
+        render_table(["kernel", "l1 mpki", "l2 mpki", "l3 mpki"], rows,
+                     title="Figure 7: exclusive misses per kilo-instruction"),
+    )
+    mpki = {name: reports[name].mpki for name in CPU_KERNELS}
+    # PGSGD misses at every cache level, l3/DRAM worst.
+    assert mpki["pgsgd"]["l3"] > 5.0
+    assert mpki["pgsgd"]["l1"] > 1.0
+    # DP kernels: l3 misses are rare relative to PGSGD's.
+    for kernel in ("gssw", "gbv", "gwfa-lr"):
+        assert mpki[kernel]["l3"] < 0.2 * mpki["pgsgd"]["l3"]

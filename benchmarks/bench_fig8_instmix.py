@@ -1,0 +1,39 @@
+"""Figure 8: dynamic instruction mix (hierarchical bins).
+
+Paper shape: GSSW is vector-heavy (hand-vectorized); GWFA has few vector
+operations (graph code defeats autovectorization); GBV is scalar (64-bit
+bitvector words); PGSGD heavily uses (scalar-)SSE floating point; GBWT
+and TC are scalar+memory.
+"""
+
+from _common import BENCH_SCALE, BENCH_SEED, emit
+
+from repro.analysis.report import render_table
+from repro.harness.runner import run_suite
+from repro.kernels import CPU_KERNELS
+
+BINS = ("vector", "memory", "branch", "scalar", "register")
+
+
+def run_experiment():
+    return run_suite(CPU_KERNELS, studies=("instmix",), scale=BENCH_SCALE,
+                     seed=BENCH_SEED)
+
+
+def test_fig8(benchmark):
+    reports = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        [name, *(f"{reports[name].instruction_mix[b]:.2f}" for b in BINS)]
+        for name in CPU_KERNELS
+    ]
+    emit(
+        "fig8_instmix",
+        render_table(["kernel", *BINS], rows,
+                     title="Figure 8: dynamic instruction mix fractions"),
+    )
+    mix = {name: reports[name].instruction_mix for name in CPU_KERNELS}
+    assert mix["gssw"]["vector"] > 0.4           # hand-vectorized
+    assert mix["gwfa-lr"]["vector"] < 0.05       # not vectorized
+    assert mix["gbv"]["scalar"] > 0.7            # 64-bit word ops
+    assert mix["pgsgd"]["vector"] > 0.3          # SSE scalar FP
+    assert mix["tc"]["scalar"] + mix["tc"]["memory"] > 0.9

@@ -1,0 +1,55 @@
+"""Figure 9: TSU (GPU WFA) vs CPU WFA timing over read length.
+
+Paper shape: ~3.7x GPU speedup for short reads, a crossover as length
+grows, and a slowdown at 10 kbp where 74% of Extend steps keep only one
+of a block's 32 lanes busy.
+"""
+
+from _common import emit
+
+from repro.analysis.report import render_table
+from repro.gpu.tsu import cpu_wfa_time_model, tsu_align_batch
+from repro.kernels.datasets import tsu_pairs
+
+LENGTHS = (128, 500, 1000, 2500, 5000, 10000)
+BATCH = 2000  # modelled batch size (pairs)
+
+
+def run_experiment():
+    results = {}
+    for length in LENGTHS:
+        n = max(2, min(8, 1200 // length + 2))
+        pairs = tsu_pairs(n, length, error_rate=0.01, seed=1)
+        replicate = max(1, BATCH // n)
+        gpu = tsu_align_batch(pairs, replicate=replicate)
+        cpu_seconds = cpu_wfa_time_model(pairs, replicate=replicate)
+        results[length] = {
+            "speedup": cpu_seconds / (gpu.report.time_ms / 1e3),
+            "single_lane": gpu.single_lane_extend_fraction,
+            "warp_util": gpu.report.warp_utilization,
+        }
+    return results
+
+
+def test_fig9(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        [length, f"{r['speedup']:.2f}x", f"{r['single_lane']:.2f}",
+         f"{r['warp_util']:.2f}"]
+        for length, r in results.items()
+    ]
+    emit(
+        "fig9_gpu_vs_cpu_wfa",
+        render_table(
+            ["read length", "GPU speedup", "single-lane extends", "warp util"],
+            rows,
+            title="Figure 9: TSU vs CPU WFA over read length "
+                  "(paper: 3.7x at short, slowdown at 10kbp, 74% single-lane)",
+        ),
+    )
+    assert results[128]["speedup"] > 2.5          # large speedup at short reads
+    assert results[10000]["speedup"] < 1.0        # slowdown at long reads
+    assert results[10000]["single_lane"] > 0.65   # paper: 74%
+    assert results[128]["single_lane"] < results[10000]["single_lane"]
+    # monotone-ish decline
+    assert results[128]["speedup"] > results[2500]["speedup"] > results[10000]["speedup"]

@@ -1,0 +1,40 @@
+"""Table 6: kernel IPC on the 4-wide core model.
+
+Paper: TC 3.14 > GWFA-lr 2.90 > GWFA-cr 2.67 > GBV 2.22 > GBWT 1.92 >
+GSSW 1.77 > PGSGD 0.88.  Reproduced claims: TC highest, PGSGD lowest by
+far, GSSW ~1.8, and the DP-kernel cluster in between.
+"""
+
+from _common import BENCH_SCALE, BENCH_SEED, emit
+
+from repro.analysis.report import render_table
+from repro.harness.runner import run_suite
+from repro.kernels import CPU_KERNELS
+
+PAPER_IPC = {
+    "gssw": 1.77, "gbv": 2.22, "gbwt": 1.92, "gwfa-cr": 2.67,
+    "gwfa-lr": 2.90, "pgsgd": 0.88, "tc": 3.14,
+}
+
+
+def run_experiment():
+    return run_suite(CPU_KERNELS, studies=("topdown",), scale=BENCH_SCALE,
+                     seed=BENCH_SEED)
+
+
+def test_table6(benchmark):
+    reports = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        [name, f"{reports[name].ipc:.2f}", f"{PAPER_IPC[name]:.2f}"]
+        for name in sorted(CPU_KERNELS, key=lambda n: -reports[n].ipc)
+    ]
+    emit(
+        "table6_ipc",
+        render_table(["kernel", "IPC (model)", "IPC (paper)"], rows,
+                     title="Table 6: kernel IPC"),
+    )
+    ipc = {name: reports[name].ipc for name in CPU_KERNELS}
+    assert max(ipc, key=ipc.get) == "tc"
+    assert min(ipc, key=ipc.get) == "pgsgd"
+    assert ipc["pgsgd"] < 0.6 * min(v for k, v in ipc.items() if k != "pgsgd")
+    assert 1.2 < ipc["gssw"] < 2.4

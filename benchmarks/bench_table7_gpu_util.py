@@ -1,0 +1,65 @@
+"""Table 7: GPU microarchitecture utilization (TSU, PGSGD-GPU).
+
+Paper: TSU occupancy 32.97% / warp util 69.72% / mem BW 39.89%;
+PGSGD 53.85% / 88.31% / 41.91%.  Plus the Section 5.3 block-size study:
+1024 -> 256 threads raises theoretical occupancy 66.7% -> 83.3%.
+"""
+
+from _common import BENCH_SCALE, BENCH_SEED, emit
+
+from repro.analysis.report import render_table
+from repro.gpu.tsu import tsu_align_batch
+from repro.kernels.datasets import suite_data, tsu_pairs
+from repro.layout.pgsgd import PGSGDParams
+from repro.layout.pgsgd_gpu import pgsgd_layout_gpu
+
+PAPER = {
+    "tsu": (0.3297, 0.6972, 0.3989),
+    "pgsgd": (0.5385, 0.8831, 0.4191),
+}
+
+
+def run_experiment():
+    data = suite_data(BENCH_SCALE, BENCH_SEED)
+    tsu = tsu_align_batch(tsu_pairs(4, 2000, seed=BENCH_SEED), replicate=500)
+    params = PGSGDParams(iterations=8, updates_per_iteration=3000,
+                         seed=BENCH_SEED)
+    pgsgd_1024 = pgsgd_layout_gpu(data.graph, params, block_size=1024)
+    pgsgd_256 = pgsgd_layout_gpu(data.graph, params, block_size=256)
+    return tsu.report, pgsgd_1024.report, pgsgd_256.report
+
+
+def test_table7(benchmark):
+    tsu, pgsgd, pgsgd_256 = benchmark.pedantic(run_experiment, rounds=1,
+                                               iterations=1)
+    rows = []
+    for name, report in (("tsu", tsu), ("pgsgd", pgsgd)):
+        paper_occ, paper_warp, paper_bw = PAPER[name]
+        rows.append([
+            name,
+            f"{report.achieved_occupancy:.1%}", f"{paper_occ:.1%}",
+            f"{report.warp_utilization:.1%}", f"{paper_warp:.1%}",
+            f"{report.memory_bw_utilization:.1%}", f"{paper_bw:.1%}",
+        ])
+    text = render_table(
+        ["kernel", "occupancy", "paper", "warp util", "paper",
+         "mem BW util", "paper"],
+        rows,
+        title="Table 7: GPU utilization",
+    ) + "\n\n" + render_table(
+        ["block size", "theoretical occ", "achieved occ"],
+        [
+            ["1024", f"{pgsgd.theoretical_occupancy:.1%}",
+             f"{pgsgd.achieved_occupancy:.1%}"],
+            ["256", f"{pgsgd_256.theoretical_occupancy:.1%}",
+             f"{pgsgd_256.achieved_occupancy:.1%}"],
+        ],
+        title="Section 5.3 block-size study (paper: 66.7% -> 83.3%)",
+    )
+    emit("table7_gpu_util", text)
+    assert abs(pgsgd.theoretical_occupancy - 2 / 3) < 0.01
+    assert abs(pgsgd_256.theoretical_occupancy - 5 / 6) < 0.01
+    assert abs(pgsgd.achieved_occupancy - 0.5385) < 0.08
+    assert abs(pgsgd.warp_utilization - 0.8831) < 0.05
+    assert abs(tsu.theoretical_occupancy - 1 / 3) < 0.01
+    assert 0.2 < tsu.memory_bw_utilization < 0.6

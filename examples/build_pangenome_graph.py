@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Build a pangenome graph from raw assemblies two ways — the reference-
+biased Minigraph-Cactus pipeline and the unbiased PGGB pipeline — and
+compare what they recover (the Figure 3 workflow).
+
+Run:  python examples/build_pangenome_graph.py
+"""
+
+from repro.analysis.report import render_table
+from repro.graph import GraphStats, gfa_string
+from repro.layout.pgsgd import PGSGDParams
+from repro.sequence import simulate_pangenome
+from repro.tools.pipelines import BUILD_STAGES, run_minigraph_cactus, run_pggb
+
+
+def main() -> None:
+    pangenome = simulate_pangenome(genome_length=3_000, n_haplotypes=4, seed=3)
+    records = pangenome.records
+    total = sum(len(r) for r in records)
+    print(f"input: {len(records)} assemblies, {total} bp total\n")
+
+    layout = PGSGDParams(iterations=4, updates_per_iteration=1000)
+    mc = run_minigraph_cactus(records, layout_params=layout)
+    pggb = run_pggb(records, layout_params=layout)
+
+    rows = []
+    for name, run in (("minigraph-cactus", mc), ("pggb", pggb)):
+        stats = GraphStats.of(run.graph)
+        exact = sum(
+            run.graph.path_sequence(r.name) == r.sequence for r in records
+        )
+        rows.append([
+            name, stats.node_count, stats.total_bases,
+            f"{total / stats.total_bases:.2f}x",
+            f"{exact}/{len(records)}",
+            " ".join(f"{s}={run.timer.seconds[s]:.1f}s" for s in BUILD_STAGES),
+        ])
+    print(render_table(
+        ["pipeline", "nodes", "bases", "compression", "paths exact", "stages"],
+        rows,
+        title="Graph construction: progressive (biased) vs all-to-all (unbiased)",
+    ))
+    print("\nPGGB spells every input exactly; MC guarantees only the reference")
+    print("(its starting-sequence bias — the trade-off Section 2.2 describes).")
+
+    gfa = gfa_string(pggb.graph)
+    print(f"\nPGGB graph as GFA1 ({len(gfa.splitlines())} records), first lines:")
+    for line in gfa.splitlines()[:5]:
+        print(" ", line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""PangenomicsBench reproduction: a pangenomics benchmark suite in Python.
+
+The package layers three systems (see DESIGN.md):
+
+* substrates — sequences (:mod:`repro.sequence`), graphs
+  (:mod:`repro.graph`), indexes (:mod:`repro.index`), aligners
+  (:mod:`repro.align`), graph construction (:mod:`repro.build`),
+  layout (:mod:`repro.layout`) and end-to-end tools (:mod:`repro.tools`);
+* the benchmark suite — :mod:`repro.kernels` and :mod:`repro.harness`;
+* characterization instruments — :mod:`repro.uarch` (CPU model) and
+  :mod:`repro.gpu` (SIMT simulator), plus :mod:`repro.analysis`.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    AlignmentError,
+    CyclicGraphError,
+    DatasetError,
+    GFAError,
+    GraphError,
+    KernelError,
+    ReproError,
+    SequenceError,
+    SimulationError,
+)
+
+__all__ = [
+    "__version__",
+    "AlignmentError", "CyclicGraphError", "DatasetError", "GFAError",
+    "GraphError", "KernelError", "ReproError", "SequenceError",
+    "SimulationError",
+]

@@ -1,0 +1,60 @@
+"""Alignment substrate: all DP kernels and the chaining/clustering stages."""
+
+from repro.align.chain import (
+    Anchor,
+    ChainResult,
+    Cluster,
+    ClusterStats,
+    anchors_from_seeds,
+    chain_anchors,
+    cluster_seeds,
+)
+from repro.align.gbv import GBV, GBVResult, gbv_align, graph_edit_distance_scalar
+from repro.align.gssw import (
+    GSSW,
+    GraphAlignmentResult,
+    graph_smith_waterman_scalar,
+    gssw_align,
+)
+from repro.align.gwfa import GWFAResult, GWFAStats, graph_edit_distance_from, gwfa_align
+from repro.align.myers import (
+    MyersBitvector,
+    MyersMatch,
+    best_substring_distance,
+    edit_distance,
+)
+from repro.align.poa import PoaAlignment, PoaGraph, abpoa_align, poa_consensus
+from repro.align.scoring import (
+    AffineScoring,
+    AlignmentResult,
+    CigarOp,
+    VG_DEFAULT,
+    cigar_string,
+)
+from repro.align.smith_waterman import (
+    StripedSmithWaterman,
+    smith_waterman,
+    striped_smith_waterman,
+)
+from repro.align.wfa import (
+    AffinePenalties,
+    WFAResult,
+    WFAStats,
+    affine_global_cost,
+    wfa_affine,
+    wfa_edit_distance,
+)
+
+__all__ = [
+    "Anchor", "ChainResult", "Cluster", "ClusterStats", "anchors_from_seeds",
+    "chain_anchors", "cluster_seeds",
+    "GBV", "GBVResult", "gbv_align", "graph_edit_distance_scalar",
+    "GSSW", "GraphAlignmentResult", "graph_smith_waterman_scalar", "gssw_align",
+    "GWFAResult", "GWFAStats", "graph_edit_distance_from", "gwfa_align",
+    "MyersBitvector", "MyersMatch", "best_substring_distance", "edit_distance",
+    "PoaAlignment", "PoaGraph", "abpoa_align", "poa_consensus",
+    "AffineScoring", "AlignmentResult", "CigarOp", "VG_DEFAULT", "cigar_string",
+    "StripedSmithWaterman", "smith_waterman", "striped_smith_waterman",
+    "AffinePenalties", "WFAResult", "WFAStats", "affine_global_cost",
+    "wfa_affine", "wfa_edit_distance",
+]

@@ -1,0 +1,209 @@
+"""Seed clustering and anchor chaining.
+
+The middle stages of the Seq2Graph mapping pipeline (Figure 1.2):
+*clustering* groups seed hits that are close both on the read and in the
+graph — which on a graph requires shortest-path distance queries instead
+of coordinate subtraction (Section 2.1) — and *chaining* selects a
+colinear high-scoring subset of anchors with the minigraph-style 2D DP.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import AlignmentError
+from repro.graph.distance import UNREACHABLE, GraphPosition, min_distance
+from repro.graph.model import SequenceGraph
+from repro.index.minimizer import Seed
+from repro.uarch.events import NULL_PROBE, MachineProbe, OpClass
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A group of seeds presumed to come from one alignment locus."""
+
+    seeds: tuple[Seed, ...]
+
+    def __len__(self) -> int:
+        return len(self.seeds)
+
+    @property
+    def read_span(self) -> tuple[int, int]:
+        positions = [seed.read_position for seed in self.seeds]
+        return min(positions), max(positions)
+
+    @property
+    def node_ids(self) -> set[int]:
+        return {seed.node_id for seed in self.seeds}
+
+
+@dataclass
+class ClusterStats:
+    """Work counters for clustering (distance queries dominate)."""
+
+    distance_queries: int = 0
+    seeds_in: int = 0
+    clusters_out: int = 0
+
+
+def cluster_seeds(
+    graph: SequenceGraph,
+    seeds: list[Seed],
+    max_graph_gap: int = 1000,
+    max_read_gap: int = 1000,
+    min_cluster_size: int = 1,
+    stats: ClusterStats | None = None,
+) -> list[Cluster]:
+    """Group seeds by joint read/graph locality.
+
+    Seeds sorted by read position are greedily attached to the most recent
+    cluster whose tail seed is within *max_read_gap* on the read and
+    within *max_graph_gap* by shortest-path distance in the graph — the
+    graph-distance query being the expensive step the paper calls out.
+    """
+    stats = stats if stats is not None else ClusterStats()
+    stats.seeds_in += len(seeds)
+    ordered = sorted(
+        (seed for seed in seeds if not seed.is_reverse),
+        key=lambda seed: (seed.read_position, seed.node_id, seed.node_offset),
+    )
+    clusters: list[list[Seed]] = []
+    for seed in ordered:
+        placed = False
+        for cluster in reversed(clusters[-8:]):
+            tail = cluster[-1]
+            read_gap = seed.read_position - tail.read_position
+            if read_gap > max_read_gap:
+                continue
+            stats.distance_queries += 1
+            graph_gap = min_distance(
+                graph,
+                GraphPosition(tail.node_id, tail.node_offset),
+                GraphPosition(seed.node_id, seed.node_offset),
+                limit=max_graph_gap,
+            )
+            if graph_gap != UNREACHABLE and abs(graph_gap - read_gap) <= max_read_gap:
+                cluster.append(seed)
+                placed = True
+                break
+        if not placed:
+            clusters.append([seed])
+    out = [
+        Cluster(tuple(cluster))
+        for cluster in clusters
+        if len(cluster) >= min_cluster_size
+    ]
+    stats.clusters_out += len(out)
+    return out
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """A chaining anchor: an exact match of *length* bases.
+
+    ``target_position`` is a linearized coordinate: genomic offset for
+    Seq2Seq, or a path/topological offset estimate for Seq2Graph.
+    """
+
+    read_position: int
+    target_position: int
+    length: int
+    node_id: int = -1
+
+
+@dataclass(frozen=True)
+class ChainResult:
+    """Best chain of anchors plus DP work counters."""
+
+    anchors: tuple[Anchor, ...]
+    score: float
+    pairs_evaluated: int
+
+    def __len__(self) -> int:
+        return len(self.anchors)
+
+
+def chain_anchors(
+    anchors: list[Anchor],
+    max_gap: int = 5000,
+    max_lookback: int = 64,
+    gap_scale: float = 0.05,
+    probe: MachineProbe = NULL_PROBE,
+) -> ChainResult:
+    """Minigraph/minimap2-style 2D DP chaining.
+
+    ``f[i] = max(w_i, max_j f[j] + min(w_i, overlap-free span) - gap_cost)``
+    over the previous *max_lookback* anchors sorted by target position.
+    Gap cost is the coordinate-difference penalty with a log term, as in
+    minimap2's chaining score.
+    """
+    if not anchors:
+        return ChainResult(anchors=(), score=0.0, pairs_evaluated=0)
+    ordered = sorted(anchors, key=lambda a: (a.target_position, a.read_position))
+    n = len(ordered)
+    f = [float(a.length) for a in ordered]
+    back = [-1] * n
+    pairs = 0
+    for i in range(n):
+        ai = ordered[i]
+        lo = max(0, i - max_lookback)
+        for j in range(lo, i):
+            aj = ordered[j]
+            read_gap = ai.read_position - (aj.read_position + aj.length)
+            target_gap = ai.target_position - (aj.target_position + aj.length)
+            pairs += 1
+            probe.load(j * 32, 32)
+            probe.alu(OpClass.SCALAR_ALU, 8)
+            ok = read_gap >= 0 and target_gap >= 0 and max(read_gap, target_gap) <= max_gap
+            probe.branch(site=60, taken=ok)
+            if not ok:
+                continue
+            gap = abs(read_gap - target_gap)
+            cost = gap_scale * gap + (0.5 * math.log2(gap + 1) if gap else 0.0)
+            probe.alu(OpClass.VECTOR_FP, 3)
+            candidate = f[j] + ai.length - cost
+            better = candidate > f[i]
+            probe.branch(site=61, taken=better)
+            if better:
+                f[i] = candidate
+                back[i] = j
+    best_index = max(range(n), key=lambda i: f[i])
+    chain: list[Anchor] = []
+    index = best_index
+    while index != -1:
+        chain.append(ordered[index])
+        index = back[index]
+    chain.reverse()
+    return ChainResult(anchors=tuple(chain), score=f[best_index], pairs_evaluated=pairs)
+
+
+def anchors_from_seeds(
+    graph: SequenceGraph, seeds: list[Seed], kmer_length: int
+) -> list[Anchor]:
+    """Convert graph seeds into chaining anchors.
+
+    Target coordinates are linearized by topological node offsets (the
+    sum of node lengths before the node in sorted id order) — a cheap
+    surrogate for minigraph's graph coordinate estimation.
+    """
+    if not seeds:
+        return []
+    offsets: dict[int, int] = {}
+    total = 0
+    for node_id in sorted(graph.node_ids()):
+        offsets[node_id] = total
+        total += len(graph.node(node_id))
+    out = []
+    for seed in seeds:
+        if seed.node_id not in offsets:
+            raise AlignmentError(f"seed references unknown node {seed.node_id}")
+        out.append(
+            Anchor(
+                read_position=seed.read_position,
+                target_position=offsets[seed.node_id] + seed.node_offset,
+                length=kmer_length,
+                node_id=seed.node_id,
+            )
+        )
+    return out

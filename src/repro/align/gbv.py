@@ -1,0 +1,310 @@
+"""GBV: Graph Myers's bitvector alignment (Rautiainen et al., GraphAligner).
+
+Aligns a (long) query to a possibly *cyclic* graph under unit edit costs.
+Each one-base graph position is a DP *row*; a row depends on its parent
+rows (the merge across incoming edges, Figure 4b's red arrows) and, on
+cyclic graphs, a row's recomputation can improve its own ancestors, so
+rows are pushed to a priority queue whenever a parent changes and
+reprocessed until scores stabilize — the source of GBV's unpredictable
+branching behaviour (Section 5.2).
+
+Rows are stored as 64-cell blocks updated with Myers-style arithmetic;
+we keep scores explicit (numpy rows) rather than bit-encoded, preserving
+the data flow, the dependence structure, and the queue dynamics, while
+the probe reports the kernel's true 64-bit scalar operation mix.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AlignmentError
+from repro.graph.model import SequenceGraph
+from repro.uarch.events import NULL_PROBE, AddressSpace, MachineProbe, OpClass
+
+_BIG = 1 << 30
+
+
+@dataclass(frozen=True)
+class GBVResult:
+    """Outcome of a GBV alignment.
+
+    Attributes:
+        distance: Best edit distance of the full query against any walk.
+        end_node: Node the best walk ends in.
+        end_offset: Base offset within ``end_node``.
+        rows_computed: Total row evaluations (including recomputations).
+        recomputations: Row evaluations beyond the first per row — the
+            cyclic-graph stabilization work.
+        queue_pushes: Priority-queue pushes.
+    """
+
+    distance: int
+    end_node: int
+    end_offset: int
+    rows_computed: int
+    recomputations: int
+    queue_pushes: int
+
+
+class GBV:
+    """Graph Myers aligner for one query, reusable across graphs."""
+
+    def __init__(self, query: str, probe: MachineProbe = NULL_PROBE) -> None:
+        if not query:
+            raise AlignmentError("empty query")
+        self.query = query
+        self.probe = probe
+        m = len(query)
+        self._indices = np.arange(m + 1, dtype=np.int64)
+        # delta[c][j] = 1 if query[j-1] != c (j >= 1)
+        self._delta: dict[str, np.ndarray] = {}
+        for base in "ACGTN":
+            delta = np.ones(m + 1, dtype=np.int64)
+            for j, q in enumerate(self.query, start=1):
+                if q == base:
+                    delta[j] = 0
+            self._delta[base] = delta
+        self._virtual = self._indices.copy()  # D[start][j] = j
+        self._words = (m + 63) // 64
+
+    def align(self, graph: SequenceGraph) -> GBVResult:
+        """Align the query to *graph* (cycles allowed)."""
+        rows, row_parents, row_children, row_base = _row_graph(graph)
+        m = len(self.query)
+        probe = self.probe
+        space = AddressSpace()
+        row_bytes = self._words * 16  # Pv + Mv words
+        row_address = [space.alloc(row_bytes) for _ in rows]
+
+        values: list[np.ndarray | None] = [None] * len(rows)
+        computed = [0] * len(rows)
+        rows_computed = 0
+        queue_pushes = 0
+        # Seed the queue with every row in (node, offset) order.
+        heap: list[int] = list(range(len(rows)))
+        heapq.heapify(heap)
+        in_queue = [True] * len(rows)
+        queue_pushes += len(rows)
+
+        while heap:
+            row = heapq.heappop(heap)
+            in_queue[row] = False
+            delta = self._delta.get(row_base[row], self._delta["N"])
+            new_value = self._compute_row(
+                [values[p] for p in row_parents[row]], delta, row_address, row_parents[row]
+            )
+            rows_computed += 1
+            computed[row] += 1
+            old_value = values[row]
+            if old_value is not None:
+                improved = new_value < old_value
+                changed = bool(improved.any())
+                probe.alu(OpClass.SCALAR_ALU, self._words)
+                # Per-word merge comparisons: the data-dependent branches
+                # of the graph merge step (Section 5.2).
+                words = max(1, len(improved) // 64)
+                for word in range(words):
+                    segment = improved[word * 64 : (word + 1) * 64]
+                    probe.branch(site=32, taken=bool(segment.any()))
+            else:
+                changed = True
+            probe.branch(site=30, taken=changed)
+            if not changed:
+                continue
+            if old_value is not None:
+                np.minimum(new_value, old_value, out=new_value)
+            values[row] = new_value
+            probe.store(row_address[row], row_bytes)
+            for child in row_children[row]:
+                probe.branch(site=31, taken=not in_queue[child])
+                if not in_queue[child]:
+                    heapq.heappush(heap, child)
+                    in_queue[child] = True
+                    queue_pushes += 1
+
+        best = _BIG
+        best_row = 0
+        for row, value in enumerate(values):
+            if value is not None and int(value[m]) < best:
+                best = int(value[m])
+                best_row = row
+        self._traceback(values, row_parents, row_address, best_row)
+        node_id, offset = rows[best_row]
+        return GBVResult(
+            distance=best,
+            end_node=node_id,
+            end_offset=offset,
+            rows_computed=rows_computed,
+            recomputations=rows_computed - len(rows),
+            queue_pushes=queue_pushes,
+        )
+
+    def _traceback(
+        self,
+        values: list[np.ndarray | None],
+        row_parents: list[list[int]],
+        row_address: list[int],
+        end_row: int,
+    ) -> None:
+        """Walk the optimal path backwards (GraphAligner keeps traceback
+        inside the kernel; its direction choices are the data-dependent
+        branches the paper's bad-speculation numbers blame)."""
+        probe = self.probe
+        row = end_row
+        j = len(self.query)
+        steps = 0
+        limit = len(self.query) + len(values) + 8
+        while j > 0 and steps < limit:
+            steps += 1
+            value = values[row]
+            if value is None:
+                break
+            current = int(value[j])
+            probe.load(row_address[row] + (j // 64) * 16, 16)
+            # Insertion (stay on this row)?
+            take_left = int(value[j - 1]) + 1 == current
+            probe.branch(site=33, taken=take_left)
+            if take_left:
+                j -= 1
+                continue
+            moved = False
+            for parent in row_parents[row]:
+                parent_value = values[parent]
+                if parent_value is None:
+                    continue
+                probe.load(row_address[parent] + (j // 64) * 16, 16)
+                diagonal = int(parent_value[j - 1]) + (0 if current == int(parent_value[j - 1]) else 1)
+                take_diag = diagonal >= current and int(parent_value[j - 1]) <= current
+                probe.branch(site=34, taken=take_diag)
+                if take_diag:
+                    row = parent
+                    j -= 1
+                    moved = True
+                    break
+                take_up = int(parent_value[j]) + 1 == current
+                probe.branch(site=35, taken=take_up)
+                if take_up:
+                    row = parent
+                    moved = True
+                    break
+            if not moved:
+                # Alignment start reached (virtual row).
+                break
+
+    def _compute_row(
+        self,
+        parent_values: list[np.ndarray | None],
+        delta: np.ndarray,
+        row_address: list[int],
+        parent_ids: list[int],
+    ) -> np.ndarray:
+        """Evaluate one row from its parents (plus the virtual start row)."""
+        probe = self.probe
+        candidates = [self._candidate(self._virtual, delta)]
+        for parent_id, parent in zip(parent_ids, parent_values):
+            if parent is None:
+                continue
+            probe.load(row_address[parent_id], self._words * 16)
+            candidates.append(self._candidate(parent, delta))
+            # The Myers word update is a serial chain of bit operations
+            # (carry-propagating adds); about half its depth overlaps.
+            probe.alu(OpClass.SCALAR_ALU, 7 * self._words, dependent=True)
+            probe.alu(OpClass.SCALAR_ALU, 7 * self._words)
+        row = candidates[0]
+        for other in candidates[1:]:
+            np.minimum(row, other, out=row)
+            probe.alu(OpClass.SCALAR_ALU, 6 * self._words)  # bitvector merge
+        # Horizontal pass: row[j] = min_k<=j row[k] + (j - k).
+        np.minimum.accumulate(row - self._indices, out=row)
+        row += self._indices
+        probe.alu(OpClass.SCALAR_ALU, 4 * self._words, dependent=True)
+        row[0] = 0
+        # Per-word score/band threshold checks: GraphAligner decides per
+        # word whether the block is still under the score band, and the
+        # outcome follows the data (the misprediction source of Fig. 6).
+        m = len(row) - 1
+        for word in range(0, self._words, 2):
+            cell = int(row[min(word * 64 + 63, m)])
+            probe.branch(site=36 + (word % 4), taken=(cell & 3) == 0)
+        return row
+
+    def _candidate(self, parent: np.ndarray, delta: np.ndarray) -> np.ndarray:
+        """min(parent + 1, diag(parent) + delta) without the horizontal term."""
+        shifted = np.empty_like(parent)
+        shifted[0] = _BIG
+        shifted[1:] = parent[:-1]
+        return np.minimum(parent + 1, shifted + delta)
+
+
+def _row_graph(
+    graph: SequenceGraph,
+) -> tuple[list[tuple[int, int]], list[list[int]], list[list[int]], list[str]]:
+    """Expand a graph into one-base rows with parent/child lists."""
+    rows: list[tuple[int, int]] = []
+    row_index: dict[tuple[int, int], int] = {}
+    row_base: list[str] = []
+    for node_id in sorted(graph.node_ids()):
+        sequence = graph.node(node_id).sequence
+        for offset, base in enumerate(sequence):
+            row_index[(node_id, offset)] = len(rows)
+            rows.append((node_id, offset))
+            row_base.append(base)
+    parents: list[list[int]] = [[] for _ in rows]
+    children: list[list[int]] = [[] for _ in rows]
+    for node_id in sorted(graph.node_ids()):
+        length = len(graph.node(node_id))
+        for offset in range(1, length):
+            parent = row_index[(node_id, offset - 1)]
+            child = row_index[(node_id, offset)]
+            parents[child].append(parent)
+            children[parent].append(child)
+        last = row_index[(node_id, length - 1)]
+        for successor in graph.successors(node_id):
+            first = row_index[(successor, 0)]
+            parents[first].append(last)
+            children[last].append(first)
+    return rows, parents, children, row_base
+
+
+def gbv_align(
+    query: str, graph: SequenceGraph, probe: MachineProbe = NULL_PROBE
+) -> GBVResult:
+    """One-shot GBV alignment."""
+    return GBV(query, probe=probe).align(graph)
+
+
+def graph_edit_distance_scalar(query: str, graph: SequenceGraph) -> int:
+    """Scalar label-correcting oracle for GBV (cell-by-cell Python loops)."""
+    rows, parents, children, row_base = _row_graph(graph)
+    m = len(query)
+    values: list[list[int] | None] = [None] * len(rows)
+    virtual = list(range(m + 1))
+    pending = list(range(len(rows)))
+    in_queue = [True] * len(rows)
+    heapq.heapify(pending)
+    while pending:
+        row = heapq.heappop(pending)
+        in_queue[row] = False
+        base = row_base[row]
+        sources = [virtual] + [values[p] for p in parents[row] if values[p] is not None]
+        new = [0] * (m + 1)
+        for j in range(1, m + 1):
+            best = _BIG
+            for source in sources:
+                best = min(best, source[j] + 1, source[j - 1] + (query[j - 1] != base))
+            best = min(best, new[j - 1] + 1)
+            new[j] = best
+        old = values[row]
+        if old is None or any(n < o for n, o in zip(new, old)):
+            if old is not None:
+                new = [min(n, o) for n, o in zip(new, old)]
+            values[row] = new
+            for child in children[row]:
+                if not in_queue[child]:
+                    heapq.heappush(pending, child)
+                    in_queue[child] = True
+    return min(value[m] for value in values if value is not None)

@@ -1,0 +1,314 @@
+"""GSSW: graph SIMD Smith–Waterman (Zhao et al., used by vg map).
+
+Aligns a short query to an *acyclic* subgraph extracted around seed hits.
+Inside a node the computation is striped SIMD Smith–Waterman; at node
+entry the H and E columns are seeded with the element-wise maximum over
+the node's parents' final columns (Figure 4a's red arrows) — exact,
+because max distributes over the affine-gap recurrences.
+
+The paper's two key GSSW observations are both modelled here:
+
+* the algorithm alternates dense SIMD regions with indirect graph
+  accesses (the parent-merge), and
+* unlike linear SSW it keeps *every* node's full DP matrix live and
+  performs swizzle writes from packed SIMD buffers into it
+  (``store_full_matrix``), the source of its ~3x memory stalls in the
+  Figure 10 case study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.scoring import AffineScoring, VG_DEFAULT
+from repro.errors import AlignmentError
+from repro.graph.model import SequenceGraph
+from repro.graph.ops import topological_sort
+from repro.uarch.events import NULL_PROBE, AddressSpace, MachineProbe, OpClass
+
+_NEG_INF = -(10**9)
+
+
+@dataclass(frozen=True)
+class GraphAlignmentResult:
+    """Best local alignment of a query into a graph."""
+
+    score: int
+    end_node: int
+    end_offset: int
+    query_end: int
+    cells_computed: int
+
+
+def graph_smith_waterman_scalar(
+    query: str,
+    graph: SequenceGraph,
+    scoring: AffineScoring = VG_DEFAULT,
+) -> GraphAlignmentResult:
+    """Scalar affine-gap local alignment to a DAG.  Correctness oracle."""
+    if not query:
+        raise AlignmentError("empty query")
+    order = topological_sort(graph)
+    m = len(query)
+    open_cost = scoring.gap_open + scoring.gap_extend
+    extend_cost = scoring.gap_extend
+
+    final_h: dict[int, np.ndarray] = {}
+    final_e: dict[int, np.ndarray] = {}
+    best = 0
+    best_node = best_offset = best_q = 0
+    cells = 0
+    for node_id in order:
+        node = graph.node(node_id)
+        parents = graph.predecessors(node_id)
+        if parents:
+            h_prev = np.maximum.reduce([final_h[p] for p in parents])
+            e_prev = np.maximum.reduce([final_e[p] for p in parents])
+        else:
+            h_prev = np.zeros(m + 1, dtype=np.int64)
+            e_prev = np.full(m + 1, _NEG_INF, dtype=np.int64)
+        for offset, base in enumerate(node.sequence):
+            h_curr = np.zeros(m + 1, dtype=np.int64)
+            e_curr = np.full(m + 1, _NEG_INF, dtype=np.int64)
+            f = _NEG_INF
+            for i in range(1, m + 1):
+                e_curr[i] = max(h_prev[i] - open_cost, e_prev[i] - extend_cost)
+                f = max(h_curr[i - 1] - open_cost, f - extend_cost)
+                diag = h_prev[i - 1] + scoring.substitution(query[i - 1], base)
+                h = max(0, diag, e_curr[i], f)
+                h_curr[i] = h
+                if h > best:
+                    best, best_node, best_offset, best_q = h, node_id, offset, i
+            h_prev, e_prev = h_curr, e_curr
+            cells += m
+        final_h[node_id] = h_prev
+        final_e[node_id] = e_prev
+    return GraphAlignmentResult(
+        score=int(best),
+        end_node=best_node,
+        end_offset=best_offset,
+        query_end=best_q,
+        cells_computed=cells,
+    )
+
+
+class GSSW:
+    """Striped graph Smith–Waterman with a reusable query profile.
+
+    Args:
+        query: Query sequence (a read fragment, ~150 bp in the paper).
+        scoring: Affine scheme (vg's 1/4/6/1 by default).
+        lanes: SIMD lanes per vector word.
+        probe: Optional machine probe.
+        store_full_matrix: Model GSSW's full-matrix swizzle writes (on by
+            default; linear SSW's two-column working set is the off case).
+    """
+
+    LANE_BYTES = 2
+
+    def __init__(
+        self,
+        query: str,
+        scoring: AffineScoring = VG_DEFAULT,
+        lanes: int = 8,
+        probe: MachineProbe = NULL_PROBE,
+        store_full_matrix: bool = True,
+        address_space: AddressSpace | None = None,
+    ) -> None:
+        if not query:
+            raise AlignmentError("empty query")
+        if lanes < 2:
+            raise AlignmentError("need at least 2 SIMD lanes")
+        self.query = query
+        self.scoring = scoring
+        self.lanes = lanes
+        self.probe = probe
+        self.store_full_matrix = store_full_matrix
+        self.segment_length = (len(query) + lanes - 1) // lanes
+        self._space = address_space or AddressSpace()
+        self._word_bytes = lanes * self.LANE_BYTES
+        self._profile_base = self._space.alloc(4 * self.segment_length * self._word_bytes)
+        self._graph_base = self._space.alloc(1 << 16)
+        self._profile = self._build_profile()
+
+    def _build_profile(self) -> dict[str, np.ndarray]:
+        seg = self.segment_length
+        profile: dict[str, np.ndarray] = {}
+        for base in "ACGT":
+            matrix = np.zeros((seg, self.lanes), dtype=np.int64)
+            for lane in range(self.lanes):
+                for segment in range(seg):
+                    position = lane * seg + segment
+                    if position < len(self.query):
+                        matrix[segment, lane] = self.scoring.substitution(
+                            self.query[position], base
+                        )
+            profile[base] = matrix
+        return profile
+
+    def align(self, graph: SequenceGraph) -> GraphAlignmentResult:
+        """Local-align the query to an acyclic *graph*."""
+        order = topological_sort(graph)
+        seg = self.segment_length
+        probe = self.probe
+        open_cost = self.scoring.gap_open + self.scoring.gap_extend
+        extend_cost = self.scoring.gap_extend
+
+        final_h: dict[int, np.ndarray] = {}
+        final_e: dict[int, np.ndarray] = {}
+        matrix_base: dict[int, int] = {}
+        best = 0
+        best_node = best_offset = best_q = 0
+        cells = 0
+
+        for node_id in order:
+            node = graph.node(node_id)
+            parents = graph.predecessors(node_id)
+            # Node initialization: indirect graph accesses to each parent's
+            # stored final column (the non-SIMD phase the paper describes).
+            if parents:
+                probe.load(self._graph_base + node_id * 64, 16)  # adjacency
+                h_cols = []
+                e_cols = []
+                for parent in parents:
+                    probe.touch_region(matrix_base[parent], seg * self._word_bytes)
+                    h_cols.append(final_h[parent])
+                    e_cols.append(final_e[parent])
+                h_prev = np.maximum.reduce(h_cols)
+                e_prev = np.maximum.reduce(e_cols)
+                probe.alu(OpClass.VECTOR_ALU, 2 * len(parents) * seg)
+            else:
+                h_prev = np.zeros((seg, self.lanes), dtype=np.int64)
+                e_prev = np.full((seg, self.lanes), _NEG_INF, dtype=np.int64)
+            base_address = self._space.alloc(len(node) * seg * self._word_bytes)
+            matrix_base[node_id] = base_address
+
+            h_store = h_prev
+            e = e_prev
+            sequence_base = self._space.alloc(len(node))
+            for offset, base in enumerate(node.sequence):
+                probe.load(sequence_base + offset, 1)
+                h_store, e = self._column(
+                    h_store, e, self._profile.get(base, self._profile["A"]),
+                    open_cost, extend_cost,
+                    first=(offset == 0 and not parents),
+                )
+                cells += len(self.query)
+                if self.store_full_matrix:
+                    self._swizzle_store(base_address, offset, len(node))
+                column_best = int(h_store.max())
+                improved = column_best > best
+                probe.branch(site=10, taken=improved)
+                if improved:
+                    best = column_best
+                    best_node = node_id
+                    best_offset = offset
+                    segment, lane = np.unravel_index(
+                        int(h_store.argmax()), h_store.shape
+                    )
+                    best_q = int(lane) * seg + int(segment) + 1
+            final_h[node_id] = h_store
+            final_e[node_id] = e
+        return GraphAlignmentResult(
+            score=int(best),
+            end_node=best_node,
+            end_offset=best_offset,
+            query_end=best_q,
+            cells_computed=cells,
+        )
+
+    def _column(
+        self,
+        h_prev: np.ndarray,
+        e_prev: np.ndarray,
+        profile: np.ndarray,
+        open_cost: int,
+        extend_cost: int,
+        first: bool,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One striped SW column given the previous column (striped layout)."""
+        seg = self.segment_length
+        probe = self.probe
+        h_store = np.zeros((seg, self.lanes), dtype=np.int64)
+        e = np.empty((seg, self.lanes), dtype=np.int64)
+
+        h = np.empty(self.lanes, dtype=np.int64)
+        h[0] = 0
+        h[1:] = h_prev[seg - 1, : self.lanes - 1]
+        probe.alu(OpClass.VECTOR_ALU, 1)
+        f = np.full(self.lanes, _NEG_INF, dtype=np.int64)
+
+        for segment in range(seg):
+            probe.load(self._profile_base + segment * self._word_bytes, self._word_bytes)
+            h = h + profile[segment]
+            np.maximum(h, e_prev_col(e_prev, segment, open_cost, extend_cost, h_prev), out=h)
+            np.maximum(h, f, out=h)
+            np.maximum(h, 0, out=h)
+            probe.alu(OpClass.VECTOR_ALU, 4, dependent=True)
+            h_store[segment] = h
+            e[segment] = np.maximum(h_prev[segment] - open_cost, e_prev[segment] - extend_cost)
+            f = np.maximum(h - open_cost, f - extend_cost)
+            probe.alu(OpClass.VECTOR_ALU, 6, dependent=True)
+            h = h_prev[segment].copy()
+
+        done = False
+        for _ in range(self.lanes):
+            f = np.concatenate(([np.int64(_NEG_INF)], f[:-1]))
+            probe.alu(OpClass.VECTOR_ALU, 1)
+            for segment in range(seg):
+                np.maximum(h_store[segment], f, out=h_store[segment])
+                threshold = h_store[segment] - open_cost
+                f = f - extend_cost
+                probe.alu(OpClass.VECTOR_ALU, 4)
+                continuing = bool((f > threshold).any())
+                probe.branch(site=11, taken=continuing)
+                if not continuing:
+                    done = True
+                    break
+            if done:
+                break
+        return h_store, e
+
+    def _swizzle_store(self, base_address: int, offset: int, node_length: int) -> None:
+        """Scatter the packed column into the row-major node matrix.
+
+        Lane l / segment s holds query position ``l*seg + s``; row-major
+        means consecutive stores stride by the node length — the
+        poor-locality writeback VTune blames for GSSW's memory stalls.
+        """
+        probe = self.probe
+        seg = self.segment_length
+        row_stride = node_length * self.LANE_BYTES
+        for lane in range(self.lanes):
+            for segment in range(seg):
+                query_position = lane * seg + segment
+                if query_position >= len(self.query):
+                    continue
+                probe.store(
+                    base_address + query_position * row_stride + offset * self.LANE_BYTES,
+                    self.LANE_BYTES,
+                )
+
+
+def e_prev_col(
+    e_prev: np.ndarray,
+    segment: int,
+    open_cost: int,
+    extend_cost: int,
+    h_prev: np.ndarray,
+) -> np.ndarray:
+    """Current-column E for *segment*: gap opened or extended from the left."""
+    return np.maximum(h_prev[segment] - open_cost, e_prev[segment] - extend_cost)
+
+
+def gssw_align(
+    query: str,
+    graph: SequenceGraph,
+    scoring: AffineScoring = VG_DEFAULT,
+    lanes: int = 8,
+    probe: MachineProbe = NULL_PROBE,
+) -> GraphAlignmentResult:
+    """One-shot GSSW alignment (profile built per call)."""
+    return GSSW(query, scoring, lanes=lanes, probe=probe).align(graph)

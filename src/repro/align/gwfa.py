@@ -1,0 +1,301 @@
+"""GWFA: the graph wavefront algorithm (Zhang et al. 2022, minigraph).
+
+Bridges the gap between two anchors during chaining: given a start
+position in the graph, it finds the cheapest (unit-cost) alignment of the
+query along *some* walk.  Each node conceptually owns its own DP matrix
+(query on one axis, node sequence on the other); wavefront diagonals live
+inside a node and, on reaching the node end, expand into every child
+node's matrix (Figure 4e) — producing the scattered, irregular diagonal
+set the paper highlights, while still computing far fewer cells than full
+DP.
+
+States are (node, diagonal) pairs holding the furthest-reaching query
+offset; diagonal ``k = j - i`` with ``j`` the query offset and ``i`` the
+offset inside the node.  The start position is modelled as a virtual
+node holding the start node's suffix, so cycles re-entering the start
+node see its full sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AlignmentError
+from repro.graph.model import SequenceGraph
+from repro.uarch.events import NULL_PROBE, MachineProbe, OpClass
+
+_NONE = -(10**9)
+_START = -1  # virtual node id for the trimmed start node
+
+
+@dataclass
+class GWFAStats:
+    """Work counters for one GWFA run."""
+
+    scores: int = 0
+    states_processed: int = 0
+    expansions: int = 0          # diagonal spills into child nodes
+    cells_extended: int = 0
+    max_frontier: int = 0
+
+
+@dataclass(frozen=True)
+class GWFAResult:
+    """Best unit-cost alignment of the query along some walk."""
+
+    distance: int
+    end_node: int
+    end_offset: int
+    stats: GWFAStats = field(compare=False, default_factory=GWFAStats)
+
+
+class _GWFARun:
+    """One GWFA alignment: query vs graph from a fixed start position."""
+
+    def __init__(
+        self,
+        query: str,
+        graph: SequenceGraph,
+        start_node: int,
+        start_offset: int,
+        probe: MachineProbe,
+        max_score: int | None,
+    ) -> None:
+        if not query:
+            raise AlignmentError("empty query")
+        node = graph.node(start_node)
+        if not 0 <= start_offset < len(node):
+            raise AlignmentError(
+                f"start offset {start_offset} out of range for node {start_node}"
+            )
+        self.query = query
+        self.graph = graph
+        self.start_node = start_node
+        self.start_offset = start_offset
+        self.probe = probe
+        self.limit = max_score if max_score is not None else 2 * len(query) + 16
+        self.stats = GWFAStats()
+        self._start_suffix = node.sequence[start_offset:]
+        self._sequences: dict[int, str] = {}
+
+    def sequence_of(self, node_id: int) -> str:
+        if node_id == _START:
+            return self._start_suffix
+        cached = self._sequences.get(node_id)
+        if cached is None:
+            cached = self.graph.node(node_id).sequence
+            self._sequences[node_id] = cached
+        return cached
+
+    def successors_of(self, node_id: int) -> list[int]:
+        if node_id == _START:
+            node_id = self.start_node
+        return self.graph.successors(node_id)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> GWFAResult:
+        m = len(self.query)
+        frontier: dict[tuple[int, int], int] = {(_START, 0): 0}
+        self._extend_all(frontier)
+        score = 0
+        goal = self._goal(frontier)
+        while goal is None:
+            if score >= self.limit:
+                raise AlignmentError(f"gwfa exceeded max score {self.limit}")
+            score += 1
+            self.stats.scores += 1
+            frontier = self._next_wavefront(frontier)
+            if not frontier:
+                raise AlignmentError("gwfa wavefront died")
+            self._extend_all(frontier)
+            self.stats.max_frontier = max(self.stats.max_frontier, len(frontier))
+            goal = self._goal(frontier)
+        end_node, end_k, end_j = goal
+        end_i = end_j - end_k
+        if end_node == _START:
+            return GWFAResult(score, self.start_node, self.start_offset + end_i, self.stats)
+        return GWFAResult(score, end_node, end_i, self.stats)
+
+    def _goal(self, frontier: dict[tuple[int, int], int]) -> tuple[int, int, int] | None:
+        m = len(self.query)
+        for (node_id, k), j in frontier.items():
+            if j >= m:
+                return node_id, k, j
+        return None
+
+    def _extend_all(self, frontier: dict[tuple[int, int], int]) -> None:
+        """Greedy match extension, cascading node-end expansions (cost 0)."""
+        m = len(self.query)
+        probe = self.probe
+        worklist = list(frontier.items())
+        while worklist:
+            (node_id, k), j = worklist.pop()
+            if frontier.get((node_id, k), _NONE) > j:
+                continue
+            sequence = self.sequence_of(node_id)
+            probe.load(abs(node_id) * 64, 8)
+            i = j - k
+            start_j = j
+            while i < len(sequence) and j < m and sequence[i] == self.query[j]:
+                i += 1
+                j += 1
+            self.stats.cells_extended += j - start_j
+            # Wavefront bookkeeping + per-character compare/advance ops.
+            probe.alu(OpClass.SCALAR_ALU, 16 + 8 * (j - start_j))
+            probe.alu(OpClass.SCALAR_ALU, max(1, (j - start_j) // 2), dependent=True)
+            probe.branch_run(site=50, taken_count=j - start_j)
+            # Bounds guards: almost always in-range, well predicted.
+            probe.branch(site=52, taken=False)
+            probe.branch(site=54, taken=False)
+            if j > frontier.get((node_id, k), _NONE):
+                frontier[(node_id, k)] = j
+            if i >= len(sequence) and j < m:
+                # Node exhausted: spill this diagonal into each child.
+                # The child dispatch is data-dependent control divergence
+                # (which child, how many), worse for longer queries that
+                # cross more nodes (the paper's lr-vs-cr contrast).
+                for child in self.successors_of(node_id):
+                    self.stats.expansions += 1
+                    probe.load(child * 64, 8)
+                    probe.branch(site=53, taken=((child * 2654435761) >> 13) & 1 == 1)
+                    child_key = (child, j)  # child i' = 0 -> k' = j
+                    if j > frontier.get(child_key, _NONE):
+                        frontier[child_key] = j
+                        worklist.append((child_key, j))
+
+    def _next_wavefront(
+        self, frontier: dict[tuple[int, int], int]
+    ) -> dict[tuple[int, int], int]:
+        """One unit-cost step: mismatch, insertion, deletion."""
+        m = len(self.query)
+        probe = self.probe
+        out: dict[tuple[int, int], int] = {}
+
+        def offer(node_id: int, k: int, j: int) -> None:
+            length = len(self.sequence_of(node_id))
+            i = j - k
+            if j < 0 or j > m or i < 0 or i > length:
+                return
+            if i == length and j < m:
+                children = self.successors_of(node_id)
+                if children:
+                    for child in children:
+                        self.stats.expansions += 1
+                        offer(child, j, j)
+                    return
+                # Graph sink: keep the state so trailing insertions can
+                # still consume the rest of the query.
+            key = (node_id, k)
+            if j > out.get(key, _NONE):
+                out[key] = j
+
+        m = len(self.query)
+        for (node_id, k), j in frontier.items():
+            self.stats.states_processed += 1
+            probe.load(abs(node_id) * 64 + (k % 64), 8)
+            probe.alu(OpClass.SCALAR_ALU, 20)  # three offers' bound checks
+            probe.alu(OpClass.SCALAR_ALU, 4, dependent=True)  # FR max chain
+            probe.branch(site=51, taken=j < m)  # in-range check, predictable
+            length = len(self.sequence_of(node_id))
+            i = j - k
+            offer(node_id, k, j + 1)      # mismatch
+            offer(node_id, k + 1, j + 1)  # insertion (consume query only)
+            offer(node_id, k - 1, j)      # deletion (consume node base only)
+            if i >= length:
+                # The state sat at a node end: the same edits apply to the
+                # first base of each child matrix.
+                for child in self.successors_of(node_id):
+                    offer(child, j, j + 1)      # mismatch
+                    offer(child, j + 1, j + 1)  # insertion at child entry
+                    offer(child, j - 1, j)      # deletion of child's first base
+        return out
+
+
+def gwfa_align(
+    query: str,
+    graph: SequenceGraph,
+    start_node: int,
+    start_offset: int = 0,
+    probe: MachineProbe = NULL_PROBE,
+    max_score: int | None = None,
+) -> GWFAResult:
+    """Align all of *query* along walks from (start_node, start_offset).
+
+    The walk's end is free; returns the minimum edit distance, the end
+    position of the best walk, and work statistics.  Cycles are allowed.
+    """
+    run = _GWFARun(query, graph, start_node, start_offset, probe, max_score)
+    return run.run()
+
+
+def graph_edit_distance_from(
+    query: str, graph: SequenceGraph, start_node: int, start_offset: int = 0
+) -> int:
+    """Scalar oracle: min edit distance of *query* along any walk from the
+    start position (free end), by label-correcting over base rows."""
+    import heapq
+
+    m = len(query)
+    rows_seen: set[tuple[int, int]] = {(start_node, start_offset)}
+    stack = [(start_node, start_offset)]
+    while stack:
+        node_id, offset = stack.pop()
+        if offset + 1 < len(graph.node(node_id)):
+            nxt = [(node_id, offset + 1)]
+        else:
+            nxt = [(child, 0) for child in graph.successors(node_id)]
+        for item in nxt:
+            if item not in rows_seen:
+                rows_seen.add(item)
+                stack.append(item)
+
+    def parents(row: tuple[int, int]) -> list[tuple[int, int]]:
+        node_id, offset = row
+        if offset > 0:
+            candidates = [(node_id, offset - 1)]
+        else:
+            candidates = [
+                (p, len(graph.node(p)) - 1) for p in graph.predecessors(node_id)
+            ]
+        return [r for r in candidates if r in rows_seen]
+
+    heap = sorted(rows_seen)
+    in_queue = set(heap)
+    heapq.heapify(heap)
+    values: dict[tuple[int, int], list[int]] = {}
+    virtual = list(range(m + 1))
+    while heap:
+        row = heapq.heappop(heap)
+        in_queue.discard(row)
+        node_id, offset = row
+        base = graph.node(node_id).sequence[offset]
+        sources = [values[p] for p in parents(row) if p in values]
+        if row == (start_node, start_offset):
+            sources = sources + [virtual]
+        if not sources:
+            continue
+        new = [0] * (m + 1)
+        new[0] = min(source[0] + 1 for source in sources)
+        for j in range(1, m + 1):
+            best = new[j - 1] + 1
+            for source in sources:
+                best = min(best, source[j] + 1, source[j - 1] + (query[j - 1] != base))
+            new[j] = best
+        old = values.get(row)
+        if old is None or any(n < o for n, o in zip(new, old)):
+            if old is not None:
+                new = [min(n, o) for n, o in zip(new, old)]
+            values[row] = new
+            if offset + 1 < len(graph.node(node_id)):
+                children = [(node_id, offset + 1)]
+            else:
+                children = [(child, 0) for child in graph.successors(node_id)]
+            for child in children:
+                if child in rows_seen and child not in in_queue:
+                    heapq.heappush(heap, child)
+                    in_queue.add(child)
+    best = m  # all-insertions alignment (empty walk)
+    for value in values.values():
+        best = min(best, value[m])
+    return best

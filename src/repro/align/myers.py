@@ -1,0 +1,159 @@
+"""Myers's bit-parallel approximate string matching (Myers 1999).
+
+The non-affine edit-distance aligner GraphAligner builds on: dynamic
+programming columns are encoded as 64-bit delta vectors (Pv/Mv), so one
+machine word advances 64 DP cells.  This module implements the blocked
+(multi-word) variant in the Hyyrö/Edlib formulation, used both as the
+Seq2Seq baseline and as the row-update primitive the GBV kernel models.
+
+Two boundary conditions are supported:
+
+* ``search`` — pattern global, text start free (D[i][0] = 0): returns the
+  best edit distance of the pattern against any text substring.
+* ``global_text`` — pattern and text both global (NW edit distance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AlignmentError
+from repro.uarch.events import NULL_PROBE, MachineProbe, OpClass
+
+WORD_SIZE = 64
+_WORD_MASK = (1 << WORD_SIZE) - 1
+_HIGH_BIT = 1 << (WORD_SIZE - 1)
+
+
+def _advance_block(
+    pv: int, mv: int, eq: int, hin: int
+) -> tuple[int, int, int, int, int]:
+    """Advance one 64-cell block by one text character (Edlib's kernel).
+
+    Returns (pv_out, mv_out, hout, ph, mh): hout in {-1, 0, +1} is the
+    score delta at the block's last row; ph/mh are the pre-shift
+    horizontal delta vectors (bit i = delta at pattern row i+1), needed
+    to track the score when the pattern ends mid-block.
+    """
+    hin_neg = 1 if hin < 0 else 0
+    xv = eq | mv
+    eq |= hin_neg
+    xh = ((((eq & pv) + pv) & _WORD_MASK) ^ pv) | eq
+    ph = mv | (~(xh | pv) & _WORD_MASK)
+    mh = pv & xh
+    hout = ((ph & _HIGH_BIT) >> (WORD_SIZE - 1)) - ((mh & _HIGH_BIT) >> (WORD_SIZE - 1))
+    ph_shift = ((ph << 1) & _WORD_MASK) | (1 if hin > 0 else 0)
+    mh_shift = ((mh << 1) & _WORD_MASK) | hin_neg
+    pv_out = mh_shift | (~(xv | ph_shift) & _WORD_MASK)
+    mv_out = ph_shift & xv
+    return pv_out, mv_out, hout, ph, mh
+
+
+@dataclass(frozen=True)
+class MyersMatch:
+    """Best match of a pattern in a text."""
+
+    distance: int
+    text_end: int  # exclusive end position of the best match
+
+
+class MyersBitvector:
+    """Blocked Myers bit-parallel matcher for one pattern.
+
+    Args:
+        pattern: The pattern (query) string; any ASCII alphabet.
+        probe: Optional machine probe (scalar 64-bit ops, per Figure 8's
+            note that GBV's bitvectors count as scalar operations).
+    """
+
+    def __init__(self, pattern: str, probe: MachineProbe = NULL_PROBE) -> None:
+        if not pattern:
+            raise AlignmentError("empty pattern")
+        self.pattern = pattern
+        self.probe = probe
+        self.blocks = (len(pattern) + WORD_SIZE - 1) // WORD_SIZE
+        self._peq: dict[str, list[int]] = {}
+        for index, char in enumerate(pattern):
+            block, bit = divmod(index, WORD_SIZE)
+            masks = self._peq.setdefault(char, [0] * self.blocks)
+            masks[block] |= 1 << bit
+        self._last_bit = (len(pattern) - 1) % WORD_SIZE
+
+    def search(self, text: str) -> MyersMatch:
+        """Best edit distance of the pattern against any substring of *text*."""
+        return self._scan(text, text_global=False)
+
+    def global_distance(self, text: str) -> int:
+        """Needleman–Wunsch edit distance pattern vs the whole *text*."""
+        return self._scan(text, text_global=True).distance
+
+    def _scan(self, text: str, text_global: bool) -> MyersMatch:
+        if not text:
+            raise AlignmentError("empty text")
+        probe = self.probe
+        pv = [_WORD_MASK] * self.blocks
+        mv = [0] * self.blocks
+        score = len(self.pattern)
+        best = score if not text_global else None
+        best_end = 0
+        zeros = [0] * self.blocks
+        last_mask = 1 << self._last_bit
+        for j, char in enumerate(text):
+            eqs = self._peq.get(char, zeros)
+            hin = 1 if text_global else 0
+            ph = mh = 0
+            for block in range(self.blocks):
+                pv[block], mv[block], hin, ph, mh = _advance_block(
+                    pv[block], mv[block], eqs[block], hin
+                )
+                probe.alu(OpClass.SCALAR_ALU, 14, dependent=True)
+                probe.load(block * 16, 16)
+            if ph & last_mask:
+                score += 1
+            elif mh & last_mask:
+                score -= 1
+            if not text_global:
+                improved = score < best
+                probe.branch(site=20, taken=improved)
+                if improved:
+                    best = score
+                    best_end = j + 1
+        if text_global:
+            return MyersMatch(distance=score, text_end=len(text))
+        return MyersMatch(distance=best, text_end=best_end)
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Plain O(nm) edit distance (correctness oracle)."""
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i] + [0] * len(b)
+        for j, cb in enumerate(b, start=1):
+            current[j] = min(
+                previous[j] + 1,
+                current[j - 1] + 1,
+                previous[j - 1] + (ca != cb),
+            )
+        previous = current
+    return previous[-1]
+
+
+def best_substring_distance(pattern: str, text: str) -> tuple[int, int]:
+    """O(nm) semi-global oracle: (best distance, best end)."""
+    previous = [0] * (len(text) + 1)
+    for i, pc in enumerate(pattern, start=1):
+        current = [i] + [0] * len(text)
+        for j, tc in enumerate(text, start=1):
+            current[j] = min(
+                previous[j] + 1,
+                current[j - 1] + 1,
+                previous[j - 1] + (pc != tc),
+            )
+        previous = current
+    best = min(previous)
+    best_end = previous.index(best)
+    return best, best_end

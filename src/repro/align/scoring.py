@@ -1,0 +1,87 @@
+"""Alignment scoring schemes and result types.
+
+Two families are used across the suite (Section 3): *affine-gap* scoring
+(Smith–Waterman/GSSW, POA) where opening a gap costs more than extending
+it, and *non-affine/edit* scoring (Myers/GBV, WFA/GWFA) where every
+difference costs 1 — the accuracy/performance trade the paper highlights
+for GraphAligner and minigraph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AffineScoring:
+    """Affine-gap scoring: gap of length L costs gap_open + L*gap_extend.
+
+    Match adds +match; mismatch adds -mismatch.  All penalty fields are
+    stored positive.
+    """
+
+    match: int = 1
+    mismatch: int = 4
+    gap_open: int = 6
+    gap_extend: int = 1
+
+    def __post_init__(self) -> None:
+        if self.match <= 0:
+            raise ValueError("match bonus must be positive")
+        if min(self.mismatch, self.gap_open, self.gap_extend) < 0:
+            raise ValueError("penalties must be non-negative")
+
+    def substitution(self, a: str, b: str) -> int:
+        """Score contribution of aligning base *a* to base *b*."""
+        return self.match if a == b else -self.mismatch
+
+
+#: vg's default scoring (1/4/6/1), used by GSSW in vg map.
+VG_DEFAULT = AffineScoring(match=1, mismatch=4, gap_open=6, gap_extend=1)
+
+
+@dataclass(frozen=True)
+class CigarOp:
+    """One CIGAR run: operation in {M, =, X, I, D} and its length."""
+
+    op: str
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.op not in "M=XID":
+            raise ValueError(f"unknown CIGAR op {self.op!r}")
+        if self.length <= 0:
+            raise ValueError("CIGAR run length must be positive")
+
+
+def cigar_string(ops: list[CigarOp]) -> str:
+    """Render CIGAR runs as the usual compact string."""
+    return "".join(f"{op.length}{op.op}" for op in ops)
+
+
+@dataclass(frozen=True)
+class AlignmentResult:
+    """Outcome of a pairwise or sequence-to-graph alignment.
+
+    Attributes:
+        score: Alignment score (scheme-dependent; edit distances are
+            reported as non-negative distances by their own functions).
+        query_end: End position (exclusive) of the aligned query span.
+        target_end: End position on the target; for graph alignments this
+            is an offset within ``end_node``.
+        end_node: Node id the alignment ends in (-1 for linear targets).
+        cigar: Optional traceback.
+        cells_computed: DP cells evaluated — the work measure used by the
+            paper when comparing aligners.
+    """
+
+    score: int
+    query_end: int = -1
+    target_end: int = -1
+    end_node: int = -1
+    cigar: tuple[CigarOp, ...] = field(default=())
+    cells_computed: int = 0
+
+    @property
+    def cigar_string(self) -> str:
+        return cigar_string(list(self.cigar))

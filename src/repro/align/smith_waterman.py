@@ -1,0 +1,228 @@
+"""Smith–Waterman local alignment: scalar reference and striped SIMD model.
+
+The scalar version is the Gotoh affine-gap DP used as a correctness
+oracle.  :class:`StripedSmithWaterman` models Farrar's striped algorithm
+(the SSW library) the way the paper's SSW/GSSW kernels use it: the query
+is laid out in stripes across SIMD lanes, a lazy-F pass fixes the
+speculated-away vertical dependencies, and every vector operation /
+memory access is reported to an optional :class:`MachineProbe` so the
+characterization studies see SSW's true operation mix.
+
+Gap convention: a gap of length L costs ``gap_open + L * gap_extend``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.scoring import AffineScoring, AlignmentResult, VG_DEFAULT
+from repro.errors import AlignmentError
+from repro.uarch.events import NULL_PROBE, AddressSpace, MachineProbe, OpClass
+
+_NEG_INF = -(10**9)
+
+#: Shared space for target windows so successive alignments stream over
+#: fresh reference regions (as the real tool does over the genome).
+_TARGET_SPACE = AddressSpace(base=1 << 33)
+
+
+def smith_waterman(
+    query: str,
+    target: str,
+    scoring: AffineScoring = VG_DEFAULT,
+) -> AlignmentResult:
+    """Scalar affine-gap local alignment (Gotoh).  Correctness oracle.
+
+    Returns the best local score with end coordinates on both sequences.
+    """
+    if not query or not target:
+        raise AlignmentError("smith_waterman requires non-empty sequences")
+    m, n = len(query), len(target)
+    open_cost = scoring.gap_open + scoring.gap_extend
+    extend_cost = scoring.gap_extend
+
+    h_prev = np.zeros(m + 1, dtype=np.int64)
+    e_prev = np.full(m + 1, _NEG_INF, dtype=np.int64)
+    best = 0
+    best_q = best_t = 0
+    for j in range(1, n + 1):
+        h_curr = np.zeros(m + 1, dtype=np.int64)
+        e_curr = np.full(m + 1, _NEG_INF, dtype=np.int64)
+        f = _NEG_INF
+        for i in range(1, m + 1):
+            e_curr[i] = max(h_prev[i] - open_cost, e_prev[i] - extend_cost)
+            f = max(h_curr[i - 1] - open_cost, f - extend_cost)
+            diag = h_prev[i - 1] + scoring.substitution(query[i - 1], target[j - 1])
+            h = max(0, diag, e_curr[i], f)
+            h_curr[i] = h
+            if h > best:
+                best, best_q, best_t = h, i, j
+        h_prev, e_prev = h_curr, e_curr
+    return AlignmentResult(
+        score=int(best), query_end=best_q, target_end=best_t, cells_computed=m * n
+    )
+
+
+class StripedSmithWaterman:
+    """Farrar's striped SIMD Smith–Waterman (the SSW library's algorithm).
+
+    Args:
+        query: The (short) query sequence; profiled once, reused per target.
+        scoring: Affine scheme.
+        lanes: SIMD lanes per vector word (8 for 16-bit epi16 SSE2, the
+            SSW library default).
+        probe: Optional machine probe receiving vector/memory/branch events.
+    """
+
+    LANE_BYTES = 2  # 16-bit scores, as in the SSW library's epi16 kernel
+
+    def __init__(
+        self,
+        query: str,
+        scoring: AffineScoring = VG_DEFAULT,
+        lanes: int = 8,
+        probe: MachineProbe = NULL_PROBE,
+        address_space: AddressSpace | None = None,
+    ) -> None:
+        if not query:
+            raise AlignmentError("empty query")
+        if lanes < 2:
+            raise AlignmentError("need at least 2 SIMD lanes")
+        self.query = query
+        self.scoring = scoring
+        self.lanes = lanes
+        self.probe = probe
+        self.segment_length = (len(query) + lanes - 1) // lanes
+        space = address_space or AddressSpace()
+        word_bytes = lanes * self.LANE_BYTES
+        self._profile_base = space.alloc(4 * self.segment_length * word_bytes)
+        self._h_base = space.alloc(2 * self.segment_length * word_bytes)
+        self._e_base = space.alloc(self.segment_length * word_bytes)
+        self._word_bytes = word_bytes
+        self._profile = self._build_profile()
+
+    def _build_profile(self) -> dict[str, np.ndarray]:
+        """Striped query profile: profile[base][segment][lane]."""
+        seg = self.segment_length
+        profile: dict[str, np.ndarray] = {}
+        for base_index, base in enumerate("ACGT"):
+            matrix = np.full((seg, self.lanes), _NEG_INF, dtype=np.int64)
+            for lane in range(self.lanes):
+                for segment in range(seg):
+                    position = lane * seg + segment
+                    if position < len(self.query):
+                        matrix[segment, lane] = self.scoring.substitution(
+                            self.query[position], base
+                        )
+                    else:
+                        matrix[segment, lane] = 0
+            profile[base] = matrix
+            self.probe.touch_region(
+                self._profile_base + base_index * seg * self._word_bytes,
+                seg * self._word_bytes,
+            )
+        return profile
+
+    def align(self, target: str) -> AlignmentResult:
+        """Local-align the profiled query against *target*."""
+        if not target:
+            raise AlignmentError("empty target")
+        best, best_q, best_t = self._run(target)
+        return AlignmentResult(
+            score=int(best),
+            query_end=best_q,
+            target_end=best_t,
+            cells_computed=len(self.query) * len(target),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run(self, target: str) -> tuple[int, int, int]:
+        seg = self.segment_length
+        probe = self.probe
+        open_cost = self.scoring.gap_open + self.scoring.gap_extend
+        extend_cost = self.scoring.gap_extend
+
+        h_store = np.zeros((seg, self.lanes), dtype=np.int64)
+        h_load = np.zeros((seg, self.lanes), dtype=np.int64)
+        e = np.full((seg, self.lanes), _NEG_INF, dtype=np.int64)
+        best = 0
+        best_q = 0
+        best_t = 0
+        # Each target window is a fresh reference region: streaming reads.
+        target_base = _TARGET_SPACE.alloc(len(target))
+
+        for j, base in enumerate(target):
+            probe.load(target_base + j, 1)
+            if base not in self._profile:
+                base = "A"  # Ns score as mismatches against the profile of A
+            profile = self._profile[base]
+            # vH enters shifted by one lane from the last segment's H.
+            h = np.empty(self.lanes, dtype=np.int64)
+            h[0] = 0
+            h[1:] = h_store[seg - 1, : self.lanes - 1]
+            probe.alu(OpClass.VECTOR_ALU, 1)  # lane shift
+            h_store, h_load = h_load, h_store
+            f = np.full(self.lanes, _NEG_INF, dtype=np.int64)
+
+            for segment in range(seg):
+                probe.load(self._profile_base + segment * self._word_bytes, self._word_bytes)
+                h = h + profile[segment]
+                np.maximum(h, e[segment], out=h)
+                np.maximum(h, f, out=h)
+                np.maximum(h, 0, out=h)
+                probe.alu(OpClass.VECTOR_ALU, 4, dependent=True)
+                h_store[segment] = h
+                probe.store(self._h_base + segment * self._word_bytes, self._word_bytes)
+                e[segment] = np.maximum(h - open_cost, e[segment] - extend_cost)
+                f = np.maximum(h - open_cost, f - extend_cost)
+                probe.alu(OpClass.VECTOR_ALU, 6, dependent=True)
+                probe.load(self._e_base + segment * self._word_bytes, self._word_bytes)
+                probe.store(self._e_base + segment * self._word_bytes, self._word_bytes)
+                h = h_load[segment].copy()
+                probe.load(
+                    self._h_base + seg * self._word_bytes + segment * self._word_bytes,
+                    self._word_bytes,
+                )
+
+            # Lazy-F: propagate F across stripes until no lane can improve
+            # (the vertical dependency Farrar speculates away).
+            done = False
+            for _ in range(self.lanes):
+                f = np.concatenate(([np.int64(_NEG_INF)], f[:-1]))
+                probe.alu(OpClass.VECTOR_ALU, 1)
+                for segment in range(seg):
+                    np.maximum(h_store[segment], f, out=h_store[segment])
+                    probe.alu(OpClass.VECTOR_ALU, 1)
+                    probe.store(self._h_base + segment * self._word_bytes, self._word_bytes)
+                    threshold = h_store[segment] - open_cost
+                    f = f - extend_cost
+                    probe.alu(OpClass.VECTOR_ALU, 3)
+                    continuing = bool((f > threshold).any())
+                    probe.branch(site=2, taken=continuing)
+                    if not continuing:
+                        done = True
+                        break
+                if done:
+                    break
+
+            column_best = int(h_store.max())
+            improved = column_best > best
+            probe.branch(site=1, taken=improved)
+            if improved:
+                best = column_best
+                best_t = j + 1
+                segment, lane = np.unravel_index(int(h_store.argmax()), h_store.shape)
+                best_q = int(lane) * seg + int(segment) + 1
+        return best, best_q, best_t
+
+
+def striped_smith_waterman(
+    query: str,
+    target: str,
+    scoring: AffineScoring = VG_DEFAULT,
+    lanes: int = 8,
+    probe: MachineProbe = NULL_PROBE,
+) -> AlignmentResult:
+    """One-shot striped SW (profile built per call)."""
+    return StripedSmithWaterman(query, scoring, lanes=lanes, probe=probe).align(target)

@@ -1,0 +1,30 @@
+"""Analyses: thread scaling, runtime extrapolation, report rendering."""
+
+from repro.analysis.estimate import (
+    COVERAGE,
+    HUMAN_GENOME_BP,
+    PAPER_TABLE1_HOURS,
+    PYTHON_TO_CPP_FACTOR,
+    GenomeEstimate,
+    estimate_genome_runtime,
+    normalize_to_baseline,
+    reads_for_coverage,
+)
+from repro.analysis.report import render_bars, render_stacked_fractions, render_table
+from repro.analysis.threads import (
+    FIGURE5_THREADS,
+    FIGURE5_WORKLOADS,
+    MACHINE_A_TOPOLOGY,
+    MachineModel,
+    WorkloadModel,
+    figure5_table,
+)
+
+__all__ = [
+    "COVERAGE", "HUMAN_GENOME_BP", "PAPER_TABLE1_HOURS", "PYTHON_TO_CPP_FACTOR",
+    "GenomeEstimate", "estimate_genome_runtime", "normalize_to_baseline",
+    "reads_for_coverage",
+    "render_bars", "render_stacked_fractions", "render_table",
+    "FIGURE5_THREADS", "FIGURE5_WORKLOADS", "MACHINE_A_TOPOLOGY",
+    "MachineModel", "WorkloadModel", "figure5_table",
+]

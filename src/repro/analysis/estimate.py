@@ -1,0 +1,85 @@
+"""Whole-genome runtime extrapolation (Table 1).
+
+The paper times each tool on chromosome-20 data and scales by the read
+count needed for 30x whole-genome coverage.  We do the same: measure
+per-read time on the synthetic corpus, scale to the read count a 3.1 Gbp
+genome needs at 30x, and divide by a Python-vs-C++ throughput factor so
+the pseudo-hours land in a recognizable range.  The *ratios* between
+tools — the reproducible claim — are reported alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+HUMAN_GENOME_BP = 3_100_000_000
+COVERAGE = 30
+
+#: Our kernels are pure Python + numpy; the paper's are C++.  This single
+#: constant converts measured seconds into comparable pseudo-hours and
+#: cancels out of every tool-to-tool ratio.
+PYTHON_TO_CPP_FACTOR = 40.0
+
+
+@dataclass(frozen=True)
+class GenomeEstimate:
+    """Extrapolated whole-genome runtime for one tool."""
+
+    tool: str
+    per_read_seconds: float
+    read_length: int
+    reads_needed: int
+    estimated_hours: float
+
+
+def reads_for_coverage(read_length: int) -> int:
+    """Reads needed for 30x coverage of a human genome."""
+    if read_length <= 0:
+        raise ReproError("read length must be positive")
+    return round(HUMAN_GENOME_BP * COVERAGE / read_length)
+
+
+def estimate_genome_runtime(
+    tool: str,
+    measured_seconds: float,
+    reads_measured: int,
+    read_length: int,
+    python_factor: float = PYTHON_TO_CPP_FACTOR,
+) -> GenomeEstimate:
+    """Extrapolate a measured batch to whole-genome scale (Table 1)."""
+    if reads_measured <= 0 or measured_seconds < 0:
+        raise ReproError("invalid measurement")
+    per_read = measured_seconds / reads_measured
+    reads_needed = reads_for_coverage(read_length)
+    hours = per_read * reads_needed / python_factor / 3600.0
+    return GenomeEstimate(
+        tool=tool,
+        per_read_seconds=per_read,
+        read_length=read_length,
+        reads_needed=reads_needed,
+        estimated_hours=hours,
+    )
+
+
+def normalize_to_baseline(
+    estimates: list[GenomeEstimate], baseline_tool: str
+) -> dict[str, float]:
+    """Tool-to-baseline runtime ratios (the shape claim of Table 1)."""
+    baseline = next(
+        (e for e in estimates if e.tool == baseline_tool), None
+    )
+    if baseline is None or baseline.estimated_hours <= 0:
+        raise ReproError(f"no usable baseline {baseline_tool!r}")
+    return {e.tool: e.estimated_hours / baseline.estimated_hours for e in estimates}
+
+
+#: Table 1's published values (hours), for EXPERIMENTS.md comparisons.
+PAPER_TABLE1_HOURS = {
+    "vg_map": 67.1,
+    "giraffe": 4.8,
+    "graphaligner": 9.1,
+    "minigraph-lr": 20.5,
+    "bwa_mem": 1.3,
+}

@@ -1,0 +1,94 @@
+"""Plain-text tables and bar charts for the benchmark reports.
+
+The benches print the same rows/series the paper's tables and figures
+report; these helpers keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import ReproError
+
+BAR_WIDTH = 40
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """A boxless aligned-column table."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ReproError("row width does not match headers")
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(
+    values: Mapping[str, float],
+    title: str | None = None,
+    unit: str = "",
+    width: int = BAR_WIDTH,
+) -> str:
+    """Horizontal bars scaled to the maximum value."""
+    if not values:
+        raise ReproError("nothing to plot")
+    peak = max(values.values())
+    label_width = max(len(label) for label in values)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for label, value in values.items():
+        bar = "#" * (round(width * value / peak) if peak > 0 else 0)
+        lines.append(f"{label.ljust(label_width)}  {value:>10.3f}{unit}  {bar}")
+    return "\n".join(lines)
+
+
+def render_stacked_fractions(
+    series: Mapping[str, Mapping[str, float]],
+    components: Sequence[str],
+    title: str | None = None,
+    width: int = BAR_WIDTH,
+) -> str:
+    """Stacked 100% bars (the Figure 2/3/6 style), one row per entry.
+
+    Each component gets a distinct fill character in order.
+    """
+    fills = "#=+:.*o%"
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    legend = "  ".join(
+        f"{fills[i % len(fills)]}={component}" for i, component in enumerate(components)
+    )
+    lines.append(f"legend: {legend}")
+    label_width = max(len(label) for label in series)
+    for label, fractions in series.items():
+        total = sum(fractions.get(c, 0.0) for c in components)
+        bar = ""
+        for index, component in enumerate(components):
+            share = fractions.get(component, 0.0) / total if total else 0.0
+            bar += fills[index % len(fills)] * round(width * share)
+        lines.append(f"{label.ljust(label_width)}  |{bar.ljust(width)}|")
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

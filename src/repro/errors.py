@@ -1,0 +1,56 @@
+"""Exception hierarchy for the PangenomicsBench reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SequenceError(ReproError):
+    """Invalid sequence data (bad characters, empty input, bad FASTA)."""
+
+
+class GraphError(ReproError):
+    """Structurally invalid graph or unsupported graph operation."""
+
+
+class CyclicGraphError(GraphError):
+    """An operation requiring a DAG was applied to a cyclic graph."""
+
+    def __init__(self, message: str = "graph contains a cycle") -> None:
+        super().__init__(message)
+
+
+class GFAError(GraphError):
+    """Malformed GFA input."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+class IndexError_(ReproError):
+    """Invalid index construction or query (named to avoid the builtin)."""
+
+
+class AlignmentError(ReproError):
+    """Alignment could not be computed for the given inputs."""
+
+
+class DatasetError(ReproError):
+    """Dataset generation or loading failed."""
+
+
+class KernelError(ReproError):
+    """A benchmark kernel was misconfigured or failed to run."""
+
+
+class SimulationError(ReproError):
+    """The microarchitecture or GPU simulator was misconfigured."""

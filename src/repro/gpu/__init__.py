@@ -1,0 +1,26 @@
+"""SIMT GPU simulator and the GPU kernels (TSU; PGSGD-GPU lives in
+:mod:`repro.layout.pgsgd_gpu` next to its CPU twin)."""
+
+from repro.gpu.simt import (
+    A6000,
+    TRANSACTION_BYTES,
+    WARP_SIZE,
+    GPUConfig,
+    GPUKernelReport,
+    GPUKernelRun,
+    Occupancy,
+    occupancy_for,
+)
+from repro.gpu.tsu import (
+    TSU_REGISTERS_PER_THREAD,
+    TSUBatchResult,
+    cpu_wfa_time_model,
+    tsu_align_batch,
+)
+
+__all__ = [
+    "A6000", "TRANSACTION_BYTES", "WARP_SIZE", "GPUConfig", "GPUKernelReport",
+    "GPUKernelRun", "Occupancy", "occupancy_for",
+    "TSU_REGISTERS_PER_THREAD", "TSUBatchResult", "cpu_wfa_time_model",
+    "tsu_align_batch",
+]

@@ -1,0 +1,130 @@
+"""TSU: Tsunami, the GPU wavefront aligner (Gerometta et al., PACT 2023).
+
+TSU allocates one 32-thread block per alignment.  In the *Next* step each
+diagonal maps to one thread; in the *Extend* step TSU speculates that a
+diagonal will match far, assigning every thread one cell of the same
+diagonal (Figure 4d-right).  When a diagonal barely extends, 31 of the 32
+lanes do no useful work — the control divergence that makes TSU lose to
+the CPU on long reads (Figure 9).
+
+The simulator runs the *real* edit-distance WFA on each pair (from
+:mod:`repro.align.wfa`, with per-diagonal extend lengths recorded) and
+replays the trace onto :class:`~repro.gpu.simt.GPUKernelRun`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.align.wfa import wfa_edit_distance
+from repro.errors import SimulationError
+from repro.gpu.simt import A6000, WARP_SIZE, GPUConfig, GPUKernelReport, GPUKernelRun
+
+#: Registers per thread in the TSU kernel (sets the occupancy limit
+#: together with the 32-thread block size).
+TSU_REGISTERS_PER_THREAD = 40
+
+
+@dataclass(frozen=True)
+class TSUBatchResult:
+    """Outcome of aligning a batch of pairs on the simulated GPU."""
+
+    distances: tuple[int, ...]
+    report: GPUKernelReport
+    single_lane_extend_fraction: float
+    total_extend_steps: int
+
+
+def tsu_align_batch(
+    pairs: list[tuple[str, str]],
+    config: GPUConfig = A6000,
+    block_size: int = 32,
+    replicate: int = 1,
+) -> TSUBatchResult:
+    """Align *pairs* with TSU: one block per alignment.
+
+    Returns the exact WFA edit distances plus the profiling report and
+    the fraction of Extend steps that kept only a single lane busy —
+    the statistic behind the paper's Figure 9 analysis.
+
+    ``replicate`` models a batch of ``len(pairs) * replicate`` alignments
+    by replaying the simulated pairs' traces: the paper's batches hold
+    tens of thousands of pairs, far more than we can exactly simulate.
+    """
+    if not pairs:
+        raise SimulationError("empty batch")
+    if block_size != WARP_SIZE:
+        raise SimulationError("TSU uses one 32-thread block per alignment")
+    if replicate < 1:
+        raise SimulationError("replicate must be >= 1")
+    # Cache residency: every resident block streams its two sequences.
+    # Short pairs fit the device L2 and replay from cache; 10 kbp pairs
+    # overflow it and every Extend round pays DRAM bandwidth.
+    mean_length = sum(len(a) + len(b) for a, b in pairs) / (2 * len(pairs))
+    resident_blocks = config.sm_count * 16  # TSU is block-count limited
+    l2_bytes = 6 * 1024 * 1024
+    dram_fraction = min(1.0, max(0.15, 2 * mean_length * resident_blocks / l2_bytes))
+    run = GPUKernelRun(
+        name="tsu",
+        config=config,
+        block_size=block_size,
+        registers_per_thread=TSU_REGISTERS_PER_THREAD,
+        n_blocks=len(pairs) * replicate,
+        dependent_fraction=0.8,  # WFA score steps are serial
+        dram_fraction=dram_fraction,
+    )
+    distances = []
+    single_lane = 0
+    extend_steps = 0
+    for a, b in pairs:
+        result = wfa_edit_distance(a, b, record_extends=True)
+        distances.append(result.distance)
+        stats = result.stats
+        # Next step: one thread per diagonal, whole-warp instructions.
+        diagonals = stats.diagonals_processed
+        full_warps, remainder = divmod(diagonals, WARP_SIZE)
+        if full_warps:
+            run.issue(WARP_SIZE, count=full_warps * 4 * replicate)
+            run.memory_bulk(transactions=full_warps * 2 * replicate)
+        if remainder:
+            run.issue(remainder, count=4 * replicate)
+            run.memory_bulk(transactions=replicate)
+        # Extend step: every lane speculatively checks one cell of the
+        # diagonal per round; useful lanes = extension length + 1.
+        for length in stats.extend_lengths:
+            extend_steps += 1
+            useful = length + 1
+            if useful <= 1:
+                single_lane += 1
+            rounds = -(-useful // WARP_SIZE)  # ceil
+            for round_index in range(rounds):
+                lanes_useful = min(WARP_SIZE, useful - round_index * WARP_SIZE)
+                run.issue(max(1, lanes_useful), count=3 * replicate)
+            # Sequence bytes for the round: two coalesced segment reads.
+            run.memory_bulk(transactions=2 * rounds * replicate)
+    report = run.report()
+    return TSUBatchResult(
+        distances=tuple(distances),
+        report=report,
+        single_lane_extend_fraction=single_lane / extend_steps if extend_steps else 0.0,
+        total_extend_steps=extend_steps,
+    )
+
+
+def cpu_wfa_time_model(
+    pairs: list[tuple[str, str]],
+    ops_per_second: float = 3.7e10,
+    replicate: int = 1,
+) -> float:
+    """Run-time model for the vectorized CPU WFA2-lib baseline (seconds).
+
+    WFA2-lib autovectorizes well (the paper cites this), so the CPU
+    baseline retires extend/next cells at SIMD rates; the default
+    throughput corresponds to a well-vectorized AVX2 loop on the paper's
+    Xeon Gold 6326.
+    """
+    total_ops = 0
+    for a, b in pairs:
+        result = wfa_edit_distance(a, b)
+        total_ops += result.stats.cells_extended + 4 * result.stats.diagonals_processed
+    return total_ops * replicate / ops_per_second

@@ -1,0 +1,36 @@
+"""Sequence-graph substrate: model, algorithms, GFA I/O, builders."""
+
+from repro.graph.bubbles import (
+    Superbubble,
+    deconstruct,
+    find_superbubbles,
+    superbubble_from,
+)
+from repro.graph.builder import (
+    GraphPangenome,
+    build_variation_graph,
+    simulate_graph_pangenome,
+)
+from repro.graph.distance import UNREACHABLE, GraphPosition, min_distance, reachable_within
+from repro.graph.gfa import gfa_string, parse_gfa, parse_gfa_string, write_gfa
+from repro.graph.model import GraphStats, Node, Path, SequenceGraph
+from repro.graph.ops import (
+    compact_chains,
+    connected_components,
+    dagify,
+    induced_subgraph,
+    is_acyclic,
+    local_subgraph,
+    split_nodes,
+    topological_sort,
+)
+
+__all__ = [
+    "Superbubble", "deconstruct", "find_superbubbles", "superbubble_from",
+    "GraphPangenome", "build_variation_graph", "simulate_graph_pangenome",
+    "UNREACHABLE", "GraphPosition", "min_distance", "reachable_within",
+    "gfa_string", "parse_gfa", "parse_gfa_string", "write_gfa",
+    "GraphStats", "Node", "Path", "SequenceGraph",
+    "compact_chains", "connected_components", "dagify", "induced_subgraph",
+    "is_acyclic", "local_subgraph", "split_nodes", "topological_sort",
+]

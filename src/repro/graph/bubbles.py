@@ -1,0 +1,206 @@
+"""Superbubble detection and variant deconstruction.
+
+Pangenome graphs decompose into *superbubbles*: single-entry,
+single-exit subgraphs that correspond to variation sites.  Downstream
+analyses the paper motivates (variant calling, GWAS) consume the graph
+through this decomposition, and ``deconstruct`` inverts the variation-
+graph builder: it recovers, for every haplotype path, the variant set
+against a chosen reference path — with the round-trip guarantee that
+applying the recovered variants to the reference reproduces the
+haplotype sequence exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+from repro.graph.model import SequenceGraph
+from repro.sequence.mutate import Variant, VariantType
+
+
+@dataclass(frozen=True)
+class Superbubble:
+    """A single-entry/single-exit bubble: all walks from *source* reach
+    *sink* without leaving the bubble's interior."""
+
+    source: int
+    sink: int
+    interior: frozenset[int]
+
+    @property
+    def size(self) -> int:
+        return len(self.interior)
+
+
+def superbubble_from(graph: SequenceGraph, source: int) -> Superbubble | None:
+    """The superbubble starting at *source*, if one exists.
+
+    Onodera et al.'s forward-search check: expand vertices whose parents
+    are all visited; the bubble closes when exactly one frontier vertex
+    remains and nothing else is pending.  Tips and cycles back to the
+    source disqualify the bubble.
+    """
+    if graph.out_degree(source) < 2:
+        return None
+    seen: set[int] = {source}
+    visited: set[int] = set()
+    stack: list[int] = [source]
+    while stack:
+        vertex = stack.pop()
+        visited.add(vertex)
+        if graph.out_degree(vertex) == 0:
+            return None  # a tip escapes the bubble
+        for child in graph.successors(vertex):
+            if child == source:
+                return None  # cycle back to the entrance
+            seen.add(child)
+            if all(parent in visited for parent in graph.predecessors(child)):
+                stack.append(child)
+        if len(stack) == 1 and not (seen - visited - set(stack)):
+            sink = stack[0]
+            if sink == source:
+                return None
+            interior = frozenset(visited - {source})
+            return Superbubble(source=source, sink=sink, interior=interior)
+    return None
+
+
+def find_superbubbles(graph: SequenceGraph) -> list[Superbubble]:
+    """All superbubbles, in source-id order."""
+    bubbles = []
+    for node_id in sorted(graph.node_ids()):
+        bubble = superbubble_from(graph, node_id)
+        if bubble is not None:
+            bubbles.append(bubble)
+    return bubbles
+
+
+def _classify(ref_allele: str, alt_allele: str) -> VariantType:
+    if not ref_allele:
+        return VariantType.INSERTION
+    if not alt_allele:
+        return VariantType.DELETION
+    if len(ref_allele) == len(alt_allele):
+        return VariantType.SNP
+    return (
+        VariantType.INSERTION
+        if len(alt_allele) > len(ref_allele)
+        else VariantType.DELETION
+    )
+
+
+def deconstruct(
+    graph: SequenceGraph, reference_name: str
+) -> dict[str, list[Variant]]:
+    """Recover per-haplotype variants against *reference_name*'s path.
+
+    For every superbubble whose source and sink lie on the reference
+    path, each other path's spelling through the bubble is compared with
+    the reference's; differences become :class:`Variant` records in
+    reference coordinates.  Haplotypes that do not traverse a bubble
+    (or enter it through a different walk endpoint) contribute nothing
+    for that site.
+    """
+    reference = graph.path(reference_name)
+    ref_index: dict[int, int] = {}
+    ref_offset: dict[int, int] = {}
+    position = 0
+    for index, node_id in enumerate(reference.nodes):
+        if node_id in ref_index:
+            raise GraphError("reference path revisits a node; cannot deconstruct")
+        ref_index[node_id] = index
+        ref_offset[node_id] = position
+        position += len(graph.node(node_id))
+
+    bubbles = [
+        bubble
+        for bubble in find_superbubbles(graph)
+        if bubble.source in ref_index and bubble.sink in ref_index
+        and ref_index[bubble.source] < ref_index[bubble.sink]
+    ]
+
+    out: dict[str, list[Variant]] = {}
+    for name in graph.path_names():
+        if name == reference_name:
+            continue
+        walk = graph.path(name).nodes
+        walk_index = {node_id: step for step, node_id in enumerate(walk)}
+        variants: list[Variant] = []
+        for bubble in bubbles:
+            source_step = walk_index.get(bubble.source)
+            sink_step = walk_index.get(bubble.sink)
+            if source_step is None or sink_step is None or sink_step <= source_step:
+                continue
+            alt_allele = "".join(
+                graph.node(node_id).sequence
+                for node_id in walk[source_step + 1 : sink_step]
+            )
+            ref_inner = reference.nodes[
+                ref_index[bubble.source] + 1 : ref_index[bubble.sink]
+            ]
+            ref_allele = "".join(graph.node(n).sequence for n in ref_inner)
+            if ref_allele == alt_allele:
+                continue
+            variant_position = ref_offset[bubble.source] + len(
+                graph.node(bubble.source)
+            )
+            variants.append(
+                Variant(
+                    kind=_classify(ref_allele, alt_allele),
+                    position=variant_position,
+                    ref=ref_allele,
+                    alt=alt_allele,
+                )
+            )
+        variants.extend(_endpoint_variants(graph, reference, ref_index, ref_offset, walk))
+        out[name] = sorted(variants, key=lambda v: v.position)
+    return out
+
+
+def _endpoint_variants(
+    graph: SequenceGraph,
+    reference,
+    ref_index: dict[int, int],
+    ref_offset: dict[int, int],
+    walk: tuple[int, ...],
+) -> list[Variant]:
+    """Variants at the sequence ends, which no superbubble covers (the
+    allele node is a tip: it has no flanking segment on one side)."""
+    variants: list[Variant] = []
+    common_steps = [step for step, node in enumerate(walk) if node in ref_index]
+    if not common_steps:
+        return variants
+
+    def spell(nodes) -> str:
+        return "".join(graph.node(n).sequence for n in nodes)
+
+    # Trailing divergence: everything after the last shared node.
+    last_step = common_steps[-1]
+    last_node = walk[last_step]
+    ref_tail = spell(reference.nodes[ref_index[last_node] + 1 :])
+    alt_tail = spell(walk[last_step + 1 :])
+    if ref_tail != alt_tail:
+        variants.append(
+            Variant(
+                kind=_classify(ref_tail, alt_tail),
+                position=ref_offset[last_node] + len(graph.node(last_node)),
+                ref=ref_tail,
+                alt=alt_tail,
+            )
+        )
+    # Leading divergence: everything before the first shared node.
+    first_step = common_steps[0]
+    first_node = walk[first_step]
+    ref_head = spell(reference.nodes[: ref_index[first_node]])
+    alt_head = spell(walk[:first_step])
+    if ref_head != alt_head:
+        variants.append(
+            Variant(
+                kind=_classify(ref_head, alt_head),
+                position=0,
+                ref=ref_head,
+                alt=alt_head,
+            )
+        )
+    return variants

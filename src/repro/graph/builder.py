@@ -1,0 +1,223 @@
+"""Variation-graph construction from a reference plus variant sets.
+
+This is the library's fast path for producing realistic pangenome graphs:
+it chops the reference at variant breakpoints, adds one allele node per
+alternate allele, threads a path per haplotype, and therefore guarantees
+that every haplotype path spells exactly the haplotype's linear sequence.
+The slower discovery-based pipelines (Minigraph–Cactus, PGGB/seqwish in
+:mod:`repro.build`) construct graphs from alignments instead; this builder
+gives experiments a ground-truth graph with known topology.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+from repro.graph.model import SequenceGraph
+from repro.sequence.mutate import Variant, VariantRates, sample_variants
+from repro.sequence.records import SequenceRecord
+from repro.sequence.simulate import Pangenome, random_genome
+
+
+@dataclass(frozen=True)
+class _Site:
+    """A normalized variant site: replace reference [start, end) by alt."""
+
+    start: int
+    end: int
+    alt: str
+    key: tuple[int, str, str]  # (position, ref, alt) of the original variant
+
+
+def _normalize(variant: Variant) -> _Site:
+    """Trim the shared prefix so ref/alt are minimal (VCF-style padding off)."""
+    ref, alt = variant.ref, variant.alt
+    start = variant.position
+    shared = 0
+    while shared < len(ref) and shared < len(alt) and ref[shared] == alt[shared]:
+        shared += 1
+    return _Site(
+        start=start + shared,
+        end=start + len(ref),
+        alt=alt[shared:],
+        key=(variant.position, variant.ref, variant.alt),
+    )
+
+
+def _consistent_sites(
+    haplotype_variants: dict[str, list[Variant]],
+) -> tuple[list[_Site], dict[str, set[tuple[int, str, str]]]]:
+    """Merge per-haplotype variants into one non-overlapping global site set.
+
+    Distinct alleles at identical positions are kept (multi-allelic sites);
+    genuinely overlapping intervals are resolved first-come in position
+    order, and losing variants are dropped from their haplotypes.
+    """
+    unique: dict[tuple[int, str, str], _Site] = {}
+    for variants in haplotype_variants.values():
+        for variant in variants:
+            site = _normalize(variant)
+            unique.setdefault(site.key, site)
+
+    kept: list[_Site] = []
+    last_end = -1
+    for site in sorted(unique.values(), key=lambda s: (s.start, s.end, s.alt)):
+        # Require a >=1 bp reference gap between consecutive sites so every
+        # allele node is separated by a reference segment; this keeps path
+        # threading simple (no allele-to-allele edges are ever needed).
+        # Multi-allelic sites (identical interval, different alt) are kept.
+        if site.start > last_end:
+            kept.append(site)
+            last_end = max(last_end, site.end, site.start)
+        elif kept and (site.start, site.end) == (kept[-1].start, kept[-1].end):
+            kept.append(site)
+    kept_keys = {site.key for site in kept}
+
+    carried: dict[str, set[tuple[int, str, str]]] = {}
+    for name, variants in haplotype_variants.items():
+        carried[name] = {
+            _normalize(variant).key
+            for variant in variants
+            if _normalize(variant).key in kept_keys
+        }
+    return kept, carried
+
+
+def build_variation_graph(
+    reference: SequenceRecord,
+    haplotype_variants: dict[str, list[Variant]],
+    reference_path_name: str | None = None,
+) -> SequenceGraph:
+    """Build a variation graph from *reference* and per-haplotype variants.
+
+    Returns a graph with one path per haplotype plus a reference path.
+    Haplotype paths spell the haplotype sequences exactly (for the subset
+    of variants that survived global overlap resolution).
+    """
+    sites, carried = _consistent_sites(haplotype_variants)
+    ref_seq = reference.sequence
+    for site in sites:
+        if site.end > len(ref_seq):
+            raise GraphError(f"variant site [{site.start},{site.end}) exceeds reference")
+
+    breakpoints = {0, len(ref_seq)}
+    for site in sites:
+        breakpoints.add(site.start)
+        breakpoints.add(site.end)
+    cuts = sorted(breakpoints)
+
+    graph = SequenceGraph()
+    next_id = 0
+    segment_nodes: list[tuple[int, int, int]] = []  # (start, end, node_id)
+    for start, end in zip(cuts, cuts[1:]):
+        if end > start:
+            graph.add_node(next_id, ref_seq[start:end])
+            segment_nodes.append((start, end, next_id))
+            next_id += 1
+
+    # Consecutive reference segments are always linked: the reference path
+    # must be walkable even across deletion sites.
+    for (_, _, left), (_, _, right) in zip(segment_nodes, segment_nodes[1:]):
+        graph.add_edge(left, right)
+
+    segment_at_start = {start: node_id for start, _, node_id in segment_nodes}
+    segment_at_end = {end: node_id for _, end, node_id in segment_nodes}
+
+    def segment_before(position: int) -> int | None:
+        """Node id of the reference segment ending exactly at *position*."""
+        return segment_at_end.get(position)
+
+    def segment_after(position: int) -> int | None:
+        """Node id of the reference segment starting exactly at *position*."""
+        return segment_at_start.get(position)
+
+    alt_node_of: dict[tuple[int, str, str], int | None] = {}
+    for site in sites:
+        left = segment_before(site.start)
+        right = segment_after(site.end)
+        if site.alt:
+            alt_id = next_id
+            next_id += 1
+            graph.add_node(alt_id, site.alt)
+            if left is not None:
+                graph.add_edge(left, alt_id)
+            if right is not None:
+                graph.add_edge(alt_id, right)
+            alt_node_of[site.key] = alt_id
+        else:
+            # Pure deletion: bypass edge.
+            if left is not None and right is not None:
+                graph.add_edge(left, right)
+            alt_node_of[site.key] = None
+
+    ref_walk = [node_id for _, _, node_id in segment_nodes]
+    ref_name = reference_path_name or reference.name
+    graph.add_path(ref_name, ref_walk)
+
+    ordered_sites = sorted(sites, key=lambda s: (s.start, s.end, s.alt))
+    for haplotype, keys in sorted(carried.items()):
+        walk: list[int] = []
+        cursor = 0  # index into segment_nodes
+        for site in ordered_sites:
+            if site.key not in keys:
+                continue
+            # Emit reference segments strictly before the site.
+            while cursor < len(segment_nodes) and segment_nodes[cursor][1] <= site.start:
+                walk.append(segment_nodes[cursor][2])
+                cursor += 1
+            alt_id = alt_node_of[site.key]
+            if alt_id is not None:
+                walk.append(alt_id)
+            # Skip reference segments covered by [start, end).
+            while cursor < len(segment_nodes) and segment_nodes[cursor][1] <= site.end:
+                cursor += 1
+        while cursor < len(segment_nodes):
+            walk.append(segment_nodes[cursor][2])
+            cursor += 1
+        if not walk:
+            raise GraphError(f"haplotype {haplotype!r} produced an empty walk")
+        graph.add_path(haplotype, walk)
+    return graph
+
+
+@dataclass(frozen=True)
+class GraphPangenome:
+    """A variation graph together with the linear sequences it encodes."""
+
+    graph: SequenceGraph
+    reference: SequenceRecord
+    haplotypes: tuple[SequenceRecord, ...]
+
+    @property
+    def pangenome(self) -> Pangenome:
+        return Pangenome(ancestor=self.reference, haplotypes=self.haplotypes)
+
+
+def simulate_graph_pangenome(
+    genome_length: int = 20_000,
+    n_haplotypes: int = 8,
+    seed: int = 0,
+    rates: VariantRates | None = None,
+) -> GraphPangenome:
+    """Simulate a population and build its ground-truth variation graph.
+
+    Unlike :func:`repro.sequence.simulate.simulate_pangenome`, the returned
+    haplotype sequences are re-derived from the graph paths, so path
+    spelling and linear sequences agree exactly.
+    """
+    reference = random_genome(genome_length, seed=seed)
+    rates = rates or VariantRates()
+    haplotype_variants: dict[str, list[Variant]] = {}
+    for index in range(n_haplotypes):
+        rng = random.Random(f"{seed}-haplotype-{index}")
+        haplotype_variants[f"hap{index}"] = sample_variants(
+            reference.sequence, rates=rates, rng=rng
+        )
+    graph = build_variation_graph(reference, haplotype_variants)
+    haplotypes = tuple(
+        SequenceRecord(name, graph.path_sequence(name))
+        for name in sorted(haplotype_variants)
+    )
+    return GraphPangenome(graph=graph, reference=reference, haplotypes=haplotypes)

@@ -1,0 +1,107 @@
+"""Graph distances between base positions.
+
+Seq2Seq clustering estimates seed distance as a coordinate difference;
+Seq2Graph mapping must instead compute shortest-path distances through the
+graph (Section 2.1).  This module provides that primitive: a bounded
+Dijkstra over node lengths, used by the clustering/chaining stages of the
+mapping tools.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+from repro.graph.model import SequenceGraph
+
+#: Returned when two positions are farther apart than the search limit.
+UNREACHABLE = -1
+
+
+@dataclass(frozen=True)
+class GraphPosition:
+    """A base position inside a graph: node id + 0-based offset."""
+
+    node_id: int
+    offset: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise GraphError("offset must be non-negative")
+
+
+def min_distance(
+    graph: SequenceGraph,
+    start: GraphPosition,
+    end: GraphPosition,
+    limit: int = 10_000,
+) -> int:
+    """Shortest walk distance in bases from *start* to *end*.
+
+    The distance counts bases strictly between the two positions along the
+    best walk (0 when positions coincide).  Searches give up past *limit*
+    and return :data:`UNREACHABLE`.  Handles cycles (Dijkstra with
+    non-negative node-length weights).
+    """
+    for position in (start, end):
+        node = graph.node(position.node_id)
+        if position.offset >= len(node):
+            raise GraphError(
+                f"offset {position.offset} out of range for node "
+                f"{position.node_id} (length {len(node)})"
+            )
+    if start.node_id == end.node_id and end.offset >= start.offset:
+        return end.offset - start.offset
+
+    start_node_len = len(graph.node(start.node_id))
+    # Distance from start position to the *start* of each frontier node.
+    initial = start_node_len - start.offset
+    if initial > limit:
+        return UNREACHABLE
+
+    best: dict[int, int] = {}
+    heap: list[tuple[int, int]] = []
+    for successor in graph.successors(start.node_id):
+        heapq.heappush(heap, (initial, successor))
+    while heap:
+        distance, node_id = heapq.heappop(heap)
+        if node_id in best and best[node_id] <= distance:
+            continue
+        best[node_id] = distance
+        if node_id == end.node_id:
+            return distance + end.offset
+        next_distance = distance + len(graph.node(node_id))
+        if next_distance > limit:
+            continue
+        for successor in graph.successors(node_id):
+            if successor not in best or best[successor] > next_distance:
+                heapq.heappush(heap, (next_distance, successor))
+    return UNREACHABLE
+
+
+def reachable_within(
+    graph: SequenceGraph, start_node: int, limit_bp: int
+) -> dict[int, int]:
+    """Map of node id -> distance (bp to node start) reachable downstream.
+
+    Starts *after* ``start_node`` (distance measured from its end).
+    Used by clustering to group seeds by graph locality.
+    """
+    if start_node not in graph:
+        raise GraphError(f"unknown node {start_node}")
+    best: dict[int, int] = {}
+    heap: list[tuple[int, int]] = [(0, successor) for successor in graph.successors(start_node)]
+    heapq.heapify(heap)
+    while heap:
+        distance, node_id = heapq.heappop(heap)
+        if node_id in best and best[node_id] <= distance:
+            continue
+        best[node_id] = distance
+        next_distance = distance + len(graph.node(node_id))
+        if next_distance > limit_bp:
+            continue
+        for successor in graph.successors(node_id):
+            if successor not in best or best[successor] > next_distance:
+                heapq.heappush(heap, (next_distance, successor))
+    return best

@@ -1,0 +1,139 @@
+"""GFA version 1 reading and writing (forward-strand subset).
+
+The suite exchanges graphs in GFA1 like the real toolchain (vg, minigraph,
+seqwish, odgi all speak GFA).  We support ``H``/``S``/``L``/``P`` records
+with ``+`` orientations; reverse orientations raise :class:`GFAError`
+because the library models inversions as distinct nodes (see
+:mod:`repro.graph.model`).
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+from repro.errors import GFAError
+from repro.graph.model import SequenceGraph
+
+_GFA_VERSION = "VN:Z:1.0"
+
+
+def parse_gfa(source: str | Path | TextIO) -> SequenceGraph:
+    """Parse GFA1 text from a path or handle into a :class:`SequenceGraph`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="ascii") as handle:
+            return _parse(handle)
+    return _parse(source)
+
+
+def parse_gfa_string(text: str) -> SequenceGraph:
+    """Parse GFA1 from a string."""
+    return _parse(io.StringIO(text))
+
+
+def _parse(handle: TextIO) -> SequenceGraph:
+    graph = SequenceGraph()
+    pending_edges: list[tuple[int, int, int]] = []
+    pending_paths: list[tuple[str, list[int], int]] = []
+    for line_number, raw in enumerate(handle, start=1):
+        line = raw.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split("\t")
+        record_type = fields[0]
+        if record_type == "H":
+            continue
+        if record_type == "S":
+            _parse_segment(graph, fields, line_number)
+        elif record_type == "L":
+            pending_edges.append((*_parse_link(fields, line_number), line_number))
+        elif record_type == "P":
+            name, walk = _parse_path(fields, line_number)
+            pending_paths.append((name, walk, line_number))
+        else:
+            raise GFAError(f"unsupported record type {record_type!r}", line_number)
+    for source, target, line_number in pending_edges:
+        if source not in graph or target not in graph:
+            raise GFAError(f"link references unknown segment", line_number)
+        graph.add_edge(source, target)
+    for name, walk, line_number in pending_paths:
+        try:
+            graph.add_path(name, walk)
+        except Exception as exc:  # GraphError carries the real message
+            raise GFAError(f"invalid path {name!r}: {exc}", line_number) from exc
+    return graph
+
+
+def _parse_segment(graph: SequenceGraph, fields: list[str], line_number: int) -> None:
+    if len(fields) < 3:
+        raise GFAError("S record needs id and sequence", line_number)
+    try:
+        node_id = int(fields[1])
+    except ValueError:
+        raise GFAError(f"segment id must be an integer: {fields[1]!r}", line_number) from None
+    sequence = fields[2]
+    if sequence == "*":
+        raise GFAError("segments without sequence are not supported", line_number)
+    try:
+        graph.add_node(node_id, sequence.upper())
+    except Exception as exc:
+        raise GFAError(f"invalid segment {node_id}: {exc}", line_number) from exc
+
+
+def _parse_link(fields: list[str], line_number: int) -> tuple[int, int]:
+    if len(fields) < 6:
+        raise GFAError("L record needs 5 fields", line_number)
+    _, source, source_orient, target, target_orient, overlap = fields[:6]
+    if source_orient != "+" or target_orient != "+":
+        raise GFAError("reverse orientations are not supported", line_number)
+    if overlap not in ("0M", "*"):
+        raise GFAError(f"only blunt links supported, got overlap {overlap!r}", line_number)
+    try:
+        return int(source), int(target)
+    except ValueError:
+        raise GFAError("link endpoints must be integer segment ids", line_number) from None
+
+
+def _parse_path(fields: list[str], line_number: int) -> tuple[str, list[int]]:
+    if len(fields) < 3:
+        raise GFAError("P record needs name and walk", line_number)
+    name = fields[1]
+    walk: list[int] = []
+    for step in fields[2].split(","):
+        if not step.endswith("+"):
+            raise GFAError(
+                f"path step {step!r} is not forward-oriented", line_number
+            )
+        try:
+            walk.append(int(step[:-1]))
+        except ValueError:
+            raise GFAError(f"bad path step {step!r}", line_number) from None
+    return name, walk
+
+
+def write_gfa(graph: SequenceGraph, destination: str | Path | TextIO) -> None:
+    """Write *graph* as GFA1."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="ascii") as handle:
+            _write(graph, handle)
+    else:
+        _write(graph, destination)
+
+
+def gfa_string(graph: SequenceGraph) -> str:
+    """Render *graph* as a GFA1 string."""
+    buffer = io.StringIO()
+    _write(graph, buffer)
+    return buffer.getvalue()
+
+
+def _write(graph: SequenceGraph, handle: TextIO) -> None:
+    handle.write(f"H\t{_GFA_VERSION}\n")
+    for node_id in sorted(graph.node_ids()):
+        handle.write(f"S\t{node_id}\t{graph.node(node_id).sequence}\n")
+    for source, target in sorted(graph.edges()):
+        handle.write(f"L\t{source}\t+\t{target}\t+\t0M\n")
+    for name in graph.path_names():
+        walk = ",".join(f"{node_id}+" for node_id in graph.path(name))
+        handle.write(f"P\t{name}\t{walk}\t*\n")

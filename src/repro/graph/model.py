@@ -1,0 +1,275 @@
+"""Sequence graph data model.
+
+A pangenome is represented as a directed *sequence graph*: each node holds
+a subsequence of bases, each directed edge allows walks to continue from
+the end of one node into the start of another, and each named *path* spells
+a sequence (a haplotype, an assembly contig, a reference) as a walk through
+nodes.  This mirrors the GFA segment/link/path model used by vg, minigraph
+and the PGGB toolchain, restricted to the forward strand: inversions are
+modelled as distinct reverse-complement nodes by the graph builders, which
+keeps every aligner in the suite single-stranded without losing the
+topological properties (bubbles, cycles, branching) the paper studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import GraphError
+from repro.sequence.alphabet import validate_dna
+
+
+@dataclass(frozen=True)
+class Node:
+    """A graph node: an integer identifier and a non-empty DNA label."""
+
+    node_id: int
+    sequence: str
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise GraphError("node ids must be non-negative")
+        validate_dna(self.sequence, allow_n=True, name=f"node {self.node_id}")
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+@dataclass(frozen=True)
+class Path:
+    """A named walk through the graph.
+
+    Attributes:
+        name: Path identifier (e.g. a haplotype name).
+        nodes: The node ids visited, in order.
+    """
+
+    name: str
+    nodes: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GraphError("path needs a non-empty name")
+        if not self.nodes:
+            raise GraphError(f"path {self.name!r} is empty")
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.nodes)
+
+
+class SequenceGraph:
+    """A mutable directed sequence graph with named paths.
+
+    Node ids are arbitrary non-negative integers.  Edges are ordered pairs
+    of node ids.  Paths must traverse existing edges; this is validated at
+    insertion time so that a constructed graph is always internally
+    consistent.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, Node] = {}
+        self._out: dict[int, set[int]] = {}
+        self._in: dict[int, set[int]] = {}
+        self._paths: dict[str, Path] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def add_node(self, node_id: int, sequence: str) -> Node:
+        """Add a node; raises :class:`GraphError` if the id is taken."""
+        if node_id in self._nodes:
+            raise GraphError(f"node {node_id} already exists")
+        node = Node(node_id, sequence)
+        self._nodes[node_id] = node
+        self._out[node_id] = set()
+        self._in[node_id] = set()
+        return node
+
+    def add_edge(self, source: int, target: int) -> None:
+        """Add the directed edge source -> target (idempotent)."""
+        if source not in self._nodes:
+            raise GraphError(f"edge source {source} is not a node")
+        if target not in self._nodes:
+            raise GraphError(f"edge target {target} is not a node")
+        self._out[source].add(target)
+        self._in[target].add(source)
+
+    def add_path(self, name: str, nodes: Iterable[int]) -> Path:
+        """Add a named path; every consecutive pair must be an edge."""
+        path = Path(name, tuple(nodes))
+        if name in self._paths:
+            raise GraphError(f"path {name!r} already exists")
+        for node_id in path.nodes:
+            if node_id not in self._nodes:
+                raise GraphError(f"path {name!r} visits unknown node {node_id}")
+        for source, target in zip(path.nodes, path.nodes[1:]):
+            if target not in self._out[source]:
+                raise GraphError(
+                    f"path {name!r} uses missing edge {source} -> {target}"
+                )
+        self._paths[name] = path
+        return path
+
+    def remove_path(self, name: str) -> None:
+        if name not in self._paths:
+            raise GraphError(f"no path named {name!r}")
+        del self._paths[name]
+
+    # ------------------------------------------------------------------
+    # accessors
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(targets) for targets in self._out.values())
+
+    @property
+    def path_count(self) -> int:
+        return len(self._paths)
+
+    def node(self, node_id: int) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GraphError(f"no node {node_id}") from None
+
+    def node_ids(self) -> list[int]:
+        """All node ids in insertion order."""
+        return list(self._nodes)
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for source in self._nodes:
+            for target in sorted(self._out[source]):
+                yield source, target
+
+    def has_edge(self, source: int, target: int) -> bool:
+        return source in self._out and target in self._out[source]
+
+    def successors(self, node_id: int) -> list[int]:
+        try:
+            return sorted(self._out[node_id])
+        except KeyError:
+            raise GraphError(f"no node {node_id}") from None
+
+    def predecessors(self, node_id: int) -> list[int]:
+        try:
+            return sorted(self._in[node_id])
+        except KeyError:
+            raise GraphError(f"no node {node_id}") from None
+
+    def out_degree(self, node_id: int) -> int:
+        return len(self._out[node_id])
+
+    def in_degree(self, node_id: int) -> int:
+        return len(self._in[node_id])
+
+    def paths(self) -> Iterator[Path]:
+        return iter(self._paths.values())
+
+    def path(self, name: str) -> Path:
+        try:
+            return self._paths[name]
+        except KeyError:
+            raise GraphError(f"no path named {name!r}") from None
+
+    def path_names(self) -> list[str]:
+        return list(self._paths)
+
+    def path_sequence(self, name: str) -> str:
+        """The sequence spelled by walking the named path."""
+        return "".join(self._nodes[node_id].sequence for node_id in self.path(name))
+
+    def path_length(self, name: str) -> int:
+        return sum(len(self._nodes[node_id]) for node_id in self.path(name))
+
+    @property
+    def total_sequence_length(self) -> int:
+        """Total bases stored across all nodes."""
+        return sum(len(node) for node in self._nodes.values())
+
+    # ------------------------------------------------------------------
+    # derived views
+
+    def copy(self) -> "SequenceGraph":
+        """A deep, independent copy of this graph."""
+        clone = SequenceGraph()
+        for node in self._nodes.values():
+            clone.add_node(node.node_id, node.sequence)
+        for source, target in self.edges():
+            clone.add_edge(source, target)
+        for path in self._paths.values():
+            clone.add_path(path.name, path.nodes)
+        return clone
+
+    def sources(self) -> list[int]:
+        """Nodes with no incoming edges."""
+        return [node_id for node_id in self._nodes if not self._in[node_id]]
+
+    def sinks(self) -> list[int]:
+        """Nodes with no outgoing edges."""
+        return [node_id for node_id in self._nodes if not self._out[node_id]]
+
+    def validate(self) -> None:
+        """Check internal consistency; raises :class:`GraphError` on failure."""
+        for source, targets in self._out.items():
+            for target in targets:
+                if source not in self._in[target]:
+                    raise GraphError(f"edge {source}->{target} missing reverse index")
+        for path in self._paths.values():
+            for source, target in zip(path.nodes, path.nodes[1:]):
+                if target not in self._out[source]:
+                    raise GraphError(
+                        f"path {path.name!r} uses missing edge {source}->{target}"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"SequenceGraph(nodes={self.node_count}, edges={self.edge_count}, "
+            f"paths={self.path_count}, bases={self.total_sequence_length})"
+        )
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a sequence graph (Section 6.2 compares these)."""
+
+    node_count: int
+    edge_count: int
+    path_count: int
+    total_bases: int
+    mean_node_length: float
+    max_node_length: int
+    mean_out_degree: float
+    max_out_degree: int
+    source_count: int
+    sink_count: int
+
+    @staticmethod
+    def of(graph: SequenceGraph) -> "GraphStats":
+        lengths = [len(node) for node in graph.nodes()]
+        degrees = [graph.out_degree(node_id) for node_id in graph.node_ids()]
+        return GraphStats(
+            node_count=graph.node_count,
+            edge_count=graph.edge_count,
+            path_count=graph.path_count,
+            total_bases=graph.total_sequence_length,
+            mean_node_length=(sum(lengths) / len(lengths)) if lengths else 0.0,
+            max_node_length=max(lengths, default=0),
+            mean_out_degree=(sum(degrees) / len(degrees)) if degrees else 0.0,
+            max_out_degree=max(degrees, default=0),
+            source_count=len(graph.sources()),
+            sink_count=len(graph.sinks()),
+        )

@@ -1,0 +1,291 @@
+"""Graph algorithms: topological sort, subgraph extraction, node splitting.
+
+These are the structural operations the mapping kernels depend on: GSSW
+aligns to topologically sorted acyclic subgraphs extracted around seed
+hits; the Split-M-Graph case study (Section 6.2) splits long nodes into
+chains of short ones; seqwish/GFAffix compact non-branching chains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from repro.errors import CyclicGraphError, GraphError
+from repro.graph.model import SequenceGraph
+
+
+def is_acyclic(graph: SequenceGraph) -> bool:
+    """True if the graph contains no directed cycle."""
+    try:
+        topological_sort(graph)
+        return True
+    except CyclicGraphError:
+        return False
+
+
+def topological_sort(graph: SequenceGraph) -> list[int]:
+    """Kahn's algorithm; raises :class:`CyclicGraphError` on cycles.
+
+    Ties are broken by node id so the order is deterministic.
+    """
+    in_degree = {node_id: graph.in_degree(node_id) for node_id in graph.node_ids()}
+    ready = sorted(node_id for node_id, degree in in_degree.items() if degree == 0)
+    queue = deque(ready)
+    order: list[int] = []
+    while queue:
+        node_id = queue.popleft()
+        order.append(node_id)
+        for successor in graph.successors(node_id):
+            in_degree[successor] -= 1
+            if in_degree[successor] == 0:
+                queue.append(successor)
+    if len(order) != graph.node_count:
+        raise CyclicGraphError()
+    return order
+
+
+def induced_subgraph(graph: SequenceGraph, node_ids: Iterable[int]) -> SequenceGraph:
+    """The subgraph induced by *node_ids* (edges with both ends kept).
+
+    Paths are dropped: extracted subgraphs are alignment targets, not
+    haplotype carriers.
+    """
+    keep = set(node_ids)
+    for node_id in keep:
+        if node_id not in graph:
+            raise GraphError(f"cannot induce subgraph: unknown node {node_id}")
+    sub = SequenceGraph()
+    for node_id in sorted(keep):
+        sub.add_node(node_id, graph.node(node_id).sequence)
+    for node_id in sorted(keep):
+        for successor in graph.successors(node_id):
+            if successor in keep:
+                sub.add_edge(node_id, successor)
+    return sub
+
+
+def local_subgraph(
+    graph: SequenceGraph,
+    start_node: int,
+    radius_bp: int,
+    acyclic: bool = False,
+) -> SequenceGraph:
+    """Extract the local subgraph within *radius_bp* bases of *start_node*.
+
+    This models the context extraction vg performs around a seed hit
+    before GSSW alignment.  Traversal goes both directions; the budget is
+    consumed by node lengths.  With ``acyclic=True``, back edges that would
+    create cycles are dropped (vg DAG-ifies the extracted context).
+    """
+    if start_node not in graph:
+        raise GraphError(f"unknown start node {start_node}")
+    if radius_bp < 0:
+        raise GraphError("radius_bp must be non-negative")
+    budget: dict[int, int] = {start_node: radius_bp}
+    queue = deque([start_node])
+    while queue:
+        node_id = queue.popleft()
+        remaining = budget[node_id]
+        for neighbor in (*graph.successors(node_id), *graph.predecessors(node_id)):
+            cost = len(graph.node(node_id))
+            next_budget = remaining - cost
+            if next_budget >= 0 and budget.get(neighbor, -1) < next_budget:
+                budget[neighbor] = next_budget
+                queue.append(neighbor)
+    sub = induced_subgraph(graph, budget.keys())
+    if acyclic:
+        sub = dagify(sub)
+    return sub
+
+
+def dagify(graph: SequenceGraph) -> SequenceGraph:
+    """Drop back edges until the graph is acyclic (order: DFS discovery).
+
+    A lightweight stand-in for vg's unrolling; sufficient because our
+    synthetic graphs contain few cycles (duplications).
+    """
+    color: dict[int, int] = {}
+    back_edges: set[tuple[int, int]] = set()
+
+    for root in sorted(graph.node_ids()):
+        if root in color:
+            continue
+        stack: list[tuple[int, Iterable[int]]] = [(root, iter(graph.successors(root)))]
+        color[root] = 1
+        while stack:
+            node_id, successors = stack[-1]
+            advanced = False
+            for successor in successors:
+                if color.get(successor, 0) == 1:
+                    back_edges.add((node_id, successor))
+                elif successor not in color:
+                    color[successor] = 1
+                    stack.append((successor, iter(graph.successors(successor))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node_id] = 2
+                stack.pop()
+
+    if not back_edges:
+        return graph
+    out = SequenceGraph()
+    for node in graph.nodes():
+        out.add_node(node.node_id, node.sequence)
+    for source, target in graph.edges():
+        if (source, target) not in back_edges:
+            out.add_edge(source, target)
+    return out
+
+
+def split_nodes(graph: SequenceGraph, max_length: int) -> SequenceGraph:
+    """Split every node longer than *max_length* into a chain of pieces.
+
+    Reproduces the paper's Split-M-Graph construction (Section 6.2):
+    nodes with more than *max_length* bases become chains of
+    *max_length*-base nodes.  Paths are rewritten through the chains.
+    New node ids extend past the current maximum id.
+    """
+    if max_length < 1:
+        raise GraphError("max_length must be at least 1")
+    out = SequenceGraph()
+    next_id = max(graph.node_ids(), default=-1) + 1
+    chains: dict[int, list[int]] = {}
+
+    for node in sorted(graph.nodes(), key=lambda n: n.node_id):
+        if len(node) <= max_length:
+            out.add_node(node.node_id, node.sequence)
+            chains[node.node_id] = [node.node_id]
+            continue
+        piece_ids: list[int] = []
+        for offset in range(0, len(node), max_length):
+            piece = node.sequence[offset : offset + max_length]
+            if offset == 0:
+                out.add_node(node.node_id, piece)
+                piece_ids.append(node.node_id)
+            else:
+                out.add_node(next_id, piece)
+                piece_ids.append(next_id)
+                next_id += 1
+        for left, right in zip(piece_ids, piece_ids[1:]):
+            out.add_edge(left, right)
+        chains[node.node_id] = piece_ids
+
+    for source, target in graph.edges():
+        out.add_edge(chains[source][-1], chains[target][0])
+    for path in graph.paths():
+        walk: list[int] = []
+        for node_id in path.nodes:
+            walk.extend(chains[node_id])
+        out.add_path(path.name, walk)
+    return out
+
+
+def compact_chains(graph: SequenceGraph) -> SequenceGraph:
+    """Merge non-branching chains into single nodes ("unchop").
+
+    A node pair (u, v) merges when u's only successor is v, v's only
+    predecessor is u, and no path starts/ends between them in a way that
+    would change path spelling (always true here since paths are walks).
+    The inverse of :func:`split_nodes` up to node ids.
+    """
+    # Nodes where a path begins or ends must stay chain boundaries: the
+    # merged node would otherwise spell more than the path traverses.
+    path_starts = {path.nodes[0] for path in graph.paths()}
+    path_ends = {path.nodes[-1] for path in graph.paths()}
+
+    def can_join(left: int, right: int) -> bool:
+        return left not in path_ends and right not in path_starts
+
+    member_of: dict[int, int] = {}
+    chains: list[list[int]] = []
+    for node_id in sorted(graph.node_ids()):
+        if node_id in member_of:
+            continue
+        # Walk backwards to the chain head.
+        head = node_id
+        while True:
+            predecessors = graph.predecessors(head)
+            if len(predecessors) != 1:
+                break
+            previous = predecessors[0]
+            if graph.out_degree(previous) != 1 or previous == head or previous in member_of:
+                break
+            if previous == node_id:  # pure cycle; stop to avoid looping forever
+                break
+            if not can_join(previous, head):
+                break
+            head = previous
+        chain = [head]
+        member_of[head] = len(chains)
+        current = head
+        while True:
+            successors = graph.successors(current)
+            if len(successors) != 1:
+                break
+            nxt = successors[0]
+            if graph.in_degree(nxt) != 1 or nxt in member_of:
+                break
+            if not can_join(current, nxt):
+                break
+            chain.append(nxt)
+            member_of[nxt] = len(chains)
+            current = nxt
+        chains.append(chain)
+
+    out = SequenceGraph()
+    chain_id = {index: chain[0] for index, chain in enumerate(chains)}
+    position_in_chain: dict[int, int] = {}
+    for chain in chains:
+        for position, node_id in enumerate(chain):
+            position_in_chain[node_id] = position
+    for index, chain in enumerate(chains):
+        sequence = "".join(graph.node(node_id).sequence for node_id in chain)
+        out.add_node(chain_id[index], sequence)
+    for source, target in graph.edges():
+        source_chain = member_of[source]
+        target_chain = member_of[target]
+        if source_chain == target_chain:
+            # Internal chain edges disappear; back edges (cycles within
+            # one chain, incl. self-loops) become a self-edge.
+            if position_in_chain[target] != position_in_chain[source] + 1:
+                out.add_edge(chain_id[source_chain], chain_id[source_chain])
+            continue
+        out.add_edge(chain_id[source_chain], chain_id[target_chain])
+    for path in graph.paths():
+        walk: list[int] = []
+        previous: int | None = None
+        for node_id in path.nodes:
+            chain_index = member_of[node_id]
+            continuation = (
+                previous is not None
+                and member_of[previous] == chain_index
+                and position_in_chain[previous] + 1 == position_in_chain[node_id]
+            )
+            if not continuation:
+                walk.append(chain_id[chain_index])
+            previous = node_id
+        out.add_path(path.name, walk)
+    return out
+
+
+def connected_components(graph: SequenceGraph) -> list[set[int]]:
+    """Weakly connected components, largest first."""
+    seen: set[int] = set()
+    components: list[set[int]] = []
+    for root in graph.node_ids():
+        if root in seen:
+            continue
+        component: set[int] = set()
+        queue = deque([root])
+        seen.add(root)
+        while queue:
+            node_id = queue.popleft()
+            component.add(node_id)
+            for neighbor in (*graph.successors(node_id), *graph.predecessors(node_id)):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        components.append(component)
+    return sorted(components, key=len, reverse=True)

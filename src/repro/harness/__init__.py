@@ -1,0 +1,15 @@
+"""Suite runner (the ``mainRun.py`` analog)."""
+
+from repro.harness.runner import (
+    ALL_STUDIES,
+    KernelReport,
+    load_reports,
+    run_kernel_studies,
+    run_suite,
+    save_reports,
+)
+
+__all__ = [
+    "ALL_STUDIES", "KernelReport", "load_reports", "run_kernel_studies",
+    "run_suite", "save_reports",
+]

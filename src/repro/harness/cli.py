@@ -1,0 +1,117 @@
+"""Command-line entry point — the suite's ``mainRun.py``.
+
+Examples::
+
+    python -m repro list
+    python -m repro run --kernels gssw gbwt --studies timing topdown
+    python -m repro run --scale 0.5 --out reports.json
+    python -m repro validate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.report import render_table
+from repro.harness.runner import ALL_STUDIES, run_suite, save_reports
+from repro.kernels import SUITE_KERNELS, create_kernel, kernel_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PangenomicsBench reproduction: run and characterize kernels",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the registered kernels")
+
+    run = commands.add_parser("run", help="run kernels under selected studies")
+    run.add_argument(
+        "--kernels", nargs="+", default=list(SUITE_KERNELS),
+        help="kernel names (default: the eight suite kernels)",
+    )
+    run.add_argument(
+        "--studies", nargs="+", default=["timing"], choices=ALL_STUDIES,
+        help="studies to run (default: timing)",
+    )
+    run.add_argument("--scale", type=float, default=1.0,
+                     help="dataset scale factor (default 1.0)")
+    run.add_argument("--seed", type=int, default=0, help="dataset seed")
+    run.add_argument("--out", default=None,
+                     help="write JSON reports to this path")
+
+    validate = commands.add_parser(
+        "validate", help="run every kernel's oracle self-check"
+    )
+    validate.add_argument("--kernels", nargs="+", default=None)
+    validate.add_argument("--scale", type=float, default=0.5)
+    validate.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _command_list() -> int:
+    rows = []
+    for name in kernel_names():
+        kernel = create_kernel(name)
+        rows.append([name, kernel.parent_tool, kernel.input_type])
+    print(render_table(["kernel", "parent tool", "input type"], rows,
+                       title="Registered kernels"))
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    reports = run_suite(
+        tuple(args.kernels), studies=tuple(args.studies),
+        scale=args.scale, seed=args.seed,
+    )
+    rows = []
+    for name, report in reports.items():
+        rows.append([
+            name,
+            report.inputs_processed,
+            f"{report.wall_seconds:.3f}",
+            f"{report.ipc:.2f}" if report.ipc else "-",
+            (max(report.topdown, key=report.topdown.get)
+             if report.topdown else "-"),
+            "ok" if report.validated else "-",
+        ])
+    print(render_table(
+        ["kernel", "#inputs", "seconds", "IPC", "top slot", "validated"],
+        rows, title=f"Suite run (scale={args.scale}, studies={args.studies})",
+    ))
+    if args.out:
+        save_reports(reports, args.out)
+        print(f"\nreports written to {args.out}")
+    return 0
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    names = args.kernels or kernel_names()
+    failures = 0
+    for name in names:
+        kernel = create_kernel(name, scale=args.scale, seed=args.seed)
+        try:
+            kernel.validate()
+            print(f"{name:10s} ok")
+        except Exception as error:  # noqa: BLE001 — report and continue
+            failures += 1
+            print(f"{name:10s} FAILED: {error}")
+    return 1 if failures else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "validate":
+        return _command_validate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""The suite runner — our analog of the paper's ``mainRun.py``.
+
+Runs any subset of kernels under any subset of studies:
+
+* ``timing`` — wall-clock and kernel work counters (the default);
+* ``topdown`` — the Figure 6 top-down slot attribution + Table 6 IPC;
+* ``cache`` — Figure 7 MPKI;
+* ``instmix`` — Figure 8 instruction-class fractions;
+* ``validate`` — each kernel's oracle self-check.
+
+Results serialize to JSON for the benches and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import KernelError
+from repro.kernels.base import create_kernel, kernel_names
+from repro.uarch.cache import MACHINE_B, CacheConfig
+from repro.uarch.machine import TraceMachine
+from repro.uarch.topdown import analyze
+
+ALL_STUDIES = ("timing", "topdown", "cache", "instmix", "validate")
+
+
+@dataclass
+class KernelReport:
+    """Everything one kernel produced across the requested studies."""
+
+    kernel: str
+    wall_seconds: float = 0.0
+    inputs_processed: int = 0
+    work: dict[str, float] = field(default_factory=dict)
+    topdown: dict[str, float] = field(default_factory=dict)
+    ipc: float = 0.0
+    mpki: dict[str, float] = field(default_factory=dict)
+    instruction_mix: dict[str, float] = field(default_factory=dict)
+    branch_misprediction_rate: float = 0.0
+    instructions: int = 0
+    validated: bool = False
+
+
+def run_kernel_studies(
+    name: str,
+    studies: tuple[str, ...] = ("timing",),
+    scale: float = 1.0,
+    seed: int = 0,
+    cache_config: CacheConfig = MACHINE_B,
+) -> KernelReport:
+    """Run one kernel under the requested studies."""
+    for study in studies:
+        if study not in ALL_STUDIES:
+            raise KernelError(f"unknown study {study!r}; known: {ALL_STUDIES}")
+    report = KernelReport(kernel=name)
+    kernel = create_kernel(name, scale=scale, seed=seed)
+
+    if "timing" in studies:
+        result = kernel.run()
+        report.wall_seconds = result.wall_seconds
+        report.inputs_processed = result.inputs_processed
+        report.work = dict(result.work)
+
+    needs_trace = any(s in studies for s in ("topdown", "cache", "instmix"))
+    if needs_trace:
+        machine = TraceMachine(cache_config)
+        result = kernel.run(probe=machine)
+        if not report.inputs_processed:
+            report.inputs_processed = result.inputs_processed
+            report.work = dict(result.work)
+        summary = machine.summary()
+        report.instructions = summary.instructions
+        report.branch_misprediction_rate = summary.branch_stats.misprediction_rate
+        if summary.instructions:
+            if "topdown" in studies:
+                topdown = analyze(summary)
+                report.topdown = topdown.as_dict()
+                report.ipc = topdown.ipc
+            if "cache" in studies:
+                report.mpki = summary.mpki()
+            if "instmix" in studies:
+                report.instruction_mix = summary.instruction_mix()
+        # GPU kernels (tsu) run on the SIMT simulator and emit no CPU
+        # events; their profiling metrics live in the work counters.
+
+    if "validate" in studies:
+        kernel.validate()
+        report.validated = True
+    return report
+
+
+def run_suite(
+    kernels: tuple[str, ...] | None = None,
+    studies: tuple[str, ...] = ("timing",),
+    scale: float = 1.0,
+    seed: int = 0,
+    cache_config: CacheConfig = MACHINE_B,
+) -> dict[str, KernelReport]:
+    """Run the whole suite (or a subset) under the requested studies."""
+    names = kernels if kernels is not None else tuple(kernel_names())
+    return {
+        name: run_kernel_studies(
+            name, studies=studies, scale=scale, seed=seed, cache_config=cache_config
+        )
+        for name in names
+    }
+
+
+def save_reports(reports: dict[str, KernelReport], path: str | Path) -> None:
+    """Serialize suite reports to JSON."""
+    payload = {name: asdict(report) for name, report in reports.items()}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_reports(path: str | Path) -> dict[str, KernelReport]:
+    """Load reports saved by :func:`save_reports`."""
+    payload = json.loads(Path(path).read_text())
+    return {name: KernelReport(**fields) for name, fields in payload.items()}

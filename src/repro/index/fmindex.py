@@ -1,0 +1,148 @@
+"""FM-index over DNA text (the Seq2Seq seeding/filtering baseline).
+
+The paper contrasts the GBWT against the classic base-pair FM-index used
+in Seq2Seq mapping (Section 5.2): the four-letter alphabet makes occ-table
+accesses unpredictable and memory-bandwidth-bound.  This implementation
+keeps the classic structure — C array, checkpointed occurrence counts,
+sampled suffix array — so characterization probes see the same access
+pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IndexError_
+from repro.sequence.alphabet import validate_dna
+from repro.index.suffix import bwt_from_suffix_array, suffix_array
+
+_SENTINEL = 0
+_BASE_CODE = {"A": 1, "C": 2, "G": 3, "T": 4}
+_CODE_BASE = {code: base for base, code in _BASE_CODE.items()}
+
+
+@dataclass(frozen=True)
+class FMRange:
+    """A half-open row range [start, end) in the BWT matrix."""
+
+    start: int
+    end: int
+
+    @property
+    def size(self) -> int:
+        return max(0, self.end - self.start)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.size == 0
+
+
+class FMIndex:
+    """FM-index with checkpointed occ counts and a sampled suffix array.
+
+    Args:
+        text: The DNA string to index (sentinel is appended internally).
+        occ_sample: Occurrence-table checkpoint spacing.
+        sa_sample: Suffix-array sampling rate for :meth:`locate`.
+    """
+
+    def __init__(self, text: str, occ_sample: int = 64, sa_sample: int = 8) -> None:
+        validate_dna(text, name="FM-index text")
+        if occ_sample < 1 or sa_sample < 1:
+            raise IndexError_("sampling rates must be positive")
+        self._text = text
+        encoded = [_BASE_CODE[base] for base in text] + [_SENTINEL]
+        self._sa = suffix_array(encoded)
+        self._bwt = bwt_from_suffix_array(encoded, self._sa)
+        self._occ_sample = occ_sample
+        self._sa_sample = sa_sample
+        self._counts = self._build_counts()
+        self._checkpoints = self._build_checkpoints()
+        self._sa_samples = {
+            row: position
+            for row, position in enumerate(self._sa)
+            if position % sa_sample == 0
+        }
+
+    def __len__(self) -> int:
+        return len(self._text)
+
+    @property
+    def text(self) -> str:
+        return self._text
+
+    def _build_counts(self) -> dict[int, int]:
+        """C array: for each symbol, number of smaller symbols in the text."""
+        histogram: dict[int, int] = {}
+        for symbol in self._bwt:
+            histogram[symbol] = histogram.get(symbol, 0) + 1
+        counts: dict[int, int] = {}
+        total = 0
+        for symbol in sorted(histogram):
+            counts[symbol] = total
+            total += histogram[symbol]
+        return counts
+
+    def _build_checkpoints(self) -> list[dict[int, int]]:
+        """Occurrence counts of every symbol at each checkpoint row."""
+        checkpoints: list[dict[int, int]] = []
+        running = {symbol: 0 for symbol in (_SENTINEL, *_BASE_CODE.values())}
+        for row, symbol in enumerate(self._bwt):
+            if row % self._occ_sample == 0:
+                checkpoints.append(dict(running))
+            running[symbol] += 1
+        return checkpoints
+
+    def _occ(self, symbol: int, row: int) -> int:
+        """Occurrences of *symbol* in bwt[0:row], via checkpoint + scan."""
+        checkpoint_index = min(row // self._occ_sample, len(self._checkpoints) - 1)
+        count = self._checkpoints[checkpoint_index][symbol]
+        for position in range(checkpoint_index * self._occ_sample, row):
+            if self._bwt[position] == symbol:
+                count += 1
+        return count
+
+    def backward_search(self, pattern: str) -> FMRange:
+        """Row range of suffixes prefixed by *pattern* (empty if absent)."""
+        validate_dna(pattern, name="pattern")
+        start, end = 0, len(self._bwt)
+        for base in reversed(pattern):
+            symbol = _BASE_CODE[base]
+            if symbol not in self._counts:
+                return FMRange(0, 0)
+            start = self._counts[symbol] + self._occ(symbol, start)
+            end = self._counts[symbol] + self._occ(symbol, end)
+            if start >= end:
+                return FMRange(0, 0)
+        return FMRange(start, end)
+
+    def count(self, pattern: str) -> int:
+        """Number of occurrences of *pattern* in the text."""
+        return self.backward_search(pattern).size
+
+    def locate(self, pattern: str, limit: int | None = None) -> list[int]:
+        """Sorted text positions where *pattern* occurs.
+
+        Walks LF-mappings from each matching row to the nearest sampled
+        suffix-array entry, exactly like a production FM-index.
+        """
+        found = self.backward_search(pattern)
+        rows = range(found.start, found.end)
+        positions = sorted(self._resolve_row(row) for row in rows)
+        if limit is not None:
+            positions = positions[:limit]
+        return positions
+
+    def _resolve_row(self, row: int) -> int:
+        steps = 0
+        while row not in self._sa_samples:
+            symbol = self._bwt[row]
+            row = self._counts[symbol] + self._occ(symbol, row)
+            steps += 1
+        return (self._sa_samples[row] + steps) % (len(self._text) + 1)
+
+    def extract(self, start: int, length: int) -> str:
+        """Extract text[start:start+length] (convenience, from stored text)."""
+        if start < 0 or start + length > len(self._text):
+            raise IndexError_("extract range out of bounds")
+        return self._text[start : start + length]

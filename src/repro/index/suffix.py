@@ -1,0 +1,136 @@
+"""Suffix arrays and the Burrows–Wheeler transform.
+
+Foundation for the FM-index (Seq2Seq seeding baseline) and the GBWT
+(haplotype-aware graph index).  The suffix array is built with the
+prefix-doubling algorithm (O(n log^2 n)) over arbitrary integer alphabets,
+which the GBWT needs because its "characters" are graph node identifiers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import IndexError_
+
+
+def suffix_array(text: Sequence[int]) -> list[int]:
+    """Suffix array of an integer sequence via prefix doubling.
+
+    Returns the permutation ``sa`` with ``sa[i]`` = start of the i-th
+    smallest suffix.  The caller is responsible for appending a unique
+    smallest sentinel if total ordering of rotations is required.
+    """
+    n = len(text)
+    if n == 0:
+        return []
+    # Initial ranks: dense-rank the characters.
+    order = sorted(range(n), key=lambda i: text[i])
+    rank = [0] * n
+    rank[order[0]] = 0
+    for previous, current in zip(order, order[1:]):
+        rank[current] = rank[previous] + (1 if text[current] != text[previous] else 0)
+
+    k = 1
+    sa = order
+    while k < n:
+        def sort_key(i: int) -> tuple[int, int]:
+            return (rank[i], rank[i + k] if i + k < n else -1)
+
+        sa = sorted(range(n), key=sort_key)
+        new_rank = [0] * n
+        new_rank[sa[0]] = 0
+        for previous, current in zip(sa, sa[1:]):
+            new_rank[current] = new_rank[previous] + (1 if sort_key(current) != sort_key(previous) else 0)
+        rank = new_rank
+        if rank[sa[-1]] == n - 1:
+            break
+        k *= 2
+    return sa
+
+
+def suffix_array_of_string(text: str) -> list[int]:
+    """Suffix array of a string (by code point)."""
+    return suffix_array([ord(ch) for ch in text])
+
+
+def bwt_from_suffix_array(text: Sequence[int], sa: Sequence[int]) -> list[int]:
+    """Burrows–Wheeler transform given a suffix array.
+
+    ``bwt[i] = text[sa[i] - 1]`` (wrapping to the last character for the
+    suffix starting at 0).  The text must end with a unique sentinel for
+    the transform to be invertible.
+    """
+    n = len(text)
+    if len(sa) != n:
+        raise IndexError_("suffix array length does not match text length")
+    return [text[(position - 1) % n] for position in sa]
+
+
+def bwt(text: Sequence[int]) -> list[int]:
+    """Burrows–Wheeler transform of an integer sequence."""
+    return bwt_from_suffix_array(text, suffix_array(text))
+
+
+def inverse_bwt(transformed: Sequence[int], sentinel: int) -> list[int]:
+    """Invert a BWT whose text ended with a unique smallest *sentinel*.
+
+    Returns the original text (sentinel included, at the end).
+    """
+    n = len(transformed)
+    if n == 0:
+        return []
+    if list(transformed).count(sentinel) != 1:
+        raise IndexError_("BWT must contain the sentinel exactly once")
+    # LF mapping: stable order of each character's occurrences.
+    counts: dict[int, int] = {}
+    for symbol in transformed:
+        counts[symbol] = counts.get(symbol, 0) + 1
+    starts: dict[int, int] = {}
+    total = 0
+    for symbol in sorted(counts):
+        starts[symbol] = total
+        total += counts[symbol]
+    occ_rank = [0] * n
+    seen: dict[int, int] = {}
+    for index, symbol in enumerate(transformed):
+        occ_rank[index] = seen.get(symbol, 0)
+        seen[symbol] = occ_rank[index] + 1
+    lf = [starts[symbol] + occ_rank[index] for index, symbol in enumerate(transformed)]
+    # Walk backwards from the sentinel row (row 0 holds the sentinel-first
+    # rotation, whose BWT character is the last real character).  The walk
+    # recovers the text as a rotation with the sentinel first; rotate it
+    # back to sentinel-last.
+    out: list[int] = []
+    row = 0
+    for _ in range(n):
+        out.append(transformed[row])
+        row = lf[row]
+    out.reverse()
+    return out[1:] + out[:1]
+
+
+def longest_common_prefix_array(text: Sequence[int], sa: Sequence[int]) -> list[int]:
+    """LCP array via Kasai's algorithm (useful for repeat statistics)."""
+    n = len(text)
+    if n == 0:
+        return []
+    rank = [0] * n
+    for i, position in enumerate(sa):
+        rank[position] = i
+    lcp = [0] * n
+    h = 0
+    for position in range(n):
+        if rank[position] > 0:
+            other = sa[rank[position] - 1]
+            while (
+                position + h < n
+                and other + h < n
+                and text[position + h] == text[other + h]
+            ):
+                h += 1
+            lcp[rank[position]] = h
+            if h > 0:
+                h -= 1
+        else:
+            h = 0
+    return lcp

@@ -1,0 +1,112 @@
+"""The PangenomicsBench kernel interface and registry.
+
+Each of the paper's eight kernels (plus the SSW case-study baseline) is a
+:class:`Kernel`: ``prepare`` generates/loads its dataset (the analog of
+Table 3's per-kernel inputs), ``run`` executes the extracted hot code
+under an optional :class:`~repro.uarch.events.MachineProbe`, and
+``validate`` self-checks the outputs against an oracle where one exists.
+
+``KERNEL_REGISTRY`` is the suite's ``mainRun.py``-style entry point.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import KernelError
+from repro.uarch.events import NULL_PROBE, MachineProbe
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """Outcome of one kernel execution."""
+
+    kernel: str
+    wall_seconds: float
+    inputs_processed: int
+    work: dict[str, float] = field(default_factory=dict)
+
+    def rate(self) -> float:
+        """Inputs per second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.inputs_processed / self.wall_seconds
+
+
+class Kernel(ABC):
+    """One extracted benchmark kernel.
+
+    Subclasses set :attr:`name` and :attr:`parent_tool` and implement
+    :meth:`prepare` / :meth:`_execute`.  ``scale`` shrinks or grows the
+    dataset (1.0 is the suite default, small enough for interactive use).
+    """
+
+    name: str = ""
+    parent_tool: str = ""
+    #: What the kernel's input items are (Table 3's "Input Type").
+    input_type: str = ""
+
+    def __init__(self, scale: float = 1.0, seed: int = 0) -> None:
+        if scale <= 0:
+            raise KernelError("scale must be positive")
+        self.scale = scale
+        self.seed = seed
+        self._prepared = False
+
+    @abstractmethod
+    def prepare(self) -> None:
+        """Generate the kernel's dataset (idempotent)."""
+
+    @abstractmethod
+    def _execute(self, probe: MachineProbe) -> KernelResult:
+        """Run the kernel over the prepared dataset."""
+
+    def run(self, probe: MachineProbe = NULL_PROBE) -> KernelResult:
+        """Prepare if needed, execute, and time the kernel."""
+        if not self._prepared:
+            self.prepare()
+            self._prepared = True
+        start = time.perf_counter()
+        result = self._execute(probe)
+        elapsed = time.perf_counter() - start
+        return KernelResult(
+            kernel=result.kernel,
+            wall_seconds=elapsed,
+            inputs_processed=result.inputs_processed,
+            work=result.work,
+        )
+
+    def validate(self) -> None:
+        """Optional correctness self-check; raises on failure."""
+
+
+#: name -> factory (scale, seed) -> Kernel
+KERNEL_REGISTRY: dict[str, Callable[[float, int], Kernel]] = {}
+
+
+def register(cls: type[Kernel]) -> type[Kernel]:
+    """Class decorator adding a kernel to the registry."""
+    if not cls.name:
+        raise KernelError(f"{cls.__name__} has no kernel name")
+    if cls.name in KERNEL_REGISTRY:
+        raise KernelError(f"duplicate kernel name {cls.name!r}")
+    KERNEL_REGISTRY[cls.name] = lambda scale=1.0, seed=0: cls(scale=scale, seed=seed)
+    return cls
+
+
+def create_kernel(name: str, scale: float = 1.0, seed: int = 0) -> Kernel:
+    """Instantiate a registered kernel by name."""
+    try:
+        factory = KERNEL_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(KERNEL_REGISTRY))
+        raise KernelError(f"unknown kernel {name!r}; known: {known}") from None
+    return factory(scale, seed)
+
+
+def kernel_names() -> list[str]:
+    """All registered kernel names, sorted."""
+    return sorted(KERNEL_REGISTRY)

@@ -1,0 +1,118 @@
+"""GBWT kernel: haplotype-aware index search (from vg giraffe).
+
+Inputs (Table 3: "GBWT Query"): random haplotype subpaths of length
+1–100, exactly the paper's generator.  The kernel is the ``find``
+operation — a chain of last-first mappings through per-node records —
+plus the successor enumeration giraffe's filter stage needs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import KernelError
+from repro.index.gbwt import GBWT
+from repro.kernels.base import Kernel, KernelResult, register
+from repro.kernels.datasets import gbwt_queries, suite_data
+from repro.uarch.events import MachineProbe, OpClass
+
+
+@register
+class GBWTKernel(Kernel):
+    """Run ``find`` over a batch of haplotype subpath queries."""
+
+    name = "gbwt"
+    parent_tool = "giraffe"
+    input_type = "gbwt query"
+
+    #: Modelled record size: the GBWT's run-length-compressed records
+    #: are tens of bytes (Siren et al.).
+    RECORD_BYTES = 48
+
+    def prepare(self) -> None:
+        data = suite_data(self.scale, self.seed)
+        self.graph = data.graph
+        self.gbwt = GBWT.from_graph(data.graph)
+        n_queries = max(200, int(2000 * self.scale))
+        self.queries = gbwt_queries(data.graph, n_queries, seed=self.seed)
+        if not self.queries:
+            raise KernelError("no GBWT queries generated")
+        # Record layout in haplotype-path order: consecutive nodes of a
+        # haplotype sit in adjacent records, the locality property the
+        # paper credits for GBWT *not* being memory bound.
+        self.record_offset: dict[int, int] = {}
+        slot = 0
+        for name in data.graph.path_names():
+            for node_id in data.graph.path(name).nodes:
+                if node_id not in self.record_offset:
+                    self.record_offset[node_id] = slot
+                    slot += 1
+
+    def _execute(self, probe: MachineProbe) -> KernelResult:
+        matches = 0
+        successor_total = 0
+        extend_steps = 0
+        record_base = 1 << 24
+        record_bytes = self.RECORD_BYTES
+        for query in self.queries:
+            state = self.gbwt.full_state(query[0])
+            probe.load(record_base + self.record_offset[query[0]] * record_bytes, 16)
+            for node_id in query[1:]:
+                # Record lookup: adjacent haplotype nodes sit in adjacent
+                # records, so these loads stay local.
+                slot = self.record_offset[node_id]
+                probe.load(record_base + slot * record_bytes, 16)
+                probe.load(
+                    record_base + slot * record_bytes + (state.start % 4) * 8, 8
+                )
+                previous_size = state.size
+                state = self.gbwt.extend(state, node_id)
+                extend_steps += 1
+                # Data-dependent control flow: rank-scan length, block
+                # dispatch, and range-collapse checks all depend on the
+                # search state's contents (the front-end / bad-speculation
+                # source in Figure 6).
+                probe.alu(OpClass.SCALAR_ALU, 12)
+                probe.branch(site=90, taken=state.size != previous_size)
+                probe.branch(site=93, taken=state.size > 1)
+                if state.is_empty:
+                    probe.branch(site=94, taken=True)
+                    break
+                probe.branch(site=94, taken=False)
+            matches += state.size
+            successors = self.gbwt.successors(state)
+            successor_total += len(successors)
+            probe.alu(OpClass.SCALAR_ALU, 2 * max(1, state.size))
+            probe.branch(site=91, taken=len(successors) > 1)
+        return KernelResult(
+            kernel=self.name,
+            wall_seconds=0.0,
+            inputs_processed=len(self.queries),
+            work={
+                "matches": float(matches),
+                "extend_steps": float(extend_steps),
+                "mean_successors": successor_total / len(self.queries),
+            },
+        )
+
+    def validate(self) -> None:
+        """find() must agree with a naive haplotype scan on samples."""
+        if not self._prepared:
+            self.prepare()
+            self._prepared = True
+        rng = random.Random(self.seed)
+        paths = [self.graph.path(name).nodes for name in self.graph.path_names()]
+
+        def naive_count(query: tuple[int, ...]) -> int:
+            count = 0
+            for path in paths:
+                for index in range(len(path) - len(query) + 1):
+                    if path[index : index + len(query)] == query:
+                        count += 1
+            return count
+
+        for query in rng.sample(self.queries, min(20, len(self.queries))):
+            got = self.gbwt.find(query).size
+            want = naive_count(query)
+            if got != want:
+                raise KernelError(f"GBWT mismatch for {query}: {got} != {want}")

@@ -1,0 +1,69 @@
+"""TC kernel: seqwish's transitive closure (from PGGB).
+
+Inputs (Table 3: "Alignments"): the assemblies plus their all-to-all
+exact matches from wfmash.  The kernel is the closure pass itself —
+interval-tree chases over a seen-bitvector — run single-threaded like
+the paper's extracted version.
+"""
+
+from __future__ import annotations
+
+from repro.build.seqwish import transclose
+from repro.build.wfmash import all_to_all
+from repro.errors import KernelError
+from repro.kernels.base import Kernel, KernelResult, register
+from repro.kernels.datasets import suite_data
+from repro.uarch.events import MachineProbe
+
+
+@register
+class TCKernel(Kernel):
+    """Transitive closure of all-to-all alignment matches."""
+
+    name = "tc"
+    parent_tool = "pggb"
+    input_type = "alignments"
+
+    def prepare(self) -> None:
+        data = suite_data(self.scale, self.seed)
+        # The paper runs TC on assemblies; a subset keeps the quadratic
+        # all-to-all preparation proportional to scale.
+        n_assemblies = max(3, min(len(data.assemblies), int(3 + 3 * self.scale)))
+        self.records = list(data.assemblies[:n_assemblies])
+        self.matches, _ = all_to_all(self.records)
+        if not self.matches:
+            raise KernelError("no matches for TC")
+
+    def _execute(self, probe: MachineProbe) -> KernelResult:
+        result = transclose(self.records, self.matches, probe=probe)
+        stats = result.stats
+        return KernelResult(
+            kernel=self.name,
+            wall_seconds=0.0,
+            inputs_processed=len(self.matches),
+            work={
+                "positions": float(stats.positions),
+                "closures": float(stats.closures),
+                "tree_queries": float(stats.tree_queries),
+                "tree_nodes_visited": float(stats.tree_nodes_visited),
+                "bitvector_reads": float(stats.bitvector_reads),
+            },
+        )
+
+    def validate(self) -> None:
+        """Closures must be consistent: every match pair shares a closure,
+        and closure members share one character."""
+        if not self._prepared:
+            self.prepare()
+            self._prepared = True
+        result = transclose(self.records, self.matches)
+        text = "".join(record.sequence for record in self.records)
+        for match in self.matches[:200]:
+            q = result.offsets[match.query_name] + match.query_start
+            t = result.offsets[match.target_name] + match.target_start
+            for i in range(match.length):
+                if result.closure_of[q + i] != result.closure_of[t + i]:
+                    raise KernelError("matched positions in different closures")
+        for position, closure in enumerate(result.closure_of):
+            if text[position] != result.closure_base[closure]:
+                raise KernelError("closure merged different characters")

@@ -1,0 +1,59 @@
+"""TSU kernel: the GPU wavefront aligner (from PGGB/MC via wfmash).
+
+Inputs (Table 3: "10K long seqs"): sequence pairs at 1% error generated
+like the paper's TSU script.  Runs on the SIMT simulator; the kernel's
+"work" carries the Table 7 / Figure 9 profiling metrics.
+"""
+
+from __future__ import annotations
+
+from repro.align.myers import edit_distance
+from repro.errors import KernelError
+from repro.gpu.tsu import tsu_align_batch
+from repro.kernels.base import Kernel, KernelResult, register
+from repro.kernels.datasets import tsu_pairs
+from repro.uarch.events import MachineProbe
+
+
+@register
+class TSUKernel(Kernel):
+    """Batch-align sequence pairs with the simulated GPU WFA."""
+
+    name = "tsu"
+    parent_tool = "pggb"
+    input_type = "sequence pairs"
+
+    #: Scaled stand-in for the paper's 10 kbp pairs.
+    pair_length = 2000
+
+    def prepare(self) -> None:
+        n_pairs = max(4, int(12 * self.scale))
+        self.pairs = tsu_pairs(n_pairs, self.pair_length, error_rate=0.01,
+                               seed=self.seed)
+
+    def _execute(self, probe: MachineProbe) -> KernelResult:
+        result = tsu_align_batch(self.pairs)
+        report = result.report
+        return KernelResult(
+            kernel=self.name,
+            wall_seconds=0.0,
+            inputs_processed=len(self.pairs),
+            work={
+                "gpu_time_ms": report.time_ms,
+                "theoretical_occupancy": report.theoretical_occupancy,
+                "achieved_occupancy": report.achieved_occupancy,
+                "warp_utilization": report.warp_utilization,
+                "memory_bw_utilization": report.memory_bw_utilization,
+                "single_lane_extend_fraction": result.single_lane_extend_fraction,
+                "distance_total": float(sum(result.distances)),
+            },
+        )
+
+    def validate(self) -> None:
+        """GPU distances must equal exact edit distances (short sample)."""
+        short = tsu_pairs(2, 300, error_rate=0.02, seed=self.seed)
+        result = tsu_align_batch(short)
+        for (a, b), got in zip(short, result.distances):
+            want = edit_distance(a, b)
+            if got != want:
+                raise KernelError(f"TSU distance mismatch: {got} != {want}")

@@ -1,0 +1,17 @@
+"""Graph layout: path index, PGSGD (CPU) and PGSGD-GPU."""
+
+from repro.layout.export import layout_to_svg, write_layout_tsv
+from repro.layout.path_index import PathIndex, PathStep
+from repro.layout.pgsgd import PGSGDLayout, PGSGDParams, PGSGDResult, pgsgd_layout
+from repro.layout.pgsgd_gpu import (
+    PGSGD_GPU_REGISTERS_PER_THREAD,
+    PGSGDGPUResult,
+    pgsgd_layout_gpu,
+)
+
+__all__ = [
+    "layout_to_svg", "write_layout_tsv",
+    "PathIndex", "PathStep",
+    "PGSGDLayout", "PGSGDParams", "PGSGDResult", "pgsgd_layout",
+    "PGSGD_GPU_REGISTERS_PER_THREAD", "PGSGDGPUResult", "pgsgd_layout_gpu",
+]

@@ -1,0 +1,141 @@
+"""PGSGD-GPU: the CUDA pangenome layout kernel (Li et al., SC'24).
+
+Each thread picks an independent random anchor pair and applies the same
+Hogwild update as the CPU kernel; a warp therefore issues with high lane
+utilization (the warp-merging technique keeps ~88% of lanes busy) but
+every lane loads/stores a *different* random layout address, so nothing
+coalesces: a 32-lane load becomes up to 32 memory transactions, and
+occupancy (limited to 66.7% by the kernel's 44 registers/thread at block
+size 1024) cannot hide the resulting latency (Table 7).
+
+The simulator runs real updates on the same layout array as the CPU
+kernel and replays the access pattern onto the SIMT accounting model;
+the block-size study (1024 vs 256) from Section 5.3 is exposed via the
+``block_size`` parameter.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.gpu.simt import A6000, WARP_SIZE, GPUConfig, GPUKernelReport, GPUKernelRun
+from repro.graph.model import SequenceGraph
+from repro.layout.pgsgd import PGSGDLayout, PGSGDParams, PGSGDResult
+
+#: Registers per thread reported for the kernel (paper Section 5.3).
+PGSGD_GPU_REGISTERS_PER_THREAD = 44
+
+
+@dataclass(frozen=True)
+class PGSGDGPUResult:
+    """Layout result plus the GPU profiling report."""
+
+    layout: PGSGDResult
+    report: GPUKernelReport
+
+
+def pgsgd_layout_gpu(
+    graph: SequenceGraph,
+    params: PGSGDParams | None = None,
+    config: GPUConfig = A6000,
+    block_size: int = 1024,
+    warp_divergence_loss: float = 0.117,
+) -> PGSGDGPUResult:
+    """Run PGSGD on the simulated GPU.
+
+    The layout math reuses :class:`PGSGDLayout` (same updates, same
+    convergence); the GPU accounting maps every 32 consecutive updates to
+    one warp's lockstep execution with uncoalesced layout accesses.
+    ``warp_divergence_loss`` is the fraction of lanes idled by data-
+    dependent branches inside an update (the warp-merging technique keeps
+    this small; 1 - 0.117 = 88.3% utilization in the paper).
+    """
+    if block_size % WARP_SIZE:
+        raise SimulationError("block size must be a multiple of 32")
+    params = params or PGSGDParams()
+    cpu = PGSGDLayout(graph, params=params)
+    rng = random.Random(params.seed + 1)
+
+    total_updates = params.iterations * params.updates_per_iteration
+    threads = block_size * max(
+        1, config.sm_count
+    )  # grid sized to fill the device once
+    n_blocks = max(config.sm_count, total_updates // max(1, block_size * 4))
+    run = GPUKernelRun(
+        name="pgsgd_gpu",
+        config=config,
+        block_size=block_size,
+        registers_per_thread=PGSGD_GPU_REGISTERS_PER_THREAD,
+        n_blocks=n_blocks,
+        dependent_fraction=0.5,
+        # The full-size pangenome misses L1/L2 at the rates NCU reports
+        # (31.5% / 49.3% hits) -> ~35% of sectors reach DRAM.
+        dram_fraction=0.35,
+    )
+    layout_base = 1 << 20
+    bytes_per_anchor = PGSGDLayout.BYTES_PER_ANCHOR
+
+    active_lanes = max(1, round(WARP_SIZE * (1.0 - warp_divergence_loss)))
+    max_distance = max(cpu.index.path_length(i) for i in range(cpu.index.path_count))
+    schedule = params.schedule(eta_max=float(max_distance) ** 2)
+    stress_history = [cpu._sample_stress()]
+    updates = 0
+    pending_addresses: list[int] = []
+    for eta in schedule:
+        for _ in range(params.updates_per_iteration):
+            anchors = _one_update(cpu, eta, rng)
+            updates += 1
+            pending_addresses.extend(
+                layout_base + anchor * bytes_per_anchor for anchor in anchors
+            )
+            if len(pending_addresses) >= 2 * WARP_SIZE:
+                # One warp's worth of updates: ~20 arithmetic warp
+                # instructions (incl. RNG), 2 uncoalesced loads + 2
+                # uncoalesced stores.
+                run.issue(active_lanes, count=20)
+                for _ in range(2):
+                    run.memory(pending_addresses[:WARP_SIZE], bytes_per_lane=16)
+                for _ in range(2):
+                    run.memory(pending_addresses[WARP_SIZE:], bytes_per_lane=16)
+                pending_addresses.clear()
+        stress_history.append(cpu._sample_stress())
+
+    layout = PGSGDResult(
+        positions=[(p[0], p[1]) for p in cpu.positions],
+        updates=updates,
+        stress_history=stress_history,
+        path_index_work=cpu.index.build_work,
+    )
+    return PGSGDGPUResult(layout=layout, report=run.report())
+
+
+def _one_update(cpu: PGSGDLayout, eta: float, rng: random.Random) -> tuple[int, int]:
+    """Apply one update via the CPU kernel's math; returns touched anchors."""
+    step_a, step_b = cpu.index.sample_step_pair(rng, zipf_theta=cpu.params.zipf_theta)
+    end_a = rng.random() < 0.5
+    end_b = rng.random() < 0.5
+    anchor_a = cpu.anchor_of(step_a, end_a)
+    anchor_b = cpu.anchor_of(step_b, end_b)
+    if anchor_a == anchor_b:
+        return (anchor_a, anchor_b)
+    target = float(abs(
+        cpu.anchor_position(step_b, end_b) - cpu.anchor_position(step_a, end_a)
+    )) or 1.0
+    ax, ay = cpu.positions[anchor_a]
+    bx, by = cpu.positions[anchor_b]
+    dx, dy = ax - bx, ay - by
+    distance = math.sqrt(dx * dx + dy * dy)
+    if distance < 1e-9:
+        dx, dy, distance = 1.0, 0.0, 1.0
+    mu = min(1.0, eta / (target * target))
+    magnitude = mu * (distance - target) / 2.0
+    ux = dx / distance * magnitude
+    uy = dy / distance * magnitude
+    cpu.positions[anchor_a][0] = ax - ux
+    cpu.positions[anchor_a][1] = ay - uy
+    cpu.positions[anchor_b][0] = bx + ux
+    cpu.positions[anchor_b][1] = by + uy
+    return (anchor_a, anchor_b)

@@ -1,0 +1,51 @@
+"""Sequence substrate: alphabet, records, FASTA/FASTQ, variants, simulators."""
+
+from repro.sequence.alphabet import (
+    complement,
+    decode,
+    encode,
+    gc_content,
+    hamming_distance,
+    is_dna,
+    pack_2bit,
+    reverse_complement,
+    unpack_2bit,
+    validate_dna,
+)
+from repro.sequence.fasta import (
+    fasta_string,
+    parse_fasta,
+    parse_fastq,
+    read_fasta,
+    write_fasta,
+    write_fastq,
+)
+from repro.sequence.mutate import (
+    Variant,
+    VariantRates,
+    VariantType,
+    apply_variants,
+    sample_variants,
+)
+from repro.sequence.records import Read, ReadSet, SequenceRecord
+from repro.sequence.simulate import (
+    HIFI,
+    ILLUMINA,
+    Pangenome,
+    ReadProfile,
+    ReadSimulator,
+    random_genome,
+    simulate_pangenome,
+    simulate_reads,
+)
+
+__all__ = [
+    "complement", "decode", "encode", "gc_content", "hamming_distance",
+    "is_dna", "pack_2bit", "reverse_complement", "unpack_2bit", "validate_dna",
+    "fasta_string", "parse_fasta", "parse_fastq", "read_fasta", "write_fasta",
+    "write_fastq",
+    "Variant", "VariantRates", "VariantType", "apply_variants", "sample_variants",
+    "Read", "ReadSet", "SequenceRecord",
+    "HIFI", "ILLUMINA", "Pangenome", "ReadProfile", "ReadSimulator",
+    "random_genome", "simulate_pangenome", "simulate_reads",
+]

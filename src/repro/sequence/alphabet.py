@@ -1,0 +1,120 @@
+"""DNA alphabet utilities: validation, encoding, and complementation.
+
+The whole library works on uppercase ``A C G T`` strings (``N`` is accepted
+on input and resolved or rejected depending on the caller).  A 2-bit
+encoding is provided for kernels that model packed representations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SequenceError
+
+DNA_BASES = "ACGT"
+DNA_SET = frozenset(DNA_BASES)
+DNA_WITH_N = frozenset(DNA_BASES + "N")
+
+#: Base -> 2-bit code used across the library (A=0, C=1, G=2, T=3).
+BASE_TO_CODE = {base: code for code, base in enumerate(DNA_BASES)}
+CODE_TO_BASE = {code: base for base, code in BASE_TO_CODE.items()}
+
+_COMPLEMENT = str.maketrans("ACGTN", "TGCAN")
+
+# Lookup table from ASCII byte to 2-bit code; 255 marks invalid bytes.
+_ENCODE_TABLE = np.full(256, 255, dtype=np.uint8)
+for _base, _code in BASE_TO_CODE.items():
+    _ENCODE_TABLE[ord(_base)] = _code
+    _ENCODE_TABLE[ord(_base.lower())] = _code
+
+
+def is_dna(sequence: str, allow_n: bool = False) -> bool:
+    """Return True if *sequence* consists only of uppercase DNA bases."""
+    allowed = DNA_WITH_N if allow_n else DNA_SET
+    return all(ch in allowed for ch in sequence)
+
+
+def validate_dna(sequence: str, allow_n: bool = False, name: str = "sequence") -> str:
+    """Return *sequence* if it is valid DNA, else raise :class:`SequenceError`."""
+    if not sequence:
+        raise SequenceError(f"{name} is empty")
+    if not is_dna(sequence, allow_n=allow_n):
+        bad = sorted({ch for ch in sequence if ch not in DNA_WITH_N})
+        raise SequenceError(f"{name} contains invalid characters: {bad!r}")
+    return sequence
+
+
+def complement(sequence: str) -> str:
+    """Return the complement of *sequence* (N maps to N)."""
+    return sequence.translate(_COMPLEMENT)
+
+
+def reverse_complement(sequence: str) -> str:
+    """Return the reverse complement of *sequence*."""
+    return complement(sequence)[::-1]
+
+
+def encode(sequence: str) -> np.ndarray:
+    """Encode DNA into a ``uint8`` array of 2-bit codes (A=0 C=1 G=2 T=3).
+
+    Raises :class:`SequenceError` on characters outside ``ACGTacgt``.
+    """
+    raw = np.frombuffer(sequence.encode("ascii"), dtype=np.uint8)
+    codes = _ENCODE_TABLE[raw]
+    if (codes == 255).any():
+        bad_positions = np.nonzero(codes == 255)[0]
+        raise SequenceError(
+            f"cannot 2-bit encode character {sequence[bad_positions[0]]!r} "
+            f"at position {int(bad_positions[0])}"
+        )
+    return codes
+
+
+def decode(codes: np.ndarray) -> str:
+    """Decode a 2-bit code array back into a DNA string."""
+    if len(codes) == 0:
+        return ""
+    if codes.min() < 0 or codes.max() > 3:
+        raise SequenceError("codes out of range for 2-bit DNA decoding")
+    return "".join(CODE_TO_BASE[int(code)] for code in codes)
+
+
+def pack_2bit(sequence: str) -> tuple[np.ndarray, int]:
+    """Pack DNA into a little-endian 2-bit-per-base ``uint64`` array.
+
+    Returns ``(words, length)`` where base ``i`` occupies bits
+    ``2*(i % 32)`` of word ``i // 32``.  This mirrors the packed
+    representations used by the bit-parallel kernels.
+    """
+    codes = encode(sequence)
+    length = len(codes)
+    n_words = (length + 31) // 32
+    words = np.zeros(n_words, dtype=np.uint64)
+    for i, code in enumerate(codes):
+        words[i // 32] |= np.uint64(int(code)) << np.uint64(2 * (i % 32))
+    return words, length
+
+
+def unpack_2bit(words: np.ndarray, length: int) -> str:
+    """Inverse of :func:`pack_2bit`."""
+    bases = []
+    for i in range(length):
+        word = int(words[i // 32])
+        code = (word >> (2 * (i % 32))) & 0x3
+        bases.append(CODE_TO_BASE[code])
+    return "".join(bases)
+
+
+def gc_content(sequence: str) -> float:
+    """Fraction of G/C bases in *sequence* (0.0 for the empty string)."""
+    if not sequence:
+        return 0.0
+    gc = sum(1 for ch in sequence if ch in "GC")
+    return gc / len(sequence)
+
+
+def hamming_distance(a: str, b: str) -> int:
+    """Hamming distance between equal-length sequences."""
+    if len(a) != len(b):
+        raise SequenceError("hamming_distance requires equal-length sequences")
+    return sum(1 for x, y in zip(a, b) if x != y)

@@ -1,0 +1,151 @@
+"""Minimal FASTA / FASTQ reading and writing.
+
+Only the features the benchmark suite needs: multi-record FASTA with
+wrapped lines, and 4-line FASTQ.  Everything round-trips through
+:class:`~repro.sequence.records.SequenceRecord` and
+:class:`~repro.sequence.records.Read`.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.errors import SequenceError
+from repro.sequence.records import Read, SequenceRecord
+
+_PHRED_OFFSET = 33
+
+
+def _open_text(source: str | Path | TextIO) -> tuple[TextIO, bool]:
+    """Return (handle, should_close) for a path or an open text handle."""
+    if isinstance(source, (str, Path)):
+        return open(source, "r", encoding="ascii"), True
+    return source, False
+
+
+def parse_fasta(source: str | Path | TextIO) -> Iterator[SequenceRecord]:
+    """Yield :class:`SequenceRecord` objects from FASTA *source*.
+
+    Accepts a path or an open text handle.  Sequence lines may be wrapped.
+    """
+    handle, should_close = _open_text(source)
+    try:
+        name = ""
+        description = ""
+        chunks: list[str] = []
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith(">"):
+                if name:
+                    yield SequenceRecord(name, "".join(chunks).upper(), description)
+                header = line[1:].strip()
+                if not header:
+                    raise SequenceError(f"line {line_number}: empty FASTA header")
+                name, _, description = header.partition(" ")
+                chunks = []
+            else:
+                if not name:
+                    raise SequenceError(
+                        f"line {line_number}: sequence data before any FASTA header"
+                    )
+                chunks.append(line.strip())
+        if name:
+            yield SequenceRecord(name, "".join(chunks).upper(), description)
+    finally:
+        if should_close:
+            handle.close()
+
+
+def read_fasta(source: str | Path | TextIO) -> list[SequenceRecord]:
+    """Read all FASTA records from *source* into a list."""
+    return list(parse_fasta(source))
+
+
+def write_fasta(
+    records: Iterable[SequenceRecord],
+    destination: str | Path | TextIO,
+    line_width: int = 80,
+) -> None:
+    """Write *records* to *destination* in FASTA format."""
+    if line_width <= 0:
+        raise SequenceError("line_width must be positive")
+    handle: TextIO
+    if isinstance(destination, (str, Path)):
+        handle = open(destination, "w", encoding="ascii")
+        should_close = True
+    else:
+        handle = destination
+        should_close = False
+    try:
+        for record in records:
+            header = record.name
+            if record.description:
+                header = f"{header} {record.description}"
+            handle.write(f">{header}\n")
+            seq = record.sequence
+            for offset in range(0, len(seq), line_width):
+                handle.write(seq[offset : offset + line_width] + "\n")
+    finally:
+        if should_close:
+            handle.close()
+
+
+def fasta_string(records: Iterable[SequenceRecord], line_width: int = 80) -> str:
+    """Render *records* as a FASTA string."""
+    buffer = io.StringIO()
+    write_fasta(records, buffer, line_width=line_width)
+    return buffer.getvalue()
+
+
+def parse_fastq(source: str | Path | TextIO) -> Iterator[Read]:
+    """Yield :class:`Read` objects from 4-line FASTQ *source*."""
+    handle, should_close = _open_text(source)
+    try:
+        while True:
+            header = handle.readline()
+            if not header:
+                return
+            header = header.rstrip("\n")
+            if not header.startswith("@"):
+                raise SequenceError(f"FASTQ header must start with '@': {header!r}")
+            sequence = handle.readline().rstrip("\n")
+            plus = handle.readline().rstrip("\n")
+            quality = handle.readline().rstrip("\n")
+            if not plus.startswith("+"):
+                raise SequenceError(f"FASTQ separator must start with '+': {plus!r}")
+            if len(quality) != len(sequence):
+                raise SequenceError(
+                    f"FASTQ quality length {len(quality)} != sequence length "
+                    f"{len(sequence)} for read {header[1:]!r}"
+                )
+            name = header[1:].split(" ", 1)[0]
+            phred = tuple(ord(ch) - _PHRED_OFFSET for ch in quality)
+            yield Read(name=name, sequence=sequence.upper(), quality=phred)
+    finally:
+        if should_close:
+            handle.close()
+
+
+def write_fastq(reads: Iterable[Read], destination: str | Path | TextIO) -> None:
+    """Write *reads* to *destination* in 4-line FASTQ format.
+
+    Reads without qualities get a constant Q30 string.
+    """
+    if isinstance(destination, (str, Path)):
+        handle = open(destination, "w", encoding="ascii")
+        should_close = True
+    else:
+        handle = destination
+        should_close = False
+    try:
+        for read in reads:
+            quality = read.quality or tuple([30] * len(read.sequence))
+            quality_string = "".join(chr(q + _PHRED_OFFSET) for q in quality)
+            handle.write(f"@{read.name}\n{read.sequence}\n+\n{quality_string}\n")
+    finally:
+        if should_close:
+            handle.close()

@@ -1,0 +1,130 @@
+"""Sequence record types shared across the library.
+
+A :class:`SequenceRecord` is a named DNA sequence (an assembly, a contig, a
+haplotype).  A :class:`Read` is a sequencing read sampled from some truth
+sequence, carrying its provenance for accuracy evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SequenceError
+from repro.sequence.alphabet import reverse_complement, validate_dna
+
+
+@dataclass(frozen=True)
+class SequenceRecord:
+    """A named DNA sequence.
+
+    Attributes:
+        name: Unique identifier (FASTA header token).
+        sequence: Uppercase DNA string.
+        description: Optional free-form description (rest of FASTA header).
+    """
+
+    name: str
+    sequence: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SequenceError("sequence record needs a non-empty name")
+        validate_dna(self.sequence, allow_n=True, name=f"record {self.name!r}")
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def subsequence(self, start: int, end: int, name: str | None = None) -> "SequenceRecord":
+        """Return records[start:end] as a new record (half-open interval)."""
+        if not 0 <= start <= end <= len(self.sequence):
+            raise SequenceError(
+                f"invalid slice [{start}, {end}) of record {self.name!r} "
+                f"with length {len(self.sequence)}"
+            )
+        return SequenceRecord(
+            name=name or f"{self.name}:{start}-{end}",
+            sequence=self.sequence[start:end],
+            description=self.description,
+        )
+
+    def reverse_complement(self) -> "SequenceRecord":
+        """Return the reverse-complement record, suffixing the name."""
+        return SequenceRecord(
+            name=f"{self.name}_rc",
+            sequence=reverse_complement(self.sequence),
+            description=self.description,
+        )
+
+
+@dataclass(frozen=True)
+class Read:
+    """A simulated sequencing read with provenance.
+
+    Attributes:
+        name: Read identifier.
+        sequence: Read bases as sequenced (errors included).
+        truth_name: Name of the source sequence the read was sampled from.
+        truth_start: 0-based start of the sampled window on the source.
+        truth_end: End (exclusive) of the sampled window.
+        is_reverse: True if the read is the reverse complement of the window.
+        quality: Optional per-base Phred qualities.
+    """
+
+    name: str
+    sequence: str
+    truth_name: str = ""
+    truth_start: int = -1
+    truth_end: int = -1
+    is_reverse: bool = False
+    quality: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SequenceError("read needs a non-empty name")
+        validate_dna(self.sequence, allow_n=True, name=f"read {self.name!r}")
+        if self.quality and len(self.quality) != len(self.sequence):
+            raise SequenceError(
+                f"read {self.name!r}: quality length {len(self.quality)} "
+                f"does not match sequence length {len(self.sequence)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    @property
+    def has_provenance(self) -> bool:
+        """True if the read records where it was sampled from."""
+        return bool(self.truth_name) and self.truth_start >= 0
+
+
+@dataclass(frozen=True)
+class ReadSet:
+    """An immutable collection of reads with summary statistics."""
+
+    reads: tuple[Read, ...]
+
+    def __len__(self) -> int:
+        return len(self.reads)
+
+    def __iter__(self):
+        return iter(self.reads)
+
+    def __getitem__(self, index: int) -> Read:
+        return self.reads[index]
+
+    @property
+    def total_bases(self) -> int:
+        return sum(len(read) for read in self.reads)
+
+    @property
+    def mean_length(self) -> float:
+        if not self.reads:
+            return 0.0
+        return self.total_bases / len(self.reads)
+
+    def coverage(self, genome_length: int) -> float:
+        """Sequencing depth over a genome of *genome_length* bases."""
+        if genome_length <= 0:
+            raise SequenceError("genome_length must be positive")
+        return self.total_bases / genome_length

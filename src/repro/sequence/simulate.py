@@ -1,0 +1,220 @@
+"""Synthetic genomes, pangenome populations, and sequencing reads.
+
+The paper evaluates on HG002 reads mapped against the HPRC chromosome-20
+pangenome.  We have no access to those multi-gigabyte datasets, so this
+module generates the closest synthetic equivalents: an ancestral genome,
+a population of haplotypes diverged from it by a typed variant model, and
+reads with Illumina-like and PacBio-HiFi-like profiles (lengths and error
+rates taken from Section 4.2 of the paper).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import SequenceError
+from repro.sequence.alphabet import DNA_BASES, reverse_complement
+from repro.sequence.mutate import VariantRates, apply_variants, sample_variants
+from repro.sequence.records import Read, ReadSet, SequenceRecord
+
+
+def random_genome(length: int, seed: int = 0, gc: float = 0.41) -> SequenceRecord:
+    """Generate a random genome of *length* bases with GC fraction *gc*.
+
+    GC defaults to the human genome-wide average.  Runs of low-complexity
+    sequence are injected at a low rate so minimizer density varies like
+    it does on real genomes.
+    """
+    if length <= 0:
+        raise SequenceError("genome length must be positive")
+    if not 0.0 < gc < 1.0:
+        raise SequenceError("gc must be in (0, 1)")
+    rng = random.Random(seed)
+    at_each = (1.0 - gc) / 2.0
+    gc_each = gc / 2.0
+    weights = [at_each, gc_each, gc_each, at_each]  # A C G T
+    bases: list[str] = []
+    while len(bases) < length:
+        if rng.random() < 0.002 and length - len(bases) > 50:
+            # Low-complexity run: short tandem repeat of a random 1-4mer.
+            unit = "".join(rng.choice(DNA_BASES) for _ in range(rng.randint(1, 4)))
+            copies = rng.randint(5, 25)
+            bases.extend((unit * copies)[: length - len(bases)])
+        else:
+            bases.append(rng.choices(DNA_BASES, weights=weights)[0])
+    return SequenceRecord("ancestor", "".join(bases[:length]))
+
+
+@dataclass(frozen=True)
+class Pangenome:
+    """A synthetic population: an ancestor and diverged haplotypes.
+
+    Attributes:
+        ancestor: The ancestral reference the haplotypes diverged from.
+        haplotypes: The population of assembled haplotype sequences.
+    """
+
+    ancestor: SequenceRecord
+    haplotypes: tuple[SequenceRecord, ...]
+
+    @property
+    def records(self) -> list[SequenceRecord]:
+        """All sequences, ancestor first (the usual graph-building input)."""
+        return [self.ancestor, *self.haplotypes]
+
+    def __len__(self) -> int:
+        return len(self.haplotypes)
+
+
+def simulate_pangenome(
+    genome_length: int = 20_000,
+    n_haplotypes: int = 8,
+    seed: int = 0,
+    rates: VariantRates | None = None,
+) -> Pangenome:
+    """Simulate a pangenome population.
+
+    Each haplotype gets an independent variant set against the shared
+    ancestor, so pairs of haplotypes share the ancestor's backbone but
+    differ at their private variant sites — the same structure that makes
+    real pangenome graphs mostly-linear with local bubbles.
+    """
+    if n_haplotypes < 1:
+        raise SequenceError("need at least one haplotype")
+    ancestor = random_genome(genome_length, seed=seed)
+    rates = rates or VariantRates()
+    haplotypes = []
+    for index in range(n_haplotypes):
+        rng = random.Random(f"{seed}-haplotype-{index}")
+        variants = sample_variants(ancestor.sequence, rates=rates, rng=rng)
+        sequence = apply_variants(ancestor.sequence, variants)
+        haplotypes.append(SequenceRecord(f"hap{index}", sequence))
+    return Pangenome(ancestor=ancestor, haplotypes=tuple(haplotypes))
+
+
+@dataclass(frozen=True)
+class ReadProfile:
+    """A sequencing technology profile.
+
+    Attributes:
+        name: Profile label.
+        mean_length: Mean read length in bases.
+        length_sd: Standard deviation of read length (0 for fixed-length).
+        substitution_rate: Per-base substitution error probability.
+        insertion_rate: Per-base insertion error probability.
+        deletion_rate: Per-base deletion error probability.
+    """
+
+    name: str
+    mean_length: int
+    length_sd: int
+    substitution_rate: float
+    insertion_rate: float
+    deletion_rate: float
+
+    @property
+    def error_rate(self) -> float:
+        return self.substitution_rate + self.insertion_rate + self.deletion_rate
+
+
+#: Illumina HiSeq-like short reads (150 bp, as in Table 2).
+ILLUMINA = ReadProfile("illumina", mean_length=150, length_sd=0,
+                       substitution_rate=0.002, insertion_rate=0.0001,
+                       deletion_rate=0.0001)
+
+#: PacBio HiFi-like long reads (~15 kbp mean, ~1% error, as in Table 2/4.2).
+HIFI = ReadProfile("hifi", mean_length=15_000, length_sd=3_000,
+                   substitution_rate=0.004, insertion_rate=0.003,
+                   deletion_rate=0.003)
+
+
+@dataclass
+class ReadSimulator:
+    """Samples error-bearing reads from a truth sequence.
+
+    Attributes:
+        profile: The sequencing technology profile.
+        seed: RNG seed; every simulator with the same seed and inputs
+            produces the same reads.
+    """
+
+    profile: ReadProfile
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(f"{self.seed}-{self.profile.name}")
+
+    def simulate(
+        self,
+        truth: SequenceRecord,
+        n_reads: int | None = None,
+        coverage: float | None = None,
+        both_strands: bool = True,
+    ) -> ReadSet:
+        """Sample reads from *truth*.
+
+        Exactly one of *n_reads* and *coverage* must be given; coverage is
+        converted to a read count with the profile's mean length.
+        """
+        if (n_reads is None) == (coverage is None):
+            raise SequenceError("specify exactly one of n_reads / coverage")
+        if coverage is not None:
+            n_reads = max(1, round(coverage * len(truth) / self.profile.mean_length))
+        assert n_reads is not None
+        reads = [self._one_read(truth, index, both_strands) for index in range(n_reads)]
+        return ReadSet(tuple(reads))
+
+    def _one_read(self, truth: SequenceRecord, index: int, both_strands: bool) -> Read:
+        length = self._sample_length(len(truth))
+        start = self._rng.randrange(0, len(truth) - length + 1)
+        window = truth.sequence[start : start + length]
+        is_reverse = both_strands and self._rng.random() < 0.5
+        if is_reverse:
+            window = reverse_complement(window)
+        sequence = self._apply_errors(window)
+        return Read(
+            name=f"{truth.name}_read{index}",
+            sequence=sequence,
+            truth_name=truth.name,
+            truth_start=start,
+            truth_end=start + length,
+            is_reverse=is_reverse,
+        )
+
+    def _sample_length(self, truth_length: int) -> int:
+        if self.profile.length_sd == 0:
+            length = self.profile.mean_length
+        else:
+            length = round(self._rng.gauss(self.profile.mean_length, self.profile.length_sd))
+        length = max(20, min(length, truth_length))
+        return length
+
+    def _apply_errors(self, window: str) -> str:
+        out: list[str] = []
+        for base in window:
+            roll = self._rng.random()
+            if roll < self.profile.deletion_rate:
+                continue
+            if roll < self.profile.deletion_rate + self.profile.insertion_rate:
+                out.append(self._rng.choice(DNA_BASES))
+                out.append(base)
+            elif roll < self.profile.error_rate:
+                out.append(self._rng.choice([b for b in DNA_BASES if b != base]))
+            else:
+                out.append(base)
+        if not out:
+            out.append(window[0])
+        return "".join(out)
+
+
+def simulate_reads(
+    truth: SequenceRecord,
+    profile: ReadProfile = ILLUMINA,
+    n_reads: int | None = None,
+    coverage: float | None = None,
+    seed: int = 0,
+) -> ReadSet:
+    """Convenience wrapper around :class:`ReadSimulator`."""
+    return ReadSimulator(profile, seed=seed).simulate(truth, n_reads=n_reads, coverage=coverage)

@@ -1,0 +1,29 @@
+"""End-to-end tool models: mappers and graph-building pipelines."""
+
+from repro.tools.base import (
+    STAGES,
+    MappingResult,
+    StageTimer,
+    ToolRun,
+)
+from repro.tools.bwa import BwaConfig, BwaMem
+from repro.tools.giraffe import Giraffe, GiraffeConfig, HaplotypeExtension
+from repro.tools.graphaligner import GraphAligner, GraphAlignerConfig
+from repro.tools.minigraph import Minigraph, MinigraphConfig
+from repro.tools.pipelines import (
+    BUILD_STAGES,
+    PipelineRun,
+    run_minigraph_cactus,
+    run_pggb,
+)
+from repro.tools.vg_map import VgMap, VgMapConfig
+
+__all__ = [
+    "STAGES", "MappingResult", "StageTimer", "ToolRun",
+    "BwaConfig", "BwaMem",
+    "Giraffe", "GiraffeConfig", "HaplotypeExtension",
+    "GraphAligner", "GraphAlignerConfig",
+    "Minigraph", "MinigraphConfig",
+    "BUILD_STAGES", "PipelineRun", "run_minigraph_cactus", "run_pggb",
+    "VgMap", "VgMapConfig",
+]

@@ -1,0 +1,94 @@
+"""Shared infrastructure for the end-to-end tool models.
+
+Every tool runs the pipeline stages of Figure 1 (seed, cluster/chain,
+filter, align) and reports per-stage wall-clock time plus work counters,
+which is exactly what the paper's Figure 2 breakdown and Table 1
+extrapolation consume.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ReproError
+from repro.sequence.records import Read
+
+#: Canonical stage names, in pipeline order (Figure 1).
+STAGES = ("seed", "cluster", "filter", "align")
+
+
+class StageTimer:
+    """Accumulates wall-clock seconds per named stage."""
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[name] = self.seconds.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Stage fractions of total runtime (Figure 2's arcs)."""
+        total = self.total
+        if total <= 0:
+            raise ReproError("no stage time recorded")
+        return {name: seconds / total for name, seconds in self.seconds.items()}
+
+
+@dataclass(frozen=True)
+class MappingResult:
+    """Outcome of mapping one read."""
+
+    read_name: str
+    mapped: bool
+    score: float
+    node_id: int = -1
+    node_offset: int = -1
+    details: str = ""
+
+
+@dataclass
+class ToolRun:
+    """One end-to-end tool execution."""
+
+    tool: str
+    results: list[MappingResult] = field(default_factory=list)
+    timer: StageTimer = field(default_factory=StageTimer)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mapped_fraction(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(1 for result in self.results if result.mapped) / len(self.results)
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "tool": self.tool,
+            "reads": len(self.results),
+            "mapped_fraction": round(self.mapped_fraction, 4),
+            "stage_seconds": {k: round(v, 4) for k, v in self.timer.seconds.items()},
+            "counters": dict(self.counters),
+        }
+
+
+def check_reads(reads: list[Read]) -> list[Read]:
+    if not reads:
+        raise ReproError("no reads to map")
+    return reads

@@ -1,0 +1,27 @@
+"""CPU characterization instruments: probes, caches, predictors, top-down."""
+
+from repro.uarch.branch import BimodalPredictor, BranchStats, GsharePredictor
+from repro.uarch.cache import (
+    LINE_SIZE,
+    MACHINE_A,
+    MACHINE_B,
+    CacheConfig,
+    CacheHierarchy,
+    CacheLevel,
+)
+from repro.uarch.events import NULL_PROBE, AddressSpace, MachineProbe, OpClass
+from repro.uarch.machine import OP_LATENCY, MachineSummary, TraceMachine
+from repro.uarch.topdown import (
+    PIPELINE_WIDTH,
+    TopDownResult,
+    analyze,
+)
+
+__all__ = [
+    "BimodalPredictor", "BranchStats", "GsharePredictor",
+    "LINE_SIZE", "MACHINE_A", "MACHINE_B", "CacheConfig", "CacheHierarchy",
+    "CacheLevel",
+    "NULL_PROBE", "AddressSpace", "MachineProbe", "OpClass",
+    "OP_LATENCY", "MachineSummary", "TraceMachine",
+    "PIPELINE_WIDTH", "TopDownResult", "analyze",
+]

@@ -1,0 +1,86 @@
+"""Branch predictors for the bad-speculation component of the top-down
+model.
+
+Kernels report conditional branches as (static site, outcome) pairs; a
+gshare predictor (global history XOR site, 2-bit saturating counters)
+consumes the stream.  Data-dependent branches (GBV's merge outcomes,
+GBWT's index walks) mispredict heavily; loop-ish branches are absorbed by
+the history — the same qualitative split VTune shows in Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class BranchStats:
+    """Aggregate prediction statistics."""
+
+    branches: int = 0
+    mispredictions: int = 0
+    taken: int = 0
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.branches if self.branches else 0.0
+
+
+class GsharePredictor:
+    """Gshare: 2-bit counters indexed by (site XOR global history)."""
+
+    def __init__(self, table_bits: int = 12, history_bits: int = 12) -> None:
+        if table_bits < 2 or history_bits < 1:
+            raise SimulationError("bad predictor configuration")
+        self.table_bits = table_bits
+        self.mask = (1 << table_bits) - 1
+        self.history_mask = (1 << history_bits) - 1
+        self.table = [2] * (1 << table_bits)  # weakly taken
+        self.history = 0
+        self.stats = BranchStats()
+
+    def predict_and_update(self, site: int, taken: bool) -> bool:
+        """Record one branch; returns True if it was predicted correctly."""
+        index = (site ^ self.history) & self.mask
+        counter = self.table[index]
+        prediction = counter >= 2
+        correct = prediction == taken
+        self.stats.branches += 1
+        if taken:
+            self.stats.taken += 1
+            if counter < 3:
+                self.table[index] = counter + 1
+        else:
+            if counter > 0:
+                self.table[index] = counter - 1
+        if not correct:
+            self.stats.mispredictions += 1
+        self.history = ((self.history << 1) | int(taken)) & self.history_mask
+        return correct
+
+
+class BimodalPredictor:
+    """Per-site 2-bit counters (no history) — a weaker baseline."""
+
+    def __init__(self, table_bits: int = 12) -> None:
+        self.mask = (1 << table_bits) - 1
+        self.table = [2] * (1 << table_bits)
+        self.stats = BranchStats()
+
+    def predict_and_update(self, site: int, taken: bool) -> bool:
+        index = site & self.mask
+        counter = self.table[index]
+        prediction = counter >= 2
+        correct = prediction == taken
+        self.stats.branches += 1
+        if taken:
+            self.stats.taken += 1
+            if counter < 3:
+                self.table[index] = counter + 1
+        elif counter > 0:
+            self.table[index] = counter - 1
+        if not correct:
+            self.stats.mispredictions += 1
+        return correct

@@ -1,0 +1,108 @@
+"""Semantic event interface between kernels and the CPU model.
+
+The paper characterizes kernels with VTune (top-down, cache misses) and
+PIN (instruction mix) on real hardware.  Our kernels instead emit
+*semantic events* — typed ALU operations, loads/stores with synthetic
+addresses, and branches with outcomes — to a :class:`MachineProbe`.
+A :class:`NullProbe` makes instrumentation free for pure timing runs;
+:class:`repro.uarch.machine.TraceMachine` consumes the same events to
+drive a cache simulator, a branch predictor, and the top-down model.
+
+Addresses are synthetic but *structured*: each data structure reserves a
+region of a flat address space and kernels report the true index math, so
+spatial and temporal locality in the event stream equal the locality of
+the real access pattern.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class OpClass(Enum):
+    """Hierarchical instruction classes, binned like the paper's Figure 8.
+
+    The paper bins hierarchically (vector > memory > branch > scalar >
+    register, read top-to-bottom/left-to-right of their legend); events
+    here carry one class each and the binner applies the same precedence.
+    """
+
+    VECTOR_ALU = "vector_alu"        # packed SIMD arithmetic/logic
+    VECTOR_FP = "vector_fp"          # SSE/AVX floating point (incl. scalar SSE)
+    SCALAR_ALU = "scalar_alu"        # integer add/sub/logic/shift
+    SCALAR_MUL_DIV = "scalar_muldiv" # multiplies, divides, sqrt
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    REGISTER = "register"            # register-to-register moves
+    NOP = "nop"
+
+
+class MachineProbe:
+    """No-op probe; the base class documents the event interface.
+
+    Subclasses override any subset.  All methods must be cheap: kernels
+    call them in inner loops.
+    """
+
+    __slots__ = ()
+
+    def alu(self, op_class: OpClass, count: int = 1, dependent: bool = False) -> None:
+        """*count* arithmetic/logic operations of *op_class*.
+
+        ``dependent=True`` marks operations on a loop-carried dependency
+        chain (e.g. DP recurrences along the serial axis): the pipeline
+        model charges their full latency serially instead of assuming
+        they overlap.
+        """
+
+    def load(self, address: int, size: int = 8) -> None:
+        """A data load of *size* bytes at synthetic *address*."""
+
+    def store(self, address: int, size: int = 8) -> None:
+        """A data store of *size* bytes at synthetic *address*."""
+
+    def branch(self, site: int, taken: bool) -> None:
+        """A conditional branch at static *site* with its outcome."""
+
+    def branch_run(self, site: int, taken_count: int) -> None:
+        """A loop-back branch taken *taken_count* times then not taken.
+
+        Equivalent to ``taken_count`` taken outcomes plus one not-taken,
+        but cheap to record (predictors learn the taken direction after
+        a couple of iterations, so only the boundary events matter).
+        """
+        for _ in range(min(taken_count, 3)):
+            self.branch(site, True)
+        self.branch(site, False)
+
+    def touch_region(self, address: int, size: int, stride: int = 64) -> None:
+        """Sequential loads over [address, address+size) at *stride*."""
+        for offset in range(0, size, stride):
+            self.load(address + offset, min(stride, size - offset))
+
+
+#: Shared do-nothing probe for pure timing runs.
+NULL_PROBE = MachineProbe()
+
+
+class AddressSpace:
+    """Allocates disjoint synthetic address regions for data structures.
+
+    Regions are aligned to 4 KiB pages so distinct structures never share
+    cache lines, mirroring separate heap allocations.
+    """
+
+    PAGE = 4096
+
+    def __init__(self, base: int = 1 << 20) -> None:
+        self._next = base
+
+    def alloc(self, size: int) -> int:
+        """Reserve *size* bytes; returns the region's base address."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        base = self._next
+        pages = (size + self.PAGE - 1) // self.PAGE
+        self._next += max(1, pages) * self.PAGE
+        return base

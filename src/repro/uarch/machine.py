@@ -1,0 +1,159 @@
+"""TraceMachine: the recording probe that drives the CPU model.
+
+Plugs into any kernel's ``probe`` parameter; every semantic event updates
+instruction-mix counters, feeds the cache hierarchy, or trains the branch
+predictor.  :meth:`TraceMachine.summary` freezes the run into a
+:class:`MachineSummary`, the input to the top-down model and the MPKI /
+instruction-mix reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.uarch.branch import BranchStats, GsharePredictor
+from repro.uarch.cache import MACHINE_B, CacheConfig, CacheHierarchy
+from repro.uarch.events import MachineProbe, OpClass
+
+#: Result latency (cycles) per operation class, charged serially for
+#: dependent (loop-carried) operations.
+OP_LATENCY: dict[OpClass, float] = {
+    OpClass.VECTOR_ALU: 1.0,
+    OpClass.VECTOR_FP: 4.0,
+    OpClass.SCALAR_ALU: 1.0,
+    OpClass.SCALAR_MUL_DIV: 18.0,
+    OpClass.LOAD: 4.0,
+    OpClass.STORE: 1.0,
+    OpClass.BRANCH: 1.0,
+    OpClass.REGISTER: 0.5,
+    OpClass.NOP: 0.0,
+}
+
+
+@dataclass(frozen=True)
+class MachineSummary:
+    """Frozen view of one instrumented run."""
+
+    op_counts: dict[OpClass, int]
+    load_level_counts: dict[int, int]   # 1=L1 .. 4=memory (loads)
+    store_level_counts: dict[int, int]  # same, for stores
+    branch_stats: BranchStats
+    dependent_latency_cycles: float
+    cache_config: CacheConfig
+    l1_misses: int
+    l2_misses: int
+    l3_misses: int
+
+    @property
+    def instructions(self) -> int:
+        return sum(self.op_counts.values())
+
+    @property
+    def loads(self) -> int:
+        return self.op_counts.get(OpClass.LOAD, 0)
+
+    @property
+    def stores(self) -> int:
+        return self.op_counts.get(OpClass.STORE, 0)
+
+    def mpki(self) -> dict[str, float]:
+        """Exclusive misses per kilo-instruction (paper Figure 7)."""
+        instructions = self.instructions
+        if instructions == 0:
+            raise SimulationError("no instructions recorded")
+        scale = 1000.0 / instructions
+        return {
+            "l1": (self.l1_misses - self.l2_misses) * scale,
+            "l2": (self.l2_misses - self.l3_misses) * scale,
+            "l3": self.l3_misses * scale,
+        }
+
+    def instruction_mix(self) -> dict[str, float]:
+        """Fractional instruction mix with the paper's hierarchical bins
+        (Figure 8): vector > memory > branch > scalar > register."""
+        instructions = self.instructions
+        if instructions == 0:
+            raise SimulationError("no instructions recorded")
+        vector = (
+            self.op_counts.get(OpClass.VECTOR_ALU, 0)
+            + self.op_counts.get(OpClass.VECTOR_FP, 0)
+        )
+        memory = self.loads + self.stores
+        branch = self.op_counts.get(OpClass.BRANCH, 0)
+        scalar = (
+            self.op_counts.get(OpClass.SCALAR_ALU, 0)
+            + self.op_counts.get(OpClass.SCALAR_MUL_DIV, 0)
+        )
+        register = self.op_counts.get(OpClass.REGISTER, 0) + self.op_counts.get(
+            OpClass.NOP, 0
+        )
+        return {
+            "vector": vector / instructions,
+            "memory": memory / instructions,
+            "branch": branch / instructions,
+            "scalar": scalar / instructions,
+            "register": register / instructions,
+        }
+
+
+class TraceMachine(MachineProbe):
+    """Recording probe: cache + branch predictor + instruction counters."""
+
+    def __init__(self, cache_config: CacheConfig = MACHINE_B) -> None:
+        self.cache_config = cache_config
+        self.cache = CacheHierarchy(cache_config)
+        self.predictor = GsharePredictor()
+        self.op_counts: dict[OpClass, int] = {op: 0 for op in OpClass}
+        self.load_levels = {1: 0, 2: 0, 3: 0, 4: 0}
+        self.store_levels = {1: 0, 2: 0, 3: 0, 4: 0}
+        self.dependent_latency_cycles = 0.0
+
+    def alu(self, op_class: OpClass, count: int = 1, dependent: bool = False) -> None:
+        self.op_counts[op_class] += count
+        if dependent:
+            self.dependent_latency_cycles += count * OP_LATENCY[op_class]
+
+    def load(self, address: int, size: int = 8) -> None:
+        self.op_counts[OpClass.LOAD] += 1
+        level = self.cache.access(address, size)
+        self.load_levels[level] += 1
+
+    def store(self, address: int, size: int = 8) -> None:
+        self.op_counts[OpClass.STORE] += 1
+        level = self.cache.access(address, size)
+        self.store_levels[level] += 1
+
+    def branch(self, site: int, taken: bool) -> None:
+        self.op_counts[OpClass.BRANCH] += 1
+        self.predictor.predict_and_update(site, taken)
+
+    def branch_run(self, site: int, taken_count: int) -> None:
+        """Loop-back branch: train on the first iterations, batch the rest
+        (a saturated predictor gets the remaining taken outcomes right)."""
+        trained = min(taken_count, 3)
+        for _ in range(trained):
+            self.branch(site, True)
+        remaining = taken_count - trained
+        if remaining > 0:
+            self.op_counts[OpClass.BRANCH] += remaining
+            self.predictor.stats.branches += remaining
+            self.predictor.stats.taken += remaining
+        self.branch(site, False)
+
+    def summary(self) -> MachineSummary:
+        return MachineSummary(
+            op_counts=dict(self.op_counts),
+            load_level_counts=dict(self.load_levels),
+            store_level_counts=dict(self.store_levels),
+            branch_stats=BranchStats(
+                branches=self.predictor.stats.branches,
+                mispredictions=self.predictor.stats.mispredictions,
+                taken=self.predictor.stats.taken,
+            ),
+            dependent_latency_cycles=self.dependent_latency_cycles,
+            cache_config=self.cache_config,
+            l1_misses=self.cache.l1.misses,
+            l2_misses=self.cache.l2.misses,
+            l3_misses=self.cache.l3.misses,
+        )

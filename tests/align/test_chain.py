@@ -1,0 +1,64 @@
+"""Clustering and anchor chaining."""
+
+from repro.align.chain import (
+    Anchor,
+    anchors_from_seeds,
+    chain_anchors,
+    cluster_seeds,
+)
+from repro.index.minimizer import GraphMinimizerIndex, Seed
+
+
+class TestChaining:
+    def test_colinear_anchors_all_kept(self):
+        anchors = [Anchor(i * 20, 100 + i * 20, 10) for i in range(6)]
+        chain = chain_anchors(anchors)
+        assert len(chain) == 6
+        assert chain.score > 50
+
+    def test_outlier_dropped(self):
+        anchors = [Anchor(i * 20, 100 + i * 20, 10) for i in range(6)]
+        anchors.append(Anchor(65, 90_000, 10))  # far-away target
+        chain = chain_anchors(anchors)
+        target_positions = [a.target_position for a in chain.anchors]
+        assert 90_000 not in target_positions
+
+    def test_empty_input(self):
+        chain = chain_anchors([])
+        assert len(chain) == 0
+        assert chain.score == 0.0
+
+    def test_pairs_bounded_by_lookback(self):
+        anchors = [Anchor(i, 100 + i, 5) for i in range(100)]
+        chain = chain_anchors(anchors, max_lookback=8)
+        assert chain.pairs_evaluated <= 100 * 8
+
+
+class TestClustering:
+    def test_groups_by_locality(self, small_graph_pangenome):
+        graph = small_graph_pangenome.graph
+        index = GraphMinimizerIndex(graph, k=15, w=10)
+        haplotype = small_graph_pangenome.haplotypes[0]
+        query = haplotype.sequence[200:350]
+        seeds, _ = index.oriented_seeds(query)
+        clusters = cluster_seeds(graph, seeds, min_cluster_size=2)
+        assert clusters
+        biggest = max(clusters, key=len)
+        assert len(biggest) >= 2
+        low, high = biggest.read_span
+        assert 0 <= low <= high < len(query)
+
+    def test_min_cluster_size_filters(self, small_graph_pangenome):
+        graph = small_graph_pangenome.graph
+        seeds = [Seed(0, graph.node_ids()[0], 0, False)]
+        assert cluster_seeds(graph, seeds, min_cluster_size=2) == []
+
+
+class TestAnchorsFromSeeds:
+    def test_linearized_coordinates_monotone_on_chain(self, small_graph_pangenome):
+        graph = small_graph_pangenome.graph
+        nodes = sorted(graph.node_ids())[:3]
+        seeds = [Seed(i * 10, node, 0, False) for i, node in enumerate(nodes)]
+        anchors = anchors_from_seeds(graph, seeds, kmer_length=15)
+        targets = [a.target_position for a in anchors]
+        assert targets == sorted(targets)

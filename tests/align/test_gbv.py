@@ -1,0 +1,83 @@
+"""GBV: graph Myers alignment vs oracles, incl. cyclic graphs."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.gbv import GBV, gbv_align, graph_edit_distance_scalar
+from repro.align.myers import best_substring_distance
+from repro.graph.model import SequenceGraph
+
+
+def chain_of(text, piece, rng):
+    graph = SequenceGraph()
+    position = 0
+    node_id = 0
+    while position < len(text):
+        length = rng.randint(1, piece)
+        graph.add_node(node_id, text[position : position + length])
+        if node_id:
+            graph.add_edge(node_id - 1, node_id)
+        node_id += 1
+        position += length
+    return graph
+
+
+def random_graph(seed, allow_cycles=True):
+    rng = random.Random(seed)
+    graph = SequenceGraph()
+    n = rng.randint(2, 7)
+    for i in range(n):
+        graph.add_node(i, "".join(rng.choice("ACGT") for _ in range(rng.randint(1, 5))))
+    for i in range(n):
+        for j in range(n):
+            if i != j and (allow_cycles or j > i) and rng.random() < 0.3:
+                graph.add_edge(i, j)
+    return graph
+
+
+class TestChainEquivalence:
+    @given(st.integers(0, 200))
+    @settings(max_examples=15, deadline=None)
+    def test_chain_equals_sequence_search(self, seed):
+        rng = random.Random(seed)
+        text = "".join(rng.choice("ACGT") for _ in range(rng.randint(20, 100)))
+        query = "".join(rng.choice("ACGT") for _ in range(rng.randint(5, 40)))
+        graph = chain_of(text, 7, rng)
+        want, _ = best_substring_distance(query, text)
+        assert gbv_align(query, graph).distance == want
+
+
+class TestGraphEquivalence:
+    @given(st.integers(0, 300))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_scalar_oracle(self, seed):
+        rng = random.Random(seed)
+        graph = random_graph(seed)
+        query = "".join(rng.choice("ACGT") for _ in range(rng.randint(4, 20)))
+        assert gbv_align(query, graph).distance == graph_edit_distance_scalar(
+            query, graph
+        )
+
+    def test_cyclic_graph_recomputes(self):
+        graph = SequenceGraph()
+        graph.add_node(0, "ACGT")
+        graph.add_node(1, "TTGC")
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 0)
+        result = gbv_align("ACGTTTGCACGT", graph)
+        assert result.distance == 0  # query follows the cycle
+        assert result.queue_pushes > 2
+
+    def test_work_counters(self):
+        graph = random_graph(7, allow_cycles=False)
+        result = gbv_align("ACGTACGT", graph)
+        assert result.rows_computed >= graph.total_sequence_length
+        assert result.recomputations >= 0
+
+    def test_reusable_aligner(self):
+        aligner = GBV("ACGTAC")
+        a = aligner.align(random_graph(1, allow_cycles=False))
+        b = aligner.align(random_graph(2, allow_cycles=False))
+        assert a.distance >= 0 and b.distance >= 0

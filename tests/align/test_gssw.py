@@ -1,0 +1,79 @@
+"""GSSW vs the scalar graph Smith-Waterman oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.gssw import GSSW, graph_smith_waterman_scalar, gssw_align
+from repro.align.smith_waterman import smith_waterman
+from repro.errors import CyclicGraphError
+from repro.graph.model import SequenceGraph
+
+
+def random_dag(seed, max_nodes=9):
+    rng = random.Random(seed)
+    graph = SequenceGraph()
+    n = rng.randint(2, max_nodes)
+    for i in range(n):
+        graph.add_node(i, "".join(rng.choice("ACGT") for _ in range(rng.randint(1, 10))))
+    for i in range(n):
+        for j in range(i + 1, min(i + 4, n)):
+            if rng.random() < 0.5:
+                graph.add_edge(i, j)
+    return graph
+
+
+class TestEquivalence:
+    @given(st.integers(0, 400), st.integers(5, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_scalar_oracle(self, seed, query_length):
+        rng = random.Random(seed)
+        graph = random_dag(seed)
+        query = "".join(rng.choice("ACGT") for _ in range(query_length))
+        fast = gssw_align(query, graph)
+        slow = graph_smith_waterman_scalar(query, graph)
+        assert fast.score == slow.score
+
+    def test_single_node_equals_linear(self):
+        rng = random.Random(9)
+        target = "".join(rng.choice("ACGT") for _ in range(60))
+        query = "".join(rng.choice("ACGT") for _ in range(20))
+        graph = SequenceGraph()
+        graph.add_node(0, target)
+        assert gssw_align(query, graph).score == smith_waterman(query, target).score
+
+    def test_path_through_bubble_found(self):
+        graph = SequenceGraph()
+        graph.add_node(0, "AAAA")
+        graph.add_node(1, "C")
+        graph.add_node(2, "G")
+        graph.add_node(3, "TTTT")
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 2)
+        graph.add_edge(1, 3)
+        graph.add_edge(2, 3)
+        # query follows the C branch exactly
+        assert gssw_align("AAAACTTTT", graph).score == 9
+
+    def test_cyclic_graph_rejected(self):
+        graph = SequenceGraph()
+        graph.add_node(0, "AC")
+        graph.add_node(1, "GT")
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 0)
+        with pytest.raises(CyclicGraphError):
+            gssw_align("ACGT", graph)
+
+    def test_cells_counted(self):
+        graph = random_dag(3)
+        result = gssw_align("ACGTACGT", graph)
+        assert result.cells_computed == 8 * graph.total_sequence_length
+
+    def test_store_full_matrix_off_same_score(self):
+        graph = random_dag(5)
+        query = "ACGTTGCA"
+        with_store = GSSW(query).align(graph).score
+        without = GSSW(query, store_full_matrix=False).align(graph).score
+        assert with_store == without

@@ -1,0 +1,74 @@
+"""GWFA vs the scalar fixed-start oracle, incl. cycles."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.gwfa import graph_edit_distance_from, gwfa_align
+from repro.errors import AlignmentError
+from repro.graph.model import SequenceGraph
+
+
+def random_graph(seed):
+    rng = random.Random(seed)
+    graph = SequenceGraph()
+    n = rng.randint(1, 7)
+    for i in range(n):
+        graph.add_node(i, "".join(rng.choice("ACGT") for _ in range(rng.randint(1, 7))))
+    for i in range(n):
+        for j in range(n):
+            if i != j and rng.random() < 0.3:
+                graph.add_edge(i, j)
+    return graph, rng
+
+
+class TestEquivalence:
+    @given(st.integers(0, 400))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_oracle(self, seed):
+        graph, rng = random_graph(seed)
+        query = "".join(rng.choice("ACGT") for _ in range(rng.randint(3, 22)))
+        start_node = rng.randrange(graph.node_count)
+        start_offset = rng.randrange(len(graph.node(start_node)))
+        got = gwfa_align(query, graph, start_node, start_offset).distance
+        want = graph_edit_distance_from(query, graph, start_node, start_offset)
+        assert got == want
+
+    def test_exact_walk_zero(self):
+        graph = SequenceGraph()
+        graph.add_node(0, "ACGT")
+        graph.add_node(1, "TTTT")
+        graph.add_edge(0, 1)
+        result = gwfa_align("GTTT", graph, 0, 2)
+        assert result.distance == 0
+        assert result.end_node == 1
+
+    def test_cycle_reentry_uses_full_node(self):
+        graph = SequenceGraph()
+        graph.add_node(0, "ACGT")
+        graph.add_node(1, "GG")
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 0)
+        # start mid-node, loop back through node 0's full sequence
+        result = gwfa_align("GTGGACGT", graph, 0, 2)
+        assert result.distance == 0
+
+    def test_max_score_enforced(self):
+        graph = SequenceGraph()
+        graph.add_node(0, "A")
+        with pytest.raises(AlignmentError):
+            gwfa_align("GGGGGGGG", graph, 0, max_score=2)
+
+    def test_offset_validated(self):
+        graph = SequenceGraph()
+        graph.add_node(0, "ACG")
+        with pytest.raises(AlignmentError):
+            gwfa_align("A", graph, 0, start_offset=5)
+
+    def test_stats_populated(self):
+        graph, rng = random_graph(8)
+        query = "".join(rng.choice("ACGT") for _ in range(15))
+        result = gwfa_align(query, graph, 0)
+        assert result.stats.states_processed > 0

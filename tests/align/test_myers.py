@@ -1,0 +1,58 @@
+"""Myers bit-parallel matcher vs DP oracles, incl. block boundaries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.myers import (
+    MyersBitvector,
+    best_substring_distance,
+    edit_distance,
+)
+from repro.errors import AlignmentError
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=150)
+
+
+class TestEditDistanceOracle:
+    def test_known_values(self):
+        assert edit_distance("kitten", "sitting") == 3
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("abc", "abc") == 0
+
+
+class TestGlobal:
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dp(self, pattern, text):
+        assert MyersBitvector(pattern).global_distance(text) == edit_distance(
+            pattern, text
+        )
+
+    @pytest.mark.parametrize("length", [63, 64, 65, 127, 128, 129])
+    def test_block_boundaries(self, length):
+        pattern = ("ACGT" * 40)[:length]
+        text = pattern[: length // 2] + "T" + pattern[length // 2 :]
+        assert MyersBitvector(pattern).global_distance(text) == edit_distance(
+            pattern, text
+        )
+
+
+class TestSearch:
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_semiglobal_dp(self, pattern, text):
+        got = MyersBitvector(pattern).search(text)
+        want, _ = best_substring_distance(pattern, text)
+        assert got.distance == want
+
+    def test_exact_substring_found(self):
+        match = MyersBitvector("ACGTAC").search("TTTTACGTACTTTT")
+        assert match.distance == 0
+        assert match.text_end == 10
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(AlignmentError):
+            MyersBitvector("")
+        with pytest.raises(AlignmentError):
+            MyersBitvector("ACGT").search("")

@@ -1,0 +1,59 @@
+"""Partial order alignment: consensus quality and banding."""
+
+import random
+
+import pytest
+
+from repro.align.myers import edit_distance
+from repro.align.poa import PoaGraph, abpoa_align, poa_consensus
+from repro.errors import AlignmentError
+
+
+def mutated_copies(base, n, rate, seed):
+    rng = random.Random(seed)
+    return [
+        "".join(c if rng.random() > rate else rng.choice("ACGT") for c in base)
+        for _ in range(n)
+    ]
+
+
+class TestPoa:
+    def test_identical_sequences_consensus(self):
+        consensus, _ = poa_consensus(["ACGTACGT"] * 4)
+        assert consensus == "ACGTACGT"
+
+    def test_majority_substitution_wins(self):
+        consensus, _ = poa_consensus(["ACGTAACGT", "ACGTTACGT", "ACGTAACGT"])
+        assert consensus == "ACGTAACGT"
+
+    def test_consensus_close_to_truth(self):
+        rng = random.Random(4)
+        base = "".join(rng.choice("ACGT") for _ in range(150))
+        sequences = mutated_copies(base, 6, 0.04, seed=9)
+        consensus, cells = poa_consensus(sequences)
+        assert edit_distance(consensus, base) <= 5
+        assert cells > 0
+
+    def test_alignment_pairs_cover_sequence(self):
+        graph = PoaGraph()
+        graph.add_sequence("ACGTACGT")
+        alignment = graph.add_sequence("ACGAACGT")
+        consumed = [s for _n, s in alignment.pairs if s is not None]
+        assert consumed == list(range(8))
+
+    def test_empty_rejected(self):
+        with pytest.raises(AlignmentError):
+            poa_consensus([])
+        with pytest.raises(AlignmentError):
+            PoaGraph().add_sequence("")
+
+
+class TestBanding:
+    def test_band_reduces_cells(self):
+        rng = random.Random(5)
+        base = "".join(rng.choice("ACGT") for _ in range(200))
+        sequences = mutated_copies(base, 4, 0.02, seed=2)
+        _, full = poa_consensus(sequences)
+        consensus, banded = abpoa_align(sequences, band=16)
+        assert banded < full
+        assert edit_distance(consensus, base) <= 12

@@ -1,0 +1,43 @@
+"""Scoring schemes and alignment result types."""
+
+import pytest
+
+from repro.align.scoring import (
+    AffineScoring,
+    AlignmentResult,
+    CigarOp,
+    VG_DEFAULT,
+    cigar_string,
+)
+
+
+class TestAffineScoring:
+    def test_vg_default_values(self):
+        assert (VG_DEFAULT.match, VG_DEFAULT.mismatch) == (1, 4)
+        assert (VG_DEFAULT.gap_open, VG_DEFAULT.gap_extend) == (6, 1)
+
+    def test_substitution(self):
+        assert VG_DEFAULT.substitution("A", "A") == 1
+        assert VG_DEFAULT.substitution("A", "C") == -4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AffineScoring(match=0)
+        with pytest.raises(ValueError):
+            AffineScoring(mismatch=-1)
+
+
+class TestCigar:
+    def test_string(self):
+        ops = [CigarOp("M", 10), CigarOp("I", 2), CigarOp("D", 1)]
+        assert cigar_string(ops) == "10M2I1D"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CigarOp("Q", 1)
+        with pytest.raises(ValueError):
+            CigarOp("M", 0)
+
+    def test_result_cigar_string(self):
+        result = AlignmentResult(score=5, cigar=(CigarOp("=", 5),))
+        assert result.cigar_string == "5="

@@ -1,0 +1,94 @@
+"""Striped Smith-Waterman vs the scalar Gotoh oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.scoring import AffineScoring
+from repro.align.smith_waterman import (
+    StripedSmithWaterman,
+    smith_waterman,
+    striped_smith_waterman,
+)
+from repro.errors import AlignmentError
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=80)
+
+
+class TestScalar:
+    def test_perfect_match_scores_length(self):
+        result = smith_waterman("ACGTACGT", "TTACGTACGTTT")
+        assert result.score == 8  # match bonus 1 per base
+
+    def test_local_ignores_flanks(self):
+        a = smith_waterman("ACGT", "ACGT")
+        b = smith_waterman("ACGT", "GGGGACGTGGGG")
+        assert a.score == b.score
+
+    def test_empty_rejected(self):
+        with pytest.raises(AlignmentError):
+            smith_waterman("", "ACGT")
+
+
+class TestStripedEquivalence:
+    @given(dna, dna, st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_scalar(self, query, target, seed):
+        rng = random.Random(seed)
+        if rng.random() < 0.5:  # embed a mutated copy for interesting cases
+            copy = "".join(
+                c if rng.random() > 0.15 else rng.choice("ACGT") for c in query
+            )
+            target = target + copy
+        scalar = smith_waterman(query, target)
+        striped = striped_smith_waterman(query, target)
+        assert scalar.score == striped.score
+
+    @given(dna)
+    @settings(max_examples=15, deadline=None)
+    def test_self_alignment(self, sequence):
+        result = striped_smith_waterman(sequence, sequence)
+        assert result.score == len(sequence)
+
+    def test_different_lane_counts_agree(self):
+        query = "ACGTACGTACGTTGCA"
+        target = "TTACGAACGTACGTTGCATT"
+        scores = {
+            striped_smith_waterman(query, target, lanes=lanes).score
+            for lanes in (2, 4, 8, 16)
+        }
+        assert len(scores) == 1
+
+    def test_profile_reuse(self):
+        aligner = StripedSmithWaterman("ACGTACGT")
+        first = aligner.align("GGACGTACGTGG")
+        second = aligner.align("ACGTACGT")
+        assert first.score == second.score == 8
+
+    def test_end_positions_plausible(self):
+        result = striped_smith_waterman("ACGT", "TTTTACGTTTT")
+        assert result.target_end == 8
+        assert result.query_end == 4
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(AlignmentError):
+            StripedSmithWaterman("")
+        with pytest.raises(AlignmentError):
+            StripedSmithWaterman("ACGT", lanes=1)
+        with pytest.raises(AlignmentError):
+            StripedSmithWaterman("ACGT").align("")
+
+
+class TestScoringSchemes:
+    @given(dna, dna, st.integers(1, 3), st.integers(0, 8), st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_equivalence_across_schemes(self, query, target, mismatch, gap_open, gap_extend):
+        scoring = AffineScoring(
+            match=1, mismatch=mismatch, gap_open=gap_open, gap_extend=gap_extend
+        )
+        assert (
+            smith_waterman(query, target, scoring).score
+            == striped_smith_waterman(query, target, scoring).score
+        )

@@ -1,0 +1,74 @@
+"""WFA edit-distance and gap-affine variants vs DP oracles."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align.myers import edit_distance
+from repro.align.wfa import (
+    AffinePenalties,
+    affine_global_cost,
+    wfa_affine,
+    wfa_edit_distance,
+)
+from repro.errors import AlignmentError
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=100)
+
+
+class TestEditWFA:
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dp(self, a, b):
+        assert wfa_edit_distance(a, b).distance == edit_distance(a, b)
+
+    def test_identical_zero_score_steps(self):
+        result = wfa_edit_distance("ACGTACGT", "ACGTACGT")
+        assert result.distance == 0
+        assert result.stats.scores == 0
+
+    def test_extend_lengths_recorded(self):
+        result = wfa_edit_distance("ACGTACGT", "ACGAACGT", record_extends=True)
+        assert result.stats.extend_lengths
+        assert sum(result.stats.extend_lengths) == result.stats.cells_extended
+
+    def test_similar_sequences_cheap(self):
+        rng = random.Random(3)
+        a = "".join(rng.choice("ACGT") for _ in range(500))
+        b = a[:250] + "T" + a[251:]
+        result = wfa_edit_distance(a, b)
+        assert result.distance <= 2
+        assert result.stats.diagonals_processed < 50
+
+    def test_empty_rejected(self):
+        with pytest.raises(AlignmentError):
+            wfa_edit_distance("", "ACGT")
+
+
+class TestAffineWFA:
+    @given(
+        dna,
+        dna,
+        st.integers(1, 5),
+        st.integers(0, 6),
+        st.integers(1, 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_gotoh_oracle(self, a, b, mismatch, gap_open, gap_extend):
+        penalties = AffinePenalties(
+            mismatch=mismatch, gap_open=gap_open, gap_extend=gap_extend
+        )
+        assert (
+            wfa_affine(a, b, penalties).distance == affine_global_cost(a, b, penalties)
+        )
+
+    def test_gap_cost_structure(self):
+        penalties = AffinePenalties(mismatch=10, gap_open=4, gap_extend=1)
+        # one gap of length 2 (cost 4 + 2) beats two mismatches (20)
+        assert wfa_affine("AACC", "AATTCC", penalties).distance == 6
+
+    def test_penalties_validated(self):
+        with pytest.raises(ValueError):
+            AffinePenalties(mismatch=0)

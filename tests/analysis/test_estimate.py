@@ -1,0 +1,42 @@
+"""Whole-genome runtime extrapolation (Table 1 mechanics)."""
+
+import pytest
+
+from repro.analysis.estimate import (
+    GenomeEstimate,
+    estimate_genome_runtime,
+    normalize_to_baseline,
+    reads_for_coverage,
+)
+from repro.errors import ReproError
+
+
+class TestEstimate:
+    def test_reads_for_coverage(self):
+        assert reads_for_coverage(150) == round(3_100_000_000 * 30 / 150)
+
+    def test_extrapolation_scales(self):
+        slow = estimate_genome_runtime("slow", 10.0, reads_measured=10, read_length=150)
+        fast = estimate_genome_runtime("fast", 1.0, reads_measured=10, read_length=150)
+        assert abs(slow.estimated_hours / fast.estimated_hours - 10.0) < 1e-9
+
+    def test_longer_reads_need_fewer(self):
+        short = estimate_genome_runtime("s", 1.0, 10, read_length=150)
+        long = estimate_genome_runtime("l", 1.0, 10, read_length=15_000)
+        assert long.reads_needed < short.reads_needed
+
+    def test_normalize(self):
+        estimates = [
+            GenomeEstimate("a", 0.0, 150, 1, 10.0),
+            GenomeEstimate("b", 0.0, 150, 1, 5.0),
+        ]
+        ratios = normalize_to_baseline(estimates, "b")
+        assert ratios == {"a": 2.0, "b": 1.0}
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ReproError):
+            reads_for_coverage(0)
+        with pytest.raises(ReproError):
+            estimate_genome_runtime("x", 1.0, 0, 150)
+        with pytest.raises(ReproError):
+            normalize_to_baseline([], "x")

@@ -1,0 +1,38 @@
+"""Report rendering."""
+
+import pytest
+
+from repro.analysis.report import render_bars, render_stacked_fractions, render_table
+from repro.errors import ReproError
+
+
+class TestTable:
+    def test_contains_values(self):
+        text = render_table(["a", "b"], [["x", 1.5], ["y", 2.0]], title="T")
+        assert "T" in text
+        assert "1.500" in text
+        assert "x" in text
+
+    def test_row_width_checked(self):
+        with pytest.raises(ReproError):
+            render_table(["a"], [["x", "extra"]])
+
+
+class TestBars:
+    def test_bars_scale(self):
+        text = render_bars({"big": 10.0, "small": 1.0})
+        lines = text.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            render_bars({})
+
+
+class TestStacked:
+    def test_stacked_output(self):
+        text = render_stacked_fractions(
+            {"k": {"a": 0.5, "b": 0.5}}, components=("a", "b"), title="S"
+        )
+        assert "legend" in text
+        assert "k" in text

@@ -1,0 +1,53 @@
+"""Thread-scaling model (Figure 5 shapes)."""
+
+from repro.analysis.threads import (
+    FIGURE5_THREADS,
+    FIGURE5_WORKLOADS,
+    MACHINE_A_TOPOLOGY,
+    WorkloadModel,
+    figure5_table,
+)
+
+
+class TestMachineModel:
+    def test_effective_cores_linear_then_smt(self):
+        machine = MACHINE_A_TOPOLOGY
+        assert machine.effective_cores(14) == 14
+        assert machine.effective_cores(28) == 28
+        # hyperthreads contribute fractionally
+        assert 28 < machine.effective_cores(56) < 56
+
+
+class TestWorkloadShapes:
+    def test_mapping_tools_near_linear_to_28(self):
+        curve = FIGURE5_WORKLOADS["vg_map"].speedup_curve()
+        assert curve[28] > 5.0  # near-linear (Amdahl-limited) from 4 threads
+        # hyperthreading knee: going 28 -> 56 helps much less than 2x
+        assert curve[56] / curve[28] < 1.5
+
+    def test_minigraph_cr_does_not_scale(self):
+        curve = FIGURE5_WORKLOADS["minigraph-cr"].speedup_curve()
+        assert all(abs(v - 1.0) < 1e-9 for v in curve.values())
+
+    def test_seqwish_saturates_early(self):
+        curve = FIGURE5_WORKLOADS["seqwish"].speedup_curve()
+        assert curve[14] < 2.0
+        assert curve[56] / curve[14] < 1.3
+
+    def test_odgi_sublinear(self):
+        odgi = FIGURE5_WORKLOADS["odgi-layout"].speedup_curve()
+        mapping = FIGURE5_WORKLOADS["vg_map"].speedup_curve()
+        assert odgi[28] < mapping[28]
+        assert odgi[28] > 1.5  # still scales meaningfully
+
+    def test_table_covers_all_workloads(self):
+        table = figure5_table()
+        assert set(table) == set(FIGURE5_WORKLOADS)
+        for curve in table.values():
+            assert set(curve) == set(FIGURE5_THREADS)
+            assert abs(curve[4] - 1.0) < 1e-9
+
+    def test_monotone_time_in_threads(self):
+        model = WorkloadModel("x", serial_fraction=0.05)
+        times = [model.time_at(t) for t in (1, 2, 4, 8, 16, 28, 56)]
+        assert all(a >= b for a, b in zip(times, times[1:]))

@@ -1,0 +1,21 @@
+"""Shared fixtures: a small deterministic corpus reused across tests."""
+
+import pytest
+
+from repro.graph.builder import simulate_graph_pangenome
+from repro.kernels.datasets import suite_data
+
+
+TEST_SCALE = 0.25
+
+
+@pytest.fixture(scope="session")
+def small_suite():
+    """The shared kernel corpus at test scale (memoized library-side)."""
+    return suite_data(TEST_SCALE, 0)
+
+
+@pytest.fixture(scope="session")
+def small_graph_pangenome():
+    """A small ground-truth variation graph + consistent haplotypes."""
+    return simulate_graph_pangenome(genome_length=4000, n_haplotypes=4, seed=11)

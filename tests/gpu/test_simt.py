@@ -1,0 +1,84 @@
+"""SIMT accounting: occupancy limits, coalescing, reports."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.simt import A6000, GPUKernelRun, occupancy_for
+
+
+class TestOccupancy:
+    def test_tsu_configuration(self):
+        # 32-thread blocks, block-count-limited: 16 blocks/SM = 512 threads
+        occupancy = occupancy_for(A6000, block_size=32, registers_per_thread=40)
+        assert occupancy.blocks_per_sm == 16
+        assert abs(occupancy.theoretical - 1 / 3) < 0.01
+        assert occupancy.limited_by == "blocks"
+
+    def test_pgsgd_configuration(self):
+        # 1024-thread blocks at 44 regs: register/thread-limited to 1 block
+        occupancy = occupancy_for(A6000, block_size=1024, registers_per_thread=44)
+        assert occupancy.blocks_per_sm == 1
+        assert abs(occupancy.theoretical - 2 / 3) < 0.01
+
+    def test_block_256_pgsgd(self):
+        occupancy = occupancy_for(A6000, block_size=256, registers_per_thread=44)
+        assert occupancy.blocks_per_sm == 5
+        assert abs(occupancy.theoretical - 5 / 6) < 0.01
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(SimulationError):
+            occupancy_for(A6000, block_size=33, registers_per_thread=32)
+
+    def test_impossible_config_rejected(self):
+        with pytest.raises(SimulationError):
+            occupancy_for(A6000, block_size=1024, registers_per_thread=100)
+
+
+class TestCoalescing:
+    def test_sequential_addresses_coalesce(self):
+        run = GPUKernelRun("t", n_blocks=1)
+        run.memory([i * 4 for i in range(32)])  # 128 contiguous bytes
+        assert run.memory_transactions == 4
+
+    def test_scattered_addresses_do_not(self):
+        run = GPUKernelRun("t", n_blocks=1)
+        run.memory([i * 4096 for i in range(32)])
+        assert run.memory_transactions == 32
+
+    def test_empty_access_ignored(self):
+        run = GPUKernelRun("t", n_blocks=1)
+        run.memory([])
+        assert run.memory_transactions == 0
+
+
+class TestReport:
+    def test_warp_utilization(self):
+        run = GPUKernelRun("t", n_blocks=1)
+        run.issue(32, count=10)
+        run.issue(1, count=10)
+        report = run.report()
+        assert abs(report.warp_utilization - (33 / 64)) < 0.01
+
+    def test_empty_run_rejected(self):
+        run = GPUKernelRun("t", n_blocks=1)
+        with pytest.raises(SimulationError):
+            run.report()
+
+    def test_more_blocks_faster(self):
+        def make(n_blocks):
+            run = GPUKernelRun("t", n_blocks=n_blocks)
+            for _ in range(n_blocks):
+                run.issue(32, count=100)
+            return run.report()
+
+        few = make(2)
+        many = make(84)
+        # same per-block work: many blocks spread across SMs
+        assert many.time_ms <= few.time_ms * 84 / 2 * 1.01
+
+    def test_lane_bounds_checked(self):
+        run = GPUKernelRun("t", n_blocks=1)
+        with pytest.raises(SimulationError):
+            run.issue(0)
+        with pytest.raises(SimulationError):
+            run.issue(40)

@@ -1,0 +1,89 @@
+"""Superbubbles and variant deconstruction (roundtrip property)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.bubbles import deconstruct, find_superbubbles, superbubble_from
+from repro.graph.builder import simulate_graph_pangenome
+from repro.graph.model import SequenceGraph
+from repro.sequence.mutate import apply_variants
+
+
+def simple_bubble():
+    graph = SequenceGraph()
+    graph.add_node(0, "AAAA")
+    graph.add_node(1, "C")
+    graph.add_node(2, "G")
+    graph.add_node(3, "TTTT")
+    for s, t in [(0, 1), (0, 2), (1, 3), (2, 3)]:
+        graph.add_edge(s, t)
+    return graph
+
+
+class TestSuperbubbles:
+    def test_simple_bubble_found(self):
+        bubble = superbubble_from(simple_bubble(), 0)
+        assert bubble is not None
+        assert bubble.source == 0
+        assert bubble.sink == 3
+        assert bubble.interior == frozenset({1, 2})
+
+    def test_linear_node_is_not_a_bubble(self):
+        graph = SequenceGraph()
+        graph.add_node(0, "A")
+        graph.add_node(1, "C")
+        graph.add_edge(0, 1)
+        assert superbubble_from(graph, 0) is None
+
+    def test_tip_disqualifies(self):
+        graph = simple_bubble()
+        graph.add_node(4, "T")  # dead-end branch out of the bubble
+        graph.add_edge(1, 4)
+        assert superbubble_from(graph, 0) is None
+
+    def test_deletion_bypass_is_a_bubble(self):
+        graph = SequenceGraph()
+        graph.add_node(0, "AA")
+        graph.add_node(1, "CC")
+        graph.add_node(2, "GG")
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(0, 2)  # deletion edge
+        bubble = superbubble_from(graph, 0)
+        assert bubble is not None and bubble.sink == 2
+
+    def test_every_builder_site_yields_bubbles(self):
+        pangenome = simulate_graph_pangenome(genome_length=2000, n_haplotypes=3, seed=1)
+        bubbles = find_superbubbles(pangenome.graph)
+        assert len(bubbles) > 5
+        node_on_ref = set(pangenome.graph.path(pangenome.reference.name).nodes)
+        # bubble endpoints sit on the reference backbone
+        assert all(b.source in node_on_ref and b.sink in node_on_ref for b in bubbles)
+
+
+class TestDeconstruct:
+    @given(st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_reproduces_haplotypes(self, seed):
+        pangenome = simulate_graph_pangenome(
+            genome_length=2000, n_haplotypes=3, seed=seed
+        )
+        recovered = deconstruct(pangenome.graph, pangenome.reference.name)
+        for haplotype in pangenome.haplotypes:
+            rebuilt = apply_variants(
+                pangenome.reference.sequence, recovered[haplotype.name]
+            )
+            assert rebuilt == haplotype.sequence
+
+    def test_identical_path_has_no_variants(self):
+        graph = simple_bubble()
+        graph.add_path("ref", [0, 1, 3])
+        graph.add_path("same", [0, 1, 3])
+        graph.add_path("other", [0, 2, 3])
+        recovered = deconstruct(graph, "ref")
+        assert recovered["same"] == []
+        assert len(recovered["other"]) == 1
+        assert recovered["other"][0].ref == "C"
+        assert recovered["other"][0].alt == "G"
+        assert recovered["other"][0].position == 4

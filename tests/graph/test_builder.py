@@ -1,0 +1,77 @@
+"""Variation-graph construction correctness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import build_variation_graph, simulate_graph_pangenome
+from repro.graph.ops import is_acyclic
+from repro.sequence.mutate import Variant, VariantType
+from repro.sequence.records import SequenceRecord
+
+
+class TestSmallCases:
+    def test_single_snp_makes_bubble(self):
+        reference = SequenceRecord("ref", "AACCGGTT")
+        variant = Variant(VariantType.SNP, 3, "C", "T")
+        graph = build_variation_graph(reference, {"h": [variant]})
+        assert graph.path_sequence("ref") == "AACCGGTT"
+        assert graph.path_sequence("h") == "AACTGGTT"
+        # left segment, ref allele, alt allele, right segment
+        assert graph.node_count == 4
+
+    def test_deletion_makes_bypass_edge(self):
+        reference = SequenceRecord("ref", "AAACCCGGG")
+        variant = Variant(VariantType.DELETION, 2, "ACCC", "A")
+        graph = build_variation_graph(reference, {"h": [variant]})
+        assert graph.path_sequence("h") == "AAAGGG"
+        assert graph.path_sequence("ref") == reference.sequence
+
+    def test_insertion_adds_node(self):
+        reference = SequenceRecord("ref", "AAAGGG")
+        variant = Variant(VariantType.INSERTION, 2, "A", "ATTT")
+        graph = build_variation_graph(reference, {"h": [variant]})
+        assert graph.path_sequence("h") == "AAATTTGGG"
+
+    def test_multiallelic_site(self):
+        reference = SequenceRecord("ref", "AACCGG")
+        a = Variant(VariantType.SNP, 2, "C", "T")
+        b = Variant(VariantType.SNP, 2, "C", "G")
+        graph = build_variation_graph(reference, {"h1": [a], "h2": [b]})
+        assert graph.path_sequence("h1") == "AATCGG"
+        assert graph.path_sequence("h2") == "AAGCGG"
+
+    def test_shared_variant_shares_node(self):
+        reference = SequenceRecord("ref", "AACCGG")
+        variant = Variant(VariantType.SNP, 2, "C", "T")
+        graph = build_variation_graph(reference, {"h1": [variant], "h2": [variant]})
+        assert graph.path("h1").nodes == graph.path("h2").nodes
+
+
+class TestSimulatedPangenome:
+    @given(st.integers(0, 200))
+    @settings(max_examples=10, deadline=None)
+    def test_paths_spell_haplotypes_exactly(self, seed):
+        pangenome = simulate_graph_pangenome(
+            genome_length=2000, n_haplotypes=4, seed=seed
+        )
+        for haplotype in pangenome.haplotypes:
+            assert pangenome.graph.path_sequence(haplotype.name) == haplotype.sequence
+        assert (
+            pangenome.graph.path_sequence(pangenome.reference.name)
+            == pangenome.reference.sequence
+        )
+
+    def test_graph_is_acyclic_without_svs(self):
+        from repro.sequence.mutate import VariantRates
+
+        rates = VariantRates(inversion=0.0, duplication=0.0)
+        pangenome = simulate_graph_pangenome(
+            genome_length=3000, n_haplotypes=4, seed=5, rates=rates
+        )
+        assert is_acyclic(pangenome.graph)
+
+    def test_more_haplotypes_more_nodes(self):
+        small = simulate_graph_pangenome(genome_length=3000, n_haplotypes=2, seed=1)
+        large = simulate_graph_pangenome(genome_length=3000, n_haplotypes=8, seed=1)
+        assert large.graph.node_count > small.graph.node_count

@@ -1,0 +1,82 @@
+"""Graph shortest-distance queries."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.distance import UNREACHABLE, GraphPosition, min_distance, reachable_within
+from repro.graph.model import SequenceGraph
+
+
+def chain(sequences):
+    graph = SequenceGraph()
+    for index, sequence in enumerate(sequences):
+        graph.add_node(index, sequence)
+        if index:
+            graph.add_edge(index - 1, index)
+    return graph
+
+
+class TestMinDistance:
+    def test_same_node(self):
+        graph = chain(["ACGTACGT"])
+        assert min_distance(graph, GraphPosition(0, 2), GraphPosition(0, 6)) == 4
+
+    def test_chain_matches_coordinates(self):
+        graph = chain(["AAAA", "CCCC", "GGGG"])
+        # distance from (0,1) to (2,1): 3 remaining in node0 + 4 + 1
+        assert min_distance(graph, GraphPosition(0, 1), GraphPosition(2, 1)) == 8
+
+    def test_bubble_takes_shorter_branch(self):
+        graph = SequenceGraph()
+        graph.add_node(0, "AA")
+        graph.add_node(1, "C")         # short branch
+        graph.add_node(2, "GGGGGGGG")  # long branch
+        graph.add_node(3, "TT")
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 2)
+        graph.add_edge(1, 3)
+        graph.add_edge(2, 3)
+        assert min_distance(graph, GraphPosition(0, 1), GraphPosition(3, 0)) == 2
+
+    def test_unreachable(self):
+        graph = chain(["AA", "CC"])
+        assert (
+            min_distance(graph, GraphPosition(1, 0), GraphPosition(0, 0)) == UNREACHABLE
+        )
+
+    def test_limit_respected(self):
+        graph = chain(["AAAA"] * 20)
+        assert (
+            min_distance(graph, GraphPosition(0, 0), GraphPosition(19, 0), limit=8)
+            == UNREACHABLE
+        )
+
+    def test_offset_validation(self):
+        graph = chain(["AA"])
+        with pytest.raises(GraphError):
+            min_distance(graph, GraphPosition(0, 5), GraphPosition(0, 0))
+
+    def test_cycle_distance(self):
+        graph = SequenceGraph()
+        graph.add_node(0, "AAAA")
+        graph.add_node(1, "CC")
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 0)
+        # going backwards requires looping around: 0@2 -> end of 0 (2) + node1 (2) -> 0@1
+        assert min_distance(graph, GraphPosition(0, 2), GraphPosition(0, 1)) == 5
+
+
+class TestReachableWithin:
+    def test_downstream_distances(self):
+        graph = chain(["AAAA", "CC", "GG"])
+        reachable = reachable_within(graph, 0, limit_bp=10)
+        assert reachable == {1: 0, 2: 2}
+
+    def test_limit(self):
+        graph = chain(["AAAA", "CC", "GG"])
+        reachable = reachable_within(graph, 0, limit_bp=1)
+        assert reachable == {1: 0}
+
+    def test_unknown_node(self):
+        with pytest.raises(GraphError):
+            reachable_within(chain(["A"]), 7, 10)

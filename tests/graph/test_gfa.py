@@ -1,0 +1,58 @@
+"""GFA1 parsing and writing."""
+
+import pytest
+
+from repro.errors import GFAError
+from repro.graph.builder import simulate_graph_pangenome
+from repro.graph.gfa import gfa_string, parse_gfa_string
+
+
+class TestRoundTrip:
+    def test_simulated_graph_roundtrips(self):
+        graph = simulate_graph_pangenome(genome_length=1500, n_haplotypes=3, seed=2).graph
+        back = parse_gfa_string(gfa_string(graph))
+        assert back.node_count == graph.node_count
+        assert back.edge_count == graph.edge_count
+        assert back.path_names() == graph.path_names()
+        for name in graph.path_names():
+            assert back.path_sequence(name) == graph.path_sequence(name)
+
+    def test_minimal_document(self):
+        text = "H\tVN:Z:1.0\nS\t1\tACGT\nS\t2\tTT\nL\t1\t+\t2\t+\t0M\nP\tp\t1+,2+\t*\n"
+        graph = parse_gfa_string(text)
+        assert graph.path_sequence("p") == "ACGTTT"
+
+    def test_comments_and_blank_lines_skipped(self):
+        graph = parse_gfa_string("# hi\n\nS\t1\tAC\n")
+        assert graph.node_count == 1
+
+
+class TestErrors:
+    def test_reverse_orientation_rejected(self):
+        with pytest.raises(GFAError):
+            parse_gfa_string("S\t1\tAC\nS\t2\tGG\nL\t1\t+\t2\t-\t0M\n")
+
+    def test_unknown_record_rejected(self):
+        with pytest.raises(GFAError):
+            parse_gfa_string("Z\tnope\n")
+
+    def test_star_sequence_rejected(self):
+        with pytest.raises(GFAError):
+            parse_gfa_string("S\t1\t*\n")
+
+    def test_non_integer_id_rejected(self):
+        with pytest.raises(GFAError):
+            parse_gfa_string("S\tx\tAC\n")
+
+    def test_link_to_unknown_segment_rejected(self):
+        with pytest.raises(GFAError):
+            parse_gfa_string("S\t1\tAC\nL\t1\t+\t9\t+\t0M\n")
+
+    def test_bad_path_step_rejected(self):
+        with pytest.raises(GFAError):
+            parse_gfa_string("S\t1\tAC\nP\tp\t1-\t*\n")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(GFAError) as excinfo:
+            parse_gfa_string("S\t1\tAC\nZ\tnope\n")
+        assert "line 2" in str(excinfo.value)

@@ -1,0 +1,25 @@
+"""GFA file-level I/O."""
+
+from repro.graph.builder import simulate_graph_pangenome
+from repro.graph.gfa import parse_gfa, write_gfa
+
+
+class TestGfaFiles:
+    def test_file_roundtrip(self, tmp_path):
+        graph = simulate_graph_pangenome(
+            genome_length=1000, n_haplotypes=2, seed=4
+        ).graph
+        path = tmp_path / "graph.gfa"
+        write_gfa(graph, path)
+        back = parse_gfa(path)
+        assert back.node_count == graph.node_count
+        for name in graph.path_names():
+            assert back.path_sequence(name) == graph.path_sequence(name)
+
+    def test_string_path_accepted(self, tmp_path):
+        graph = simulate_graph_pangenome(
+            genome_length=500, n_haplotypes=2, seed=4
+        ).graph
+        path = str(tmp_path / "g.gfa")
+        write_gfa(graph, path)
+        assert parse_gfa(path).node_count == graph.node_count

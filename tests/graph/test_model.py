@@ -1,0 +1,132 @@
+"""Sequence graph model: construction rules and accessors."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.model import GraphStats, Node, Path, SequenceGraph
+
+
+def bubble_graph():
+    """A -> (C | G) -> T with two paths."""
+    graph = SequenceGraph()
+    graph.add_node(0, "A")
+    graph.add_node(1, "C")
+    graph.add_node(2, "G")
+    graph.add_node(3, "T")
+    graph.add_edge(0, 1)
+    graph.add_edge(0, 2)
+    graph.add_edge(1, 3)
+    graph.add_edge(2, 3)
+    graph.add_path("left", [0, 1, 3])
+    graph.add_path("right", [0, 2, 3])
+    return graph
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        graph = SequenceGraph()
+        graph.add_node(0, "A")
+        with pytest.raises(GraphError):
+            graph.add_node(0, "C")
+
+    def test_edge_requires_nodes(self):
+        graph = SequenceGraph()
+        graph.add_node(0, "A")
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 1)
+
+    def test_edge_idempotent(self):
+        graph = SequenceGraph()
+        graph.add_node(0, "A")
+        graph.add_node(1, "C")
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 1)
+        assert graph.edge_count == 1
+
+    def test_path_requires_edges(self):
+        graph = SequenceGraph()
+        graph.add_node(0, "A")
+        graph.add_node(1, "C")
+        with pytest.raises(GraphError):
+            graph.add_path("p", [0, 1])
+
+    def test_path_requires_known_nodes(self):
+        graph = SequenceGraph()
+        graph.add_node(0, "A")
+        with pytest.raises(GraphError):
+            graph.add_path("p", [0, 9])
+
+    def test_duplicate_path_rejected(self):
+        graph = bubble_graph()
+        with pytest.raises(GraphError):
+            graph.add_path("left", [0, 1, 3])
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(GraphError):
+            Path("p", ())
+
+    def test_negative_node_id_rejected(self):
+        with pytest.raises(GraphError):
+            Node(-1, "A")
+
+
+class TestAccessors:
+    def test_counts(self):
+        graph = bubble_graph()
+        assert graph.node_count == 4
+        assert graph.edge_count == 4
+        assert graph.path_count == 2
+        assert graph.total_sequence_length == 4
+
+    def test_adjacency(self):
+        graph = bubble_graph()
+        assert graph.successors(0) == [1, 2]
+        assert graph.predecessors(3) == [1, 2]
+        assert graph.out_degree(0) == 2
+        assert graph.in_degree(0) == 0
+
+    def test_sources_sinks(self):
+        graph = bubble_graph()
+        assert graph.sources() == [0]
+        assert graph.sinks() == [3]
+
+    def test_path_sequence(self):
+        graph = bubble_graph()
+        assert graph.path_sequence("left") == "ACT"
+        assert graph.path_sequence("right") == "AGT"
+        assert graph.path_length("left") == 3
+
+    def test_unknown_lookups_raise(self):
+        graph = bubble_graph()
+        with pytest.raises(GraphError):
+            graph.node(99)
+        with pytest.raises(GraphError):
+            graph.path("missing")
+        with pytest.raises(GraphError):
+            graph.successors(99)
+
+    def test_copy_is_independent(self):
+        graph = bubble_graph()
+        clone = graph.copy()
+        clone.add_node(10, "AAAA")
+        assert 10 not in graph
+        assert clone.node_count == graph.node_count + 1
+
+    def test_validate_passes(self):
+        bubble_graph().validate()
+
+    def test_remove_path(self):
+        graph = bubble_graph()
+        graph.remove_path("left")
+        assert graph.path_count == 1
+        with pytest.raises(GraphError):
+            graph.remove_path("left")
+
+
+class TestStats:
+    def test_graph_stats(self):
+        stats = GraphStats.of(bubble_graph())
+        assert stats.node_count == 4
+        assert stats.mean_node_length == 1.0
+        assert stats.max_out_degree == 2
+        assert stats.source_count == 1

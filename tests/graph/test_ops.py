@@ -1,0 +1,154 @@
+"""Graph algorithms: topological sort, subgraphs, split/compact."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CyclicGraphError, GraphError
+from repro.graph.builder import simulate_graph_pangenome
+from repro.graph.model import SequenceGraph
+from repro.graph.ops import (
+    compact_chains,
+    connected_components,
+    dagify,
+    induced_subgraph,
+    is_acyclic,
+    local_subgraph,
+    split_nodes,
+    topological_sort,
+)
+
+
+def chain_graph(sequences):
+    graph = SequenceGraph()
+    for index, sequence in enumerate(sequences):
+        graph.add_node(index, sequence)
+        if index:
+            graph.add_edge(index - 1, index)
+    return graph
+
+
+def random_dag(seed, n_nodes=12):
+    rng = random.Random(seed)
+    graph = SequenceGraph()
+    for index in range(n_nodes):
+        graph.add_node(index, "".join(rng.choice("ACGT") for _ in range(rng.randint(1, 6))))
+    for i in range(n_nodes):
+        for j in range(i + 1, min(i + 4, n_nodes)):
+            if rng.random() < 0.4:
+                graph.add_edge(i, j)
+    return graph
+
+
+class TestTopologicalSort:
+    @given(st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_order_respects_edges(self, seed):
+        graph = random_dag(seed)
+        order = topological_sort(graph)
+        position = {node: index for index, node in enumerate(order)}
+        for source, target in graph.edges():
+            assert position[source] < position[target]
+        assert sorted(order) == sorted(graph.node_ids())
+
+    def test_cycle_detected(self):
+        graph = chain_graph(["A", "C"])
+        graph.add_edge(1, 0)
+        with pytest.raises(CyclicGraphError):
+            topological_sort(graph)
+        assert not is_acyclic(graph)
+
+    def test_deterministic(self):
+        graph = random_dag(1)
+        assert topological_sort(graph) == topological_sort(graph)
+
+
+class TestSubgraphs:
+    def test_induced_keeps_internal_edges(self):
+        graph = chain_graph(["A", "C", "G", "T"])
+        sub = induced_subgraph(graph, [1, 2])
+        assert sub.node_count == 2
+        assert sub.has_edge(1, 2)
+        assert not sub.has_edge(0, 1)
+
+    def test_induced_unknown_node_rejected(self):
+        graph = chain_graph(["A"])
+        with pytest.raises(GraphError):
+            induced_subgraph(graph, [5])
+
+    def test_local_subgraph_radius(self):
+        graph = chain_graph(["AAAA"] * 10)
+        sub = local_subgraph(graph, 5, radius_bp=8)
+        # 8 bp budget = 2 hops in each direction.
+        assert set(sub.node_ids()) == {3, 4, 5, 6, 7}
+
+    def test_local_subgraph_acyclic(self):
+        graph = chain_graph(["AAAA", "CCCC"])
+        graph.add_edge(1, 0)  # cycle
+        sub = local_subgraph(graph, 0, radius_bp=100, acyclic=True)
+        assert is_acyclic(sub)
+
+    def test_dagify_no_op_on_dag(self):
+        graph = random_dag(3)
+        assert dagify(graph) is graph
+
+
+class TestSplitCompact:
+    def test_split_lengths(self):
+        graph = chain_graph(["ACGTACGTACGT"])
+        split = split_nodes(graph, 5)
+        lengths = sorted(len(node) for node in split.nodes())
+        assert lengths == [2, 5, 5]
+        assert split.total_sequence_length == graph.total_sequence_length
+
+    def test_split_preserves_small_nodes(self):
+        graph = chain_graph(["ACG"])
+        split = split_nodes(graph, 5)
+        assert split.node_count == 1
+
+    def test_split_rejects_bad_length(self):
+        with pytest.raises(GraphError):
+            split_nodes(chain_graph(["A"]), 0)
+
+    @given(st.integers(0, 300), st.integers(2, 9))
+    @settings(max_examples=15, deadline=None)
+    def test_split_compact_preserve_paths(self, seed, max_length):
+        pangenome = simulate_graph_pangenome(
+            genome_length=1500, n_haplotypes=3, seed=seed
+        )
+        graph = pangenome.graph
+        split = split_nodes(graph, max_length)
+        for haplotype in pangenome.haplotypes:
+            assert split.path_sequence(haplotype.name) == haplotype.sequence
+        compacted = compact_chains(split)
+        for haplotype in pangenome.haplotypes:
+            assert compacted.path_sequence(haplotype.name) == haplotype.sequence
+
+    def test_compact_merges_chains(self):
+        graph = chain_graph(["AC", "GT", "AA"])
+        graph.add_path("p", [0, 1, 2])
+        compacted = compact_chains(graph)
+        assert compacted.node_count == 1
+        assert compacted.path_sequence("p") == "ACGTAA"
+
+    def test_compact_handles_self_loop(self):
+        graph = SequenceGraph()
+        graph.add_node(0, "AC")
+        graph.add_edge(0, 0)
+        graph.add_path("p", [0, 0])
+        compacted = compact_chains(graph)
+        assert compacted.path_sequence("p") == "ACAC"
+
+
+class TestComponents:
+    def test_two_components(self):
+        graph = SequenceGraph()
+        for index in range(4):
+            graph.add_node(index, "A")
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        components = connected_components(graph)
+        assert len(components) == 2
+        assert {frozenset(c) for c in components} == {frozenset({0, 1}), frozenset({2, 3})}

@@ -1,0 +1,42 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gssw" in out
+        assert "vg_map" in out
+
+    def test_run_timing(self, capsys, tmp_path):
+        path = tmp_path / "r.json"
+        code = main([
+            "run", "--kernels", "gbwt", "--studies", "timing",
+            "--scale", "0.25", "--out", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gbwt" in out
+        payload = json.loads(path.read_text())
+        assert payload["gbwt"]["inputs_processed"] > 0
+
+    def test_run_topdown(self, capsys):
+        assert main([
+            "run", "--kernels", "gbwt", "--studies", "topdown",
+            "--scale", "0.25",
+        ]) == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--kernels", "gbwt", "--scale", "0.25"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_bad_study_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--studies", "vtune"])

@@ -1,0 +1,51 @@
+"""Suite runner: studies, serialization."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.harness.runner import (
+    load_reports,
+    run_kernel_studies,
+    run_suite,
+    save_reports,
+)
+
+
+class TestStudies:
+    def test_timing_study(self):
+        report = run_kernel_studies("gbwt", studies=("timing",), scale=0.25)
+        assert report.wall_seconds > 0
+        assert report.inputs_processed > 0
+        assert not report.topdown
+
+    def test_characterization_studies(self):
+        report = run_kernel_studies(
+            "gbwt", studies=("topdown", "cache", "instmix"), scale=0.25
+        )
+        assert abs(sum(report.topdown.values()) - 1.0) < 1e-6
+        assert report.ipc > 0
+        assert set(report.mpki) == {"l1", "l2", "l3"}
+        assert abs(sum(report.instruction_mix.values()) - 1.0) < 1e-6
+        assert report.instructions > 0
+
+    def test_validate_study(self):
+        report = run_kernel_studies("gbwt", studies=("validate",), scale=0.25)
+        assert report.validated
+
+    def test_unknown_study_rejected(self):
+        with pytest.raises(KernelError):
+            run_kernel_studies("gbwt", studies=("vtune",))
+
+
+class TestSuiteAndSerialization:
+    def test_run_subset(self):
+        reports = run_suite(("gbwt", "tsu"), studies=("timing",), scale=0.25)
+        assert set(reports) == {"gbwt", "tsu"}
+
+    def test_save_load_roundtrip(self, tmp_path):
+        reports = run_suite(("gbwt",), studies=("timing",), scale=0.25)
+        path = tmp_path / "reports.json"
+        save_reports(reports, path)
+        loaded = load_reports(path)
+        assert loaded["gbwt"].inputs_processed == reports["gbwt"].inputs_processed
+        assert loaded["gbwt"].work == reports["gbwt"].work

@@ -1,0 +1,54 @@
+"""FM-index backward search and locate vs naive scanning."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_
+from repro.index.fmindex import FMIndex
+
+dna = st.text(alphabet="ACGT", min_size=20, max_size=200)
+
+
+class TestFMIndex:
+    @given(dna, st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_locate_matches_naive(self, text, seed):
+        rng = random.Random(seed)
+        fm = FMIndex(text)
+        start = rng.randrange(len(text))
+        length = rng.randint(1, min(8, len(text) - start))
+        pattern = text[start : start + length]
+        naive = [
+            i for i in range(len(text) - length + 1) if text[i : i + length] == pattern
+        ]
+        assert fm.locate(pattern) == naive
+        assert fm.count(pattern) == len(naive)
+
+    def test_absent_pattern(self):
+        fm = FMIndex("AAAA")
+        assert fm.count("G") == 0
+        assert fm.locate("GG") == []
+
+    def test_locate_limit(self):
+        fm = FMIndex("ACAC" * 10)
+        assert len(fm.locate("AC", limit=3)) == 3
+
+    def test_extract(self):
+        fm = FMIndex("ACGTACGT")
+        assert fm.extract(2, 4) == "GTAC"
+        with pytest.raises(IndexError_):
+            fm.extract(6, 4)
+
+    def test_sampling_rates_validated(self):
+        with pytest.raises(IndexError_):
+            FMIndex("ACGT", occ_sample=0)
+
+    def test_small_sampling_still_correct(self):
+        text = "ACGTTGCAACGT" * 5
+        fm = FMIndex(text, occ_sample=3, sa_sample=5)
+        assert fm.locate("ACGT") == [
+            i for i in range(len(text) - 3) if text[i : i + 4] == "ACGT"
+        ]

@@ -1,0 +1,91 @@
+"""GBWT: haplotype-aware search vs naive scanning."""
+
+import random
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.index.gbwt import ENDMARKER, GBWT
+
+
+def naive_occurrences(paths, query):
+    count = 0
+    for path in paths:
+        for i in range(len(path) - len(query) + 1):
+            if tuple(path[i : i + len(query)]) == tuple(query):
+                count += 1
+    return count
+
+
+def naive_successors(paths, query):
+    out = {}
+    for path in paths:
+        for i in range(len(path) - len(query) + 1):
+            if tuple(path[i : i + len(query)]) == tuple(query):
+                nxt = path[i + len(query)] if i + len(query) < len(path) else ENDMARKER
+                out[nxt] = out.get(nxt, 0) + 1
+    return out
+
+
+class TestGBWT:
+    def setup_method(self):
+        rng = random.Random(42)
+        self.paths = [
+            [rng.randrange(0, 20) for _ in range(rng.randint(4, 50))] for _ in range(10)
+        ]
+        self.gbwt = GBWT(self.paths)
+
+    def test_find_matches_naive(self):
+        rng = random.Random(1)
+        for _ in range(200):
+            path = rng.choice(self.paths)
+            start = rng.randrange(len(path))
+            length = rng.randint(1, min(6, len(path) - start))
+            query = path[start : start + length]
+            assert self.gbwt.find(query).size == naive_occurrences(self.paths, query)
+
+    def test_successors_match_naive(self):
+        rng = random.Random(2)
+        for _ in range(100):
+            path = rng.choice(self.paths)
+            start = rng.randrange(len(path))
+            length = rng.randint(1, min(4, len(path) - start))
+            query = path[start : start + length]
+            state = self.gbwt.find(query)
+            assert self.gbwt.successors(state) == naive_successors(self.paths, query)
+
+    def test_absent_sequence_empty(self):
+        state = self.gbwt.find([99, 98])
+        assert state.is_empty
+        assert self.gbwt.successors(state) == {}
+
+    def test_locate_positions_are_real(self):
+        path = self.paths[0]
+        query = path[:3]
+        state = self.gbwt.find(query)
+        for name, step in self.gbwt.locate(state):
+            index = int(name.replace("path", ""))
+            # step indexes the LAST node of the query
+            assert tuple(self.paths[index][step - 2 : step + 1]) == tuple(query)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(IndexError_):
+            self.gbwt.find([])
+
+    def test_counts(self):
+        assert self.gbwt.path_count == 10
+        assert self.gbwt.total_visits == sum(len(p) for p in self.paths)
+
+    def test_from_graph(self, small_graph_pangenome):
+        graph = small_graph_pangenome.graph
+        gbwt = GBWT.from_graph(graph)
+        name = graph.path_names()[0]
+        nodes = graph.path(name).nodes
+        state = gbwt.find(nodes[:5])
+        assert state.size >= 1
+
+    def test_requires_paths(self):
+        with pytest.raises(IndexError_):
+            GBWT([])
+        with pytest.raises(IndexError_):
+            GBWT([[]])

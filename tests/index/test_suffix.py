@@ -1,0 +1,65 @@
+"""Suffix arrays, BWT, LCP."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.suffix import (
+    bwt,
+    inverse_bwt,
+    longest_common_prefix_array,
+    suffix_array,
+    suffix_array_of_string,
+)
+
+int_text = st.lists(st.integers(2, 6), min_size=1, max_size=120)
+
+
+class TestSuffixArray:
+    @given(int_text)
+    @settings(max_examples=40, deadline=None)
+    def test_suffixes_sorted(self, text):
+        sa = suffix_array(text)
+        suffixes = [tuple(text[i:]) for i in sa]
+        assert suffixes == sorted(suffixes)
+        assert sorted(sa) == list(range(len(text)))
+
+    def test_known_banana(self):
+        sa = suffix_array_of_string("banana")
+        assert sa == [5, 3, 1, 0, 4, 2]
+
+    def test_empty(self):
+        assert suffix_array([]) == []
+
+    def test_all_equal(self):
+        assert suffix_array([1, 1, 1]) == [2, 1, 0]
+
+
+class TestBWT:
+    @given(int_text)
+    @settings(max_examples=40, deadline=None)
+    def test_inverse_roundtrip(self, text):
+        sequence = [t + 1 for t in text] + [0]  # unique smallest sentinel
+        assert inverse_bwt(bwt(sequence), 0) == sequence
+
+    def test_known_value(self):
+        # "banana$" with $ -> 0, letters by rank
+        text = [2, 1, 4, 1, 4, 1, 0]
+        transformed = bwt(text)
+        assert transformed == [1, 4, 4, 2, 0, 1, 1]  # "annb$aa"
+
+
+class TestLCP:
+    def test_against_naive(self):
+        rng = random.Random(5)
+        text = [rng.randint(1, 4) for _ in range(80)]
+        sa = suffix_array(text)
+        lcp = longest_common_prefix_array(text, sa)
+        for i in range(1, len(sa)):
+            a = text[sa[i - 1]:]
+            b = text[sa[i]:]
+            common = 0
+            while common < min(len(a), len(b)) and a[common] == b[common]:
+                common += 1
+            assert lcp[i] == common

@@ -1,0 +1,51 @@
+"""End-to-end integration: build a graph, map reads to it, lay it out."""
+
+import pytest
+
+from repro.layout.pgsgd import PGSGDParams, pgsgd_layout
+from repro.sequence.simulate import ILLUMINA, ReadSimulator, simulate_pangenome
+from repro.tools import Giraffe, VgMap
+from repro.tools.pipelines import run_pggb
+
+
+@pytest.fixture(scope="module")
+def built_world():
+    """A pangenome built by the PGGB pipeline from scratch."""
+    pangenome = simulate_pangenome(genome_length=2500, n_haplotypes=3, seed=21)
+    run = run_pggb(
+        pangenome.records,
+        layout_params=PGSGDParams(iterations=3, updates_per_iteration=300),
+    )
+    return pangenome, run.graph
+
+
+class TestBuildThenMap:
+    def test_reads_map_to_discovered_graph(self, built_world):
+        pangenome, graph = built_world
+        donor = pangenome.haplotypes[0]
+        reads = list(ReadSimulator(ILLUMINA, seed=3).simulate(donor, n_reads=10))
+        run = VgMap(graph).map_reads(reads)
+        assert run.mapped_fraction >= 0.8
+
+    def test_giraffe_on_discovered_graph(self, built_world):
+        pangenome, graph = built_world
+        donor = pangenome.haplotypes[1]
+        reads = list(ReadSimulator(ILLUMINA, seed=4).simulate(donor, n_reads=10))
+        run = Giraffe(graph).map_reads(reads)
+        assert run.mapped_fraction >= 0.8
+
+    def test_layout_of_discovered_graph(self, built_world):
+        _, graph = built_world
+        params = PGSGDParams(
+            iterations=8, updates_per_iteration=4000, initialization="random"
+        )
+        result = pgsgd_layout(graph, params)
+        assert result.final_stress < 0.2 * result.stress_history[0]
+
+
+class TestGroundTruthAgainstDiscovery:
+    def test_discovered_graph_compresses_like_truth(self, built_world):
+        pangenome, graph = built_world
+        from repro.graph.builder import build_variation_graph  # noqa: F401
+        total = sum(len(r) for r in pangenome.records)
+        assert graph.total_sequence_length < 0.6 * total

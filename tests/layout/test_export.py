@@ -1,0 +1,43 @@
+"""Layout TSV and SVG export."""
+
+import io
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graph.builder import simulate_graph_pangenome
+from repro.layout.export import layout_to_svg, write_layout_tsv
+from repro.layout.pgsgd import PGSGDParams, pgsgd_layout
+
+
+class TestExport:
+    def test_tsv_format(self):
+        buffer = io.StringIO()
+        write_layout_tsv([(0.0, 1.0), (2.5, 3.5)], buffer)
+        lines = buffer.getvalue().splitlines()
+        assert lines[0] == "#idx\tX\tY"
+        assert lines[1] == "0\t0.000\t1.000"
+        assert len(lines) == 3
+
+    def test_tsv_file(self, tmp_path):
+        path = tmp_path / "layout.tsv"
+        write_layout_tsv([(1.0, 2.0)], path)
+        assert path.read_text().startswith("#idx")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            write_layout_tsv([], io.StringIO())
+
+    def test_svg_from_real_layout(self):
+        world = simulate_graph_pangenome(genome_length=800, n_haplotypes=2, seed=5)
+        params = PGSGDParams(iterations=2, updates_per_iteration=200)
+        result = pgsgd_layout(world.graph, params)
+        svg = layout_to_svg(world.graph, result.positions)
+        assert svg.startswith("<svg")
+        assert svg.count("<line") == world.graph.node_count
+        assert svg.rstrip().endswith("</svg>")
+
+    def test_svg_anchor_count_checked(self):
+        world = simulate_graph_pangenome(genome_length=500, n_haplotypes=2, seed=5)
+        with pytest.raises(SimulationError):
+            layout_to_svg(world.graph, [(0.0, 0.0)])

@@ -1,0 +1,55 @@
+"""Path step index and sampling."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.model import SequenceGraph
+from repro.layout.path_index import PathIndex
+
+
+def two_path_graph():
+    graph = SequenceGraph()
+    graph.add_node(0, "AAAA")
+    graph.add_node(1, "CC")
+    graph.add_node(2, "GGG")
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_path("p1", [0, 1, 2])
+    graph.add_path("p2", [0, 1])
+    return graph
+
+
+class TestPathIndex:
+    def test_positions_cumulative(self):
+        index = PathIndex(two_path_graph())
+        steps = index.steps_of(0)
+        assert [s.position for s in steps] == [0, 4, 6]
+        assert index.path_length(0) == 9
+
+    def test_distance(self):
+        index = PathIndex(two_path_graph())
+        steps = index.steps_of(0)
+        assert index.distance(steps[0], steps[2]) == 6
+
+    def test_distance_cross_path_rejected(self):
+        index = PathIndex(two_path_graph())
+        with pytest.raises(GraphError):
+            index.distance(index.steps_of(0)[0], index.steps_of(1)[0])
+
+    def test_requires_paths(self):
+        with pytest.raises(GraphError):
+            PathIndex(SequenceGraph())
+
+    def test_sampling_in_range(self):
+        index = PathIndex(two_path_graph())
+        rng = random.Random(0)
+        for _ in range(100):
+            a, b = index.sample_step_pair(rng)
+            assert a.path_index == b.path_index
+            assert a.step_index != b.step_index or len(index.steps_of(a.path_index)) == 1
+
+    def test_build_work_counted(self):
+        index = PathIndex(two_path_graph())
+        assert index.build_work == 5  # 3 + 2 steps

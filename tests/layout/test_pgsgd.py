@@ -1,0 +1,57 @@
+"""PGSGD layout convergence and determinism."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.layout.pgsgd import PGSGDLayout, PGSGDParams, pgsgd_layout
+
+
+PARAMS = PGSGDParams(iterations=10, updates_per_iteration=4000, seed=3,
+                     initialization="random")
+
+
+class TestConvergence:
+    def test_stress_drops_from_random_start(self, small_graph_pangenome):
+        result = pgsgd_layout(small_graph_pangenome.graph, PARAMS)
+        assert result.final_stress < 0.1 * result.stress_history[0]
+
+    def test_updates_counted(self, small_graph_pangenome):
+        result = pgsgd_layout(small_graph_pangenome.graph, PARAMS)
+        assert result.updates == PARAMS.iterations * PARAMS.updates_per_iteration
+
+    def test_deterministic(self, small_graph_pangenome):
+        a = pgsgd_layout(small_graph_pangenome.graph, PARAMS)
+        b = pgsgd_layout(small_graph_pangenome.graph, PARAMS)
+        assert a.positions == b.positions
+
+
+class TestParams:
+    def test_schedule_decays(self):
+        params = PGSGDParams(iterations=5, eta_min=0.1)
+        schedule = params.schedule(eta_max=1000.0)
+        assert schedule[0] == 1000.0
+        assert abs(schedule[-1] - 0.1) < 1e-9
+        assert all(a > b for a, b in zip(schedule, schedule[1:]))
+
+    def test_schedule_needs_eta(self):
+        with pytest.raises(SimulationError):
+            PGSGDParams().schedule()
+
+    def test_bad_initialization_rejected(self, small_graph_pangenome):
+        params = dataclasses.replace(PARAMS, initialization="spiral")
+        with pytest.raises(SimulationError):
+            PGSGDLayout(small_graph_pangenome.graph, params)
+
+
+class TestVirtualSpread:
+    def test_virtual_addresses_rotate(self, small_graph_pangenome):
+        params = dataclasses.replace(PARAMS, virtual_anchor_scale=64)
+        layout = PGSGDLayout(small_graph_pangenome.graph, params)
+        addresses = {layout._anchor_address(5) for _ in range(20)}
+        assert len(addresses) > 10  # successive visits land on fresh slots
+
+    def test_scale_one_is_stable(self, small_graph_pangenome):
+        layout = PGSGDLayout(small_graph_pangenome.graph, PARAMS)
+        assert layout._anchor_address(5) == layout._anchor_address(5)

@@ -1,0 +1,42 @@
+"""PGSGD-GPU: Table 7 occupancy shape and convergence parity."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.layout.pgsgd import PGSGDParams
+from repro.layout.pgsgd_gpu import pgsgd_layout_gpu
+
+
+PARAMS = PGSGDParams(iterations=8, updates_per_iteration=3000, seed=5,
+                     initialization="random")
+
+
+class TestOccupancy:
+    def test_block_1024_theoretical_two_thirds(self, small_graph_pangenome):
+        result = pgsgd_layout_gpu(small_graph_pangenome.graph, PARAMS, block_size=1024)
+        assert abs(result.report.theoretical_occupancy - 2 / 3) < 0.01
+
+    def test_block_256_improves_occupancy(self, small_graph_pangenome):
+        big = pgsgd_layout_gpu(small_graph_pangenome.graph, PARAMS, block_size=1024)
+        small = pgsgd_layout_gpu(small_graph_pangenome.graph, PARAMS, block_size=256)
+        assert abs(small.report.theoretical_occupancy - 5 / 6) < 0.01
+        assert small.report.achieved_occupancy > big.report.achieved_occupancy
+
+    def test_achieved_below_theoretical(self, small_graph_pangenome):
+        report = pgsgd_layout_gpu(small_graph_pangenome.graph, PARAMS).report
+        assert report.achieved_occupancy < report.theoretical_occupancy
+
+    def test_warp_utilization_high(self, small_graph_pangenome):
+        report = pgsgd_layout_gpu(small_graph_pangenome.graph, PARAMS).report
+        assert 0.8 < report.warp_utilization < 0.95
+
+
+class TestBehaviour:
+    def test_layout_converges_like_cpu(self, small_graph_pangenome):
+        result = pgsgd_layout_gpu(small_graph_pangenome.graph, PARAMS)
+        history = result.layout.stress_history
+        assert history[-1] < 0.2 * history[0]
+
+    def test_bad_block_size_rejected(self, small_graph_pangenome):
+        with pytest.raises(SimulationError):
+            pgsgd_layout_gpu(small_graph_pangenome.graph, PARAMS, block_size=100)

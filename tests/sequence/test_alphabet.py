@@ -1,0 +1,103 @@
+"""Alphabet utilities: validation, complement, 2-bit packing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SequenceError
+from repro.sequence.alphabet import (
+    complement,
+    decode,
+    encode,
+    gc_content,
+    hamming_distance,
+    is_dna,
+    pack_2bit,
+    reverse_complement,
+    unpack_2bit,
+    validate_dna,
+)
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=200)
+
+
+class TestValidation:
+    def test_accepts_plain_dna(self):
+        assert validate_dna("ACGT") == "ACGT"
+
+    def test_rejects_empty(self):
+        with pytest.raises(SequenceError):
+            validate_dna("")
+
+    def test_rejects_lowercase(self):
+        with pytest.raises(SequenceError):
+            validate_dna("acgt")
+
+    def test_n_requires_flag(self):
+        with pytest.raises(SequenceError):
+            validate_dna("ACGN")
+        assert validate_dna("ACGN", allow_n=True) == "ACGN"
+
+    def test_is_dna(self):
+        assert is_dna("ACGT")
+        assert not is_dna("ACGU")
+        assert is_dna("NNNN", allow_n=True)
+
+
+class TestComplement:
+    def test_complement_pairs(self):
+        assert complement("ACGT") == "TGCA"
+
+    def test_reverse_complement_known(self):
+        assert reverse_complement("AACG") == "CGTT"
+
+    def test_n_maps_to_n(self):
+        assert complement("N") == "N"
+
+    @given(dna)
+    @settings(max_examples=50)
+    def test_reverse_complement_involution(self, sequence):
+        assert reverse_complement(reverse_complement(sequence)) == sequence
+
+    @given(dna)
+    @settings(max_examples=25)
+    def test_complement_preserves_length(self, sequence):
+        assert len(complement(sequence)) == len(sequence)
+
+
+class TestEncoding:
+    @given(dna)
+    @settings(max_examples=50)
+    def test_encode_decode_roundtrip(self, sequence):
+        assert decode(encode(sequence)) == sequence
+
+    def test_encode_rejects_n(self):
+        with pytest.raises(SequenceError):
+            encode("ACGN")
+
+    @given(dna)
+    @settings(max_examples=25)
+    def test_pack_unpack_roundtrip(self, sequence):
+        words, length = pack_2bit(sequence)
+        assert unpack_2bit(words, length) == sequence
+
+    def test_pack_word_boundary(self):
+        sequence = "A" * 32 + "C"
+        words, length = pack_2bit(sequence)
+        assert len(words) == 2
+        assert unpack_2bit(words, length) == sequence
+
+
+class TestStats:
+    def test_gc_content(self):
+        assert gc_content("GGCC") == 1.0
+        assert gc_content("AATT") == 0.0
+        assert gc_content("ACGT") == 0.5
+        assert gc_content("") == 0.0
+
+    def test_hamming(self):
+        assert hamming_distance("ACGT", "ACGA") == 1
+
+    def test_hamming_rejects_length_mismatch(self):
+        with pytest.raises(SequenceError):
+            hamming_distance("AC", "A")

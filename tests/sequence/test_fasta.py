@@ -1,0 +1,76 @@
+"""FASTA / FASTQ round trips and error handling."""
+
+import io
+
+import pytest
+
+from repro.errors import SequenceError
+from repro.sequence.fasta import (
+    fasta_string,
+    parse_fasta,
+    parse_fastq,
+    read_fasta,
+    write_fastq,
+)
+from repro.sequence.records import Read, SequenceRecord
+
+
+class TestFasta:
+    def test_roundtrip(self, tmp_path):
+        records = [SequenceRecord("a", "ACGT" * 30), SequenceRecord("b", "TTTT")]
+        path = tmp_path / "x.fa"
+        from repro.sequence.fasta import write_fasta
+
+        write_fasta(records, path, line_width=40)
+        back = read_fasta(path)
+        assert back == records
+
+    def test_wrapped_lines_joined(self):
+        text = ">x\nACGT\nACGT\n"
+        records = list(parse_fasta(io.StringIO(text)))
+        assert records[0].sequence == "ACGTACGT"
+
+    def test_description_parsed(self):
+        text = ">x some description here\nACGT\n"
+        record = list(parse_fasta(io.StringIO(text)))[0]
+        assert record.name == "x"
+        assert record.description == "some description here"
+
+    def test_lowercase_uppercased(self):
+        records = list(parse_fasta(io.StringIO(">x\nacgt\n")))
+        assert records[0].sequence == "ACGT"
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(SequenceError):
+            list(parse_fasta(io.StringIO("ACGT\n")))
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(SequenceError):
+            list(parse_fasta(io.StringIO(">\nACGT\n")))
+
+    def test_fasta_string(self):
+        text = fasta_string([SequenceRecord("a", "ACGT")])
+        assert text == ">a\nACGT\n"
+
+
+class TestFastq:
+    def test_roundtrip(self):
+        reads = [Read("r1", "ACGT", quality=(30, 31, 32, 33))]
+        buffer = io.StringIO()
+        write_fastq(reads, buffer)
+        back = list(parse_fastq(io.StringIO(buffer.getvalue())))
+        assert back[0].sequence == "ACGT"
+        assert back[0].quality == (30, 31, 32, 33)
+
+    def test_default_quality(self):
+        buffer = io.StringIO()
+        write_fastq([Read("r1", "AC")], buffer)
+        assert "??" in buffer.getvalue()  # Q30
+
+    def test_bad_separator_rejected(self):
+        with pytest.raises(SequenceError):
+            list(parse_fastq(io.StringIO("@r\nAC\nXX\nII\n")))
+
+    def test_quality_length_mismatch_rejected(self):
+        with pytest.raises(SequenceError):
+            list(parse_fastq(io.StringIO("@r\nACGT\n+\nII\n")))

@@ -1,0 +1,79 @@
+"""Variant model: application semantics and sampling."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SequenceError
+from repro.sequence.alphabet import is_dna
+from repro.sequence.mutate import (
+    Variant,
+    VariantRates,
+    VariantType,
+    apply_variants,
+    sample_variants,
+)
+
+
+class TestApplyVariants:
+    def test_snp(self):
+        variant = Variant(VariantType.SNP, 1, "C", "G")
+        assert apply_variants("ACGT", [variant]) == "AGGT"
+
+    def test_insertion(self):
+        variant = Variant(VariantType.INSERTION, 1, "C", "CTT")
+        assert apply_variants("ACGT", [variant]) == "ACTTGT"
+
+    def test_deletion(self):
+        variant = Variant(VariantType.DELETION, 0, "ACG", "A")
+        assert apply_variants("ACGT", [variant]) == "AT"
+
+    def test_ref_mismatch_rejected(self):
+        variant = Variant(VariantType.SNP, 0, "G", "T")
+        with pytest.raises(SequenceError):
+            apply_variants("ACGT", [variant])
+
+    def test_out_of_range_rejected(self):
+        variant = Variant(VariantType.DELETION, 3, "TA", "T")
+        with pytest.raises(SequenceError):
+            apply_variants("ACGT", [variant])
+
+    def test_overlapping_first_wins(self):
+        a = Variant(VariantType.DELETION, 0, "AC", "A")
+        b = Variant(VariantType.SNP, 1, "C", "G")
+        assert apply_variants("ACGT", [a, b]) == "AGT"
+
+    def test_variant_requires_change(self):
+        with pytest.raises(SequenceError):
+            Variant(VariantType.SNP, 0, "", "")
+
+
+class TestSampling:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_sampled_variants_apply_cleanly(self, seed):
+        rng = random.Random(seed)
+        reference = "".join(rng.choice("ACGT") for _ in range(500))
+        variants = sample_variants(reference, rng=rng)
+        mutated = apply_variants(reference, variants)
+        assert is_dna(mutated)
+
+    def test_zero_rates_yield_nothing(self):
+        rates = VariantRates(snp=0, insertion=0, deletion=0, inversion=0, duplication=0)
+        assert sample_variants("ACGT" * 100, rates=rates) == []
+
+    def test_deterministic(self):
+        reference = "ACGT" * 200
+        a = sample_variants(reference, rng=random.Random(1))
+        b = sample_variants(reference, rng=random.Random(1))
+        assert a == b
+
+    def test_non_overlapping(self):
+        reference = "ACGT" * 500
+        variants = sample_variants(reference, rng=random.Random(3))
+        end = -1
+        for variant in sorted(variants, key=lambda v: v.position):
+            assert variant.position >= end
+            end = max(end, variant.end)

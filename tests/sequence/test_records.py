@@ -1,0 +1,61 @@
+"""Sequence and read record types."""
+
+import pytest
+
+from repro.errors import SequenceError
+from repro.sequence.records import Read, ReadSet, SequenceRecord
+
+
+class TestSequenceRecord:
+    def test_basic(self):
+        record = SequenceRecord("chr1", "ACGT")
+        assert len(record) == 4
+
+    def test_requires_name(self):
+        with pytest.raises(SequenceError):
+            SequenceRecord("", "ACGT")
+
+    def test_rejects_bad_sequence(self):
+        with pytest.raises(SequenceError):
+            SequenceRecord("x", "ACGU")
+
+    def test_subsequence(self):
+        record = SequenceRecord("chr1", "ACGTACGT")
+        sub = record.subsequence(2, 6)
+        assert sub.sequence == "GTAC"
+        assert "2-6" in sub.name
+
+    def test_subsequence_bounds(self):
+        record = SequenceRecord("chr1", "ACGT")
+        with pytest.raises(SequenceError):
+            record.subsequence(2, 8)
+
+    def test_reverse_complement(self):
+        record = SequenceRecord("chr1", "AACG")
+        assert record.reverse_complement().sequence == "CGTT"
+
+
+class TestRead:
+    def test_provenance(self):
+        read = Read("r1", "ACGT", truth_name="chr1", truth_start=10, truth_end=14)
+        assert read.has_provenance
+
+    def test_no_provenance(self):
+        assert not Read("r1", "ACGT").has_provenance
+
+    def test_quality_length_checked(self):
+        with pytest.raises(SequenceError):
+            Read("r1", "ACGT", quality=(30, 30))
+
+
+class TestReadSet:
+    def test_stats(self):
+        reads = ReadSet((Read("a", "ACGT"), Read("b", "ACGTAC")))
+        assert len(reads) == 2
+        assert reads.total_bases == 10
+        assert reads.mean_length == 5.0
+        assert reads.coverage(10) == 1.0
+
+    def test_coverage_rejects_bad_length(self):
+        with pytest.raises(SequenceError):
+            ReadSet(()).coverage(0)

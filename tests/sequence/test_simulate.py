@@ -1,0 +1,91 @@
+"""Genome, pangenome, and read simulation."""
+
+import pytest
+
+from repro.errors import SequenceError
+from repro.sequence.alphabet import gc_content, reverse_complement
+from repro.sequence.simulate import (
+    HIFI,
+    ILLUMINA,
+    ReadSimulator,
+    random_genome,
+    simulate_pangenome,
+    simulate_reads,
+)
+
+
+class TestRandomGenome:
+    def test_length(self):
+        assert len(random_genome(1234)) == 1234
+
+    def test_gc_near_target(self):
+        genome = random_genome(50_000, seed=1, gc=0.41)
+        assert abs(gc_content(genome.sequence) - 0.41) < 0.05
+
+    def test_deterministic(self):
+        assert random_genome(500, seed=7).sequence == random_genome(500, seed=7).sequence
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(SequenceError):
+            random_genome(0)
+        with pytest.raises(SequenceError):
+            random_genome(10, gc=1.5)
+
+
+class TestPangenome:
+    def test_population_size(self):
+        pangenome = simulate_pangenome(genome_length=2000, n_haplotypes=5, seed=2)
+        assert len(pangenome) == 5
+        assert len(pangenome.records) == 6  # ancestor + haplotypes
+
+    def test_haplotypes_diverge(self):
+        pangenome = simulate_pangenome(genome_length=5000, n_haplotypes=2, seed=2)
+        assert pangenome.haplotypes[0].sequence != pangenome.ancestor.sequence
+
+    def test_haplotypes_similar_length(self):
+        pangenome = simulate_pangenome(genome_length=5000, n_haplotypes=3, seed=2)
+        for haplotype in pangenome.haplotypes:
+            assert abs(len(haplotype) - 5000) < 1000
+
+
+class TestReadSimulator:
+    def test_short_read_length(self):
+        genome = random_genome(5000, seed=3)
+        reads = simulate_reads(genome, ILLUMINA, n_reads=20, seed=1)
+        assert all(len(read) in range(140, 165) for read in reads)
+
+    def test_provenance_matches_truth(self):
+        from repro.align.myers import edit_distance
+
+        genome = random_genome(5000, seed=3)
+        reads = ReadSimulator(ILLUMINA, seed=1).simulate(genome, n_reads=20)
+        for read in reads:
+            window = genome.sequence[read.truth_start : read.truth_end]
+            if read.is_reverse:
+                window = reverse_complement(window)
+            # Low error rate: the read stays close to its source window.
+            assert edit_distance(read.sequence, window) < 0.1 * len(window)
+
+    def test_coverage_determines_read_count(self):
+        genome = random_genome(15_000, seed=4)
+        reads = simulate_reads(genome, ILLUMINA, coverage=2.0, seed=1)
+        assert abs(reads.coverage(len(genome)) - 2.0) < 0.3
+
+    def test_requires_exactly_one_sizing(self):
+        genome = random_genome(1000, seed=5)
+        simulator = ReadSimulator(ILLUMINA)
+        with pytest.raises(SequenceError):
+            simulator.simulate(genome)
+        with pytest.raises(SequenceError):
+            simulator.simulate(genome, n_reads=5, coverage=1.0)
+
+    def test_long_reads_longer(self):
+        genome = random_genome(60_000, seed=6)
+        reads = simulate_reads(genome, HIFI, n_reads=5, seed=2)
+        assert reads.mean_length > 5_000
+
+    def test_deterministic(self):
+        genome = random_genome(2000, seed=7)
+        a = simulate_reads(genome, ILLUMINA, n_reads=5, seed=9)
+        b = simulate_reads(genome, ILLUMINA, n_reads=5, seed=9)
+        assert [r.sequence for r in a] == [r.sequence for r in b]

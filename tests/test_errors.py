@@ -1,0 +1,42 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    AlignmentError,
+    CyclicGraphError,
+    DatasetError,
+    GFAError,
+    GraphError,
+    IndexError_,
+    KernelError,
+    ReproError,
+    SequenceError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error_type",
+        [SequenceError, GraphError, IndexError_, AlignmentError,
+         DatasetError, KernelError, SimulationError],
+    )
+    def test_all_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+
+    def test_cyclic_is_graph_error(self):
+        assert issubclass(CyclicGraphError, GraphError)
+        assert "cycle" in str(CyclicGraphError())
+
+    def test_gfa_error_line_number(self):
+        error = GFAError("bad record", line_number=7)
+        assert "line 7" in str(error)
+        assert error.line_number == 7
+
+    def test_gfa_error_without_line(self):
+        assert GFAError("bad").line_number is None
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise KernelError("x")

@@ -1,0 +1,48 @@
+"""Branch predictors."""
+
+import random
+
+from repro.uarch.branch import BimodalPredictor, GsharePredictor
+
+
+class TestGshare:
+    def test_learns_constant_direction(self):
+        predictor = GsharePredictor()
+        for _ in range(100):
+            predictor.predict_and_update(1, True)
+        assert predictor.stats.misprediction_rate < 0.1
+
+    def test_random_stream_mispredicts(self):
+        predictor = GsharePredictor()
+        rng = random.Random(0)
+        for _ in range(2000):
+            predictor.predict_and_update(1, rng.random() < 0.5)
+        assert predictor.stats.misprediction_rate > 0.3
+
+    def test_learns_alternating_pattern_via_history(self):
+        predictor = GsharePredictor()
+        for i in range(2000):
+            predictor.predict_and_update(1, i % 2 == 0)
+        assert predictor.stats.misprediction_rate < 0.2
+
+    def test_counts(self):
+        predictor = GsharePredictor()
+        predictor.predict_and_update(1, True)
+        predictor.predict_and_update(1, False)
+        assert predictor.stats.branches == 2
+        assert predictor.stats.taken == 1
+
+
+class TestBimodal:
+    def test_biased_stream_predicted(self):
+        predictor = BimodalPredictor()
+        rng = random.Random(1)
+        for _ in range(2000):
+            predictor.predict_and_update(7, rng.random() < 0.9)
+        assert predictor.stats.misprediction_rate < 0.25
+
+    def test_cannot_learn_alternation(self):
+        predictor = BimodalPredictor()
+        for i in range(2000):
+            predictor.predict_and_update(1, i % 2 == 0)
+        assert predictor.stats.misprediction_rate > 0.4

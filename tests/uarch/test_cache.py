@@ -1,0 +1,70 @@
+"""Cache hierarchy simulator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.uarch.cache import (
+    LINE_SIZE,
+    MACHINE_A,
+    MACHINE_B,
+    CacheHierarchy,
+    CacheLevel,
+)
+
+
+class TestCacheLevel:
+    def test_lru_eviction(self):
+        # 2 sets x 2 ways: lines 0,2,4 map to set 0 (even line numbers).
+        level = CacheLevel("t", size_bytes=4 * LINE_SIZE, ways=2)
+        assert not level.access(0)
+        assert not level.access(2)
+        assert level.access(0)        # refresh 0: now 2 is LRU
+        assert not level.access(4)    # evicts 2
+        assert level.access(0)
+        assert not level.access(2)    # 2 was evicted
+
+    def test_hit_after_fill(self):
+        level = CacheLevel("t", size_bytes=4 * LINE_SIZE, ways=2)
+        level.access(7)
+        assert level.access(7)
+        assert level.hits == 1
+        assert level.misses == 1
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(SimulationError):
+            CacheLevel("t", size_bytes=0, ways=2)
+
+
+class TestHierarchy:
+    def test_first_touch_misses_everywhere(self):
+        hierarchy = CacheHierarchy(MACHINE_B)
+        assert hierarchy.access(0x1000) == 4
+        assert hierarchy.access(0x1000) == 1
+
+    def test_capacity_spill_to_l2(self):
+        hierarchy = CacheHierarchy(MACHINE_B)
+        lines = (MACHINE_B.l1_size // LINE_SIZE) * 4
+        for i in range(lines):
+            hierarchy.access(i * LINE_SIZE)
+        # revisit: L1 cannot hold all; most should hit L2.
+        levels = [hierarchy.access(i * LINE_SIZE) for i in range(lines)]
+        assert levels.count(2) > lines // 2
+
+    def test_multi_line_access_worst_level(self):
+        hierarchy = CacheHierarchy(MACHINE_B)
+        hierarchy.access(0)
+        # spans line 0 (hit) and line 1 (miss) -> worst = memory
+        assert hierarchy.access(LINE_SIZE - 4, size=8) == 4
+
+    def test_mpki_exclusive(self):
+        hierarchy = CacheHierarchy(MACHINE_B)
+        for i in range(100):
+            hierarchy.access(i * LINE_SIZE)
+        mpki = hierarchy.mpki(instructions=1000)
+        # first-touch: all 100 go to memory; exclusive counting puts them in l3
+        assert mpki["l1"] == 0.0
+        assert mpki["l2"] == 0.0
+        assert mpki["l3"] == 100.0
+
+    def test_machine_a_config_loads(self):
+        CacheHierarchy(MACHINE_A).access(0)

@@ -1,0 +1,42 @@
+"""Probe interface: null behaviour and helpers."""
+
+from repro.uarch.events import NULL_PROBE, AddressSpace, MachineProbe, OpClass
+
+
+class TestNullProbe:
+    def test_all_methods_are_noops(self):
+        NULL_PROBE.alu(OpClass.SCALAR_ALU, 5, dependent=True)
+        NULL_PROBE.load(0)
+        NULL_PROBE.store(0)
+        NULL_PROBE.branch(1, True)
+        NULL_PROBE.branch_run(1, 100)
+        NULL_PROBE.touch_region(0, 1000)
+
+    def test_shared_instance(self):
+        assert isinstance(NULL_PROBE, MachineProbe)
+
+
+class TestBranchRunDefault:
+    def test_default_delegates_to_branch(self):
+        calls = []
+
+        class Recorder(MachineProbe):
+            def branch(self, site, taken):
+                calls.append((site, taken))
+
+        Recorder().branch_run(9, taken_count=10)
+        assert calls == [(9, True)] * 3 + [(9, False)]
+
+
+class TestAddressSpacePages:
+    def test_page_alignment(self):
+        space = AddressSpace(base=0)
+        first = space.alloc(1)
+        second = space.alloc(1)
+        assert second - first == AddressSpace.PAGE
+
+    def test_large_allocation_spans_pages(self):
+        space = AddressSpace(base=0)
+        space.alloc(3 * AddressSpace.PAGE + 1)
+        next_base = space.alloc(1)
+        assert next_base == 4 * AddressSpace.PAGE

@@ -1,0 +1,64 @@
+"""TraceMachine event accounting."""
+
+from repro.uarch.events import AddressSpace, OpClass
+from repro.uarch.machine import TraceMachine
+
+
+class TestTraceMachine:
+    def test_op_counting(self):
+        machine = TraceMachine()
+        machine.alu(OpClass.SCALAR_ALU, 10)
+        machine.alu(OpClass.VECTOR_ALU, 5)
+        machine.load(0x1000)
+        machine.store(0x2000)
+        machine.branch(1, True)
+        summary = machine.summary()
+        assert summary.instructions == 18
+        assert summary.loads == 1
+        assert summary.stores == 1
+
+    def test_dependent_latency_accumulates(self):
+        machine = TraceMachine()
+        machine.alu(OpClass.SCALAR_MUL_DIV, 2, dependent=True)
+        assert machine.summary().dependent_latency_cycles == 36.0
+
+    def test_instruction_mix_sums_to_one(self):
+        machine = TraceMachine()
+        machine.alu(OpClass.SCALAR_ALU, 3)
+        machine.alu(OpClass.VECTOR_FP, 2)
+        machine.load(0)
+        machine.branch(1, False)
+        mix = machine.summary().instruction_mix()
+        assert abs(sum(mix.values()) - 1.0) < 1e-9
+
+    def test_mpki_from_cache(self):
+        machine = TraceMachine()
+        for i in range(100):
+            machine.load(i * 4096)
+        machine.alu(OpClass.SCALAR_ALU, 900)
+        mpki = machine.summary().mpki()
+        assert mpki["l3"] == 100.0
+
+    def test_branch_run_counts_all(self):
+        machine = TraceMachine()
+        machine.branch_run(5, taken_count=50)
+        summary = machine.summary()
+        assert summary.branch_stats.branches == 51
+        assert summary.branch_stats.taken == 50
+
+    def test_touch_region_walks_lines(self):
+        machine = TraceMachine()
+        machine.touch_region(0, 256)
+        assert machine.summary().loads == 4
+
+
+class TestAddressSpace:
+    def test_disjoint_regions(self):
+        space = AddressSpace()
+        a = space.alloc(100)
+        b = space.alloc(100)
+        assert b >= a + 4096
+
+    def test_zero_size(self):
+        space = AddressSpace()
+        assert space.alloc(0) < space.alloc(0)

@@ -1,0 +1,60 @@
+"""Top-down attribution model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.uarch.events import OpClass
+from repro.uarch.machine import TraceMachine
+from repro.uarch.topdown import analyze
+
+
+def run(events):
+    machine = TraceMachine()
+    events(machine)
+    return analyze(machine.summary())
+
+
+class TestTopDown:
+    def test_fractions_sum_to_one(self):
+        result = run(lambda m: (m.alu(OpClass.SCALAR_ALU, 100), m.load(0)))
+        total = sum(result.as_dict().values())
+        assert abs(total - 1.0) < 1e-9
+
+    def test_pure_compute_high_ipc(self):
+        result = run(lambda m: m.alu(OpClass.SCALAR_ALU, 10_000))
+        assert result.ipc > 3.5
+        assert result.retiring > 0.9
+
+    def test_dependent_chain_core_bound(self):
+        def events(machine):
+            machine.alu(OpClass.SCALAR_MUL_DIV, 1000, dependent=True)
+
+        result = run(events)
+        assert result.core_bound > 0.5
+        assert result.ipc < 0.5
+
+    def test_random_memory_is_memory_bound(self):
+        def events(machine):
+            for i in range(2000):
+                machine.load(i * 1 << 14)  # all cold misses
+            machine.alu(OpClass.SCALAR_ALU, 2000)
+
+        result = run(events)
+        assert result.memory_bound > 0.5
+
+    def test_mispredicted_branches_bad_speculation(self):
+        import random
+
+        def events(machine):
+            rng = random.Random(0)
+            for _ in range(3000):
+                machine.branch(1, rng.random() < 0.5)
+            machine.alu(OpClass.SCALAR_ALU, 3000)
+
+        result = run(events)
+        assert result.bad_speculation > 0.4
+
+    def test_empty_run_rejected(self):
+        machine = TraceMachine()
+        with pytest.raises(SimulationError):
+            analyze(machine.summary())
