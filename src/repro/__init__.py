@@ -4,7 +4,8 @@ The package layers three systems (see DESIGN.md):
 
 * substrates — sequences (:mod:`repro.sequence`), graphs
   (:mod:`repro.graph`), indexes (:mod:`repro.index`), aligners
-  (:mod:`repro.align`), graph construction (:mod:`repro.build`),
+  (:mod:`repro.align`), graph construction (:mod:`repro.build`:
+  wfmash → seqwish → GFAffix/smoothxg, and Minigraph–Cactus),
   layout (:mod:`repro.layout`) and end-to-end tools (:mod:`repro.tools`);
 * the benchmark suite — :mod:`repro.kernels` and :mod:`repro.harness`;
 * characterization instruments — :mod:`repro.uarch` (CPU model) and

@@ -1,0 +1,41 @@
+"""Graph construction: the algorithms the TC kernel and Figure 3 come from.
+
+This package re-implements the PGGB and Minigraph-Cactus construction
+stack (DESIGN.md's "Graph construction" inventory row) from scratch:
+
+* :mod:`repro.build.wfmash` — MashMap-style sketch mapping plus WFA
+  base-level alignment producing all-to-all exact-match segments;
+* :mod:`repro.build.seqwish` — the transitive-closure (TC) algorithm
+  over those matches, and graph induction from the closed positions;
+* :mod:`repro.build.gfaffix` — walk-preserving collapse of redundant
+  and shared-prefix nodes (GFAffix-style polishing);
+* :mod:`repro.build.smoothxg` — path-consistent block partitioning
+  re-aligned with (banded) POA (smoothxg-style smoothing);
+* :mod:`repro.build.cactus` — the Minigraph-Cactus progressive
+  pipeline: reference-seeded graph, minimizer anchoring, GWFA patching.
+
+Every entry point accepts a :class:`repro.uarch.events.MachineProbe`
+and reports structured work statistics, so the TC kernel's topdown /
+cache / instmix studies observe real event streams.
+"""
+
+from repro.build.cactus import CactusStats, ProgressiveBuild, build_progressive
+from repro.build.gfaffix import PolishStats, polish
+from repro.build.seqwish import (
+    InduceResult,
+    TranscloseResult,
+    TranscloseStats,
+    induce_graph,
+    transclose,
+)
+from repro.build.smoothxg import SmoothBlock, SmoothStats, smooth
+from repro.build.wfmash import Match, WfmashStats, all_to_all
+
+__all__ = [
+    "CactusStats", "ProgressiveBuild", "build_progressive",
+    "PolishStats", "polish",
+    "InduceResult", "TranscloseResult", "TranscloseStats",
+    "induce_graph", "transclose",
+    "SmoothBlock", "SmoothStats", "smooth",
+    "Match", "WfmashStats", "all_to_all",
+]

@@ -1,0 +1,232 @@
+"""GFAffix-style polishing: collapse redundant and shared-prefix nodes.
+
+Graph induction leaves *blunt redundancy*: sibling nodes (same
+predecessors) that spell identical sequences, or sequences sharing a
+prefix — each walk through them spells the same bases twice over.
+GFAffix detects such walk-preserving redundancy and collapses it.  The
+reproduction implements the two core rules:
+
+* **identical siblings** — nodes with the same predecessor set and the
+  same sequence merge into one node (successor sets union, path steps
+  rewrite);
+* **shared prefixes** — sibling groups whose sequences share a common
+  prefix split that prefix into one shared node, leaving the divergent
+  remainders as separate successors.
+
+Both rules preserve every path's spelled sequence exactly (asserted by
+the tests); total stored bases strictly decrease on every applied rule,
+so iteration to a fixpoint terminates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.model import SequenceGraph
+from repro.uarch.events import NULL_PROBE, AddressSpace, MachineProbe, OpClass
+
+
+@dataclass
+class PolishStats:
+    """Work counters for one polish run."""
+
+    nodes_merged: int = 0
+    prefixes_collapsed: int = 0
+    rounds: int = 0
+    bases_removed: int = 0
+
+
+def polish(
+    graph: SequenceGraph,
+    probe: MachineProbe = NULL_PROBE,
+    max_rounds: int = 16,
+) -> tuple[SequenceGraph, PolishStats]:
+    """Collapse redundant/shared-prefix nodes of *graph*.
+
+    Returns ``(polished_graph, stats)``; the input graph is not
+    modified.  Every path of the output spells exactly what it spelled
+    in the input.
+    """
+    state = _MutableGraph(graph)
+    stats = PolishStats()
+    space = AddressSpace()
+    signature_base = space.alloc(32 * max(1, len(state.sequence)))
+    for _ in range(max_rounds):
+        stats.rounds += 1
+        changed = _merge_identical_siblings(state, stats, probe, signature_base)
+        changed |= _collapse_shared_prefixes(state, stats, probe, signature_base)
+        if not changed:
+            break
+    return state.build(), stats
+
+
+class _MutableGraph:
+    """An editable mirror of a :class:`SequenceGraph`."""
+
+    def __init__(self, graph: SequenceGraph) -> None:
+        self.sequence: dict[int, str] = {
+            node.node_id: node.sequence for node in graph.nodes()
+        }
+        self.succ: dict[int, set[int]] = {n: set() for n in self.sequence}
+        self.pred: dict[int, set[int]] = {n: set() for n in self.sequence}
+        for source, target in graph.edges():
+            self.succ[source].add(target)
+            self.pred[target].add(source)
+        self.paths: dict[str, list[int]] = {
+            path.name: list(path.nodes) for path in graph.paths()
+        }
+        self.next_id = max(self.sequence, default=-1) + 1
+
+    def new_node(self, sequence: str) -> int:
+        node_id = self.next_id
+        self.next_id += 1
+        self.sequence[node_id] = sequence
+        self.succ[node_id] = set()
+        self.pred[node_id] = set()
+        return node_id
+
+    def add_edge(self, source: int, target: int) -> None:
+        self.succ[source].add(target)
+        self.pred[target].add(source)
+
+    def remove_node(self, node_id: int) -> None:
+        for target in self.succ.pop(node_id):
+            self.pred[target].discard(node_id)
+        for source in self.pred.pop(node_id):
+            self.succ[source].discard(node_id)
+        del self.sequence[node_id]
+
+    def rewrite_paths(self, mapping: dict[int, list[int]]) -> None:
+        """Replace every occurrence of each key node by its step list."""
+        for name, steps in self.paths.items():
+            if not any(step in mapping for step in steps):
+                continue
+            rewritten: list[int] = []
+            for step in steps:
+                rewritten.extend(mapping.get(step, [step]))
+            self.paths[name] = rewritten
+
+    def build(self) -> SequenceGraph:
+        graph = SequenceGraph()
+        for node_id in self.sequence:
+            graph.add_node(node_id, self.sequence[node_id])
+        for source, targets in self.succ.items():
+            for target in targets:
+                graph.add_edge(source, target)
+        for name, steps in self.paths.items():
+            graph.add_path(name, steps)
+        return graph
+
+
+def _merge_identical_siblings(
+    state: _MutableGraph,
+    stats: PolishStats,
+    probe: MachineProbe,
+    signature_base: int,
+) -> bool:
+    """Merge nodes sharing (predecessor set, sequence); keep the smallest id."""
+    groups: dict[tuple[frozenset[int], str], list[int]] = {}
+    for node_id, sequence in state.sequence.items():
+        probe.load(signature_base + 32 * (node_id % 4096), 32)
+        probe.alu(OpClass.SCALAR_ALU, 2 + len(sequence) // 8)
+        if node_id in state.succ[node_id]:
+            continue  # self-loops stay as-is
+        key = (frozenset(state.pred[node_id]), sequence)
+        groups.setdefault(key, []).append(node_id)
+    changed = False
+    for members in groups.values():
+        probe.branch(site=1301, taken=len(members) > 1)
+        if len(members) < 2:
+            continue
+        members.sort()
+        keeper, rest = members[0], members[1:]
+        mapping: dict[int, list[int]] = {}
+        for node_id in rest:
+            for target in state.succ[node_id]:
+                if target != node_id:
+                    state.add_edge(keeper, target)
+            mapping[node_id] = [keeper]
+            state.remove_node(node_id)
+            stats.nodes_merged += 1
+            stats.bases_removed += len(state.sequence[keeper])
+            probe.store(signature_base + 32 * (node_id % 4096), 32)
+        state.rewrite_paths(mapping)
+        changed = True
+    return changed
+
+
+def _collapse_shared_prefixes(
+    state: _MutableGraph,
+    stats: PolishStats,
+    probe: MachineProbe,
+    signature_base: int,
+) -> bool:
+    """Split the longest common prefix out of same-parent sibling groups."""
+    changed = False
+    touched: set[int] = set()
+    for parent in list(state.sequence):
+        if parent not in state.sequence or parent in touched:
+            continue
+        siblings: dict[str, list[int]] = {}
+        for child in state.succ[parent]:
+            probe.load(signature_base + 32 * (child % 4096), 8)
+            if child == parent or child in touched:
+                continue
+            if child in state.succ[child]:
+                continue
+            siblings.setdefault(state.sequence[child][0], []).append(child)
+        for group in siblings.values():
+            group = sorted(set(group))
+            probe.branch(site=1302, taken=len(group) > 1)
+            if len(group) < 2:
+                continue
+            if any(node in touched for node in group):
+                continue
+            sequences = [state.sequence[node] for node in group]
+            prefix_length = _common_prefix(sequences, probe)
+            if prefix_length == 0:
+                continue
+            # Identical full sequences are the sibling-merge rule's job
+            # (it also checks predecessor sets); skip pure duplicates.
+            if all(len(s) == prefix_length for s in sequences):
+                continue
+            prefix_node = state.new_node(sequences[0][:prefix_length])
+            for node in group:
+                for source in list(state.pred[node]):
+                    state.succ[source].discard(node)
+                    state.pred[node].discard(source)
+                    state.add_edge(source, prefix_node)
+            mapping: dict[int, list[int]] = {}
+            for node in group:
+                remainder = state.sequence[node][prefix_length:]
+                if remainder:
+                    state.sequence[node] = remainder
+                    state.add_edge(prefix_node, node)
+                    mapping[node] = [prefix_node, node]
+                    touched.add(node)
+                else:
+                    for target in state.succ[node]:
+                        state.add_edge(prefix_node, target)
+                    mapping[node] = [prefix_node]
+                    state.remove_node(node)
+                    stats.nodes_merged += 1
+                stats.bases_removed += prefix_length
+            # One group's prefix stays; the duplicates were removed.
+            stats.bases_removed -= prefix_length
+            state.rewrite_paths(mapping)
+            stats.prefixes_collapsed += 1
+            touched.add(prefix_node)
+            changed = True
+            probe.store(signature_base + 32 * (prefix_node % 4096), 32)
+    return changed
+
+
+def _common_prefix(sequences: list[str], probe: MachineProbe) -> int:
+    shortest = min(sequences, key=len)
+    for index in range(len(shortest)):
+        probe.alu(OpClass.SCALAR_ALU, len(sequences))
+        if any(s[index] != shortest[index] for s in sequences):
+            probe.branch(site=1303, taken=True)
+            return index
+    probe.branch(site=1303, taken=False)
+    return len(shortest)

@@ -1,0 +1,329 @@
+"""seqwish: transitive closure of match segments and graph induction.
+
+This is the algorithm behind the suite's TC kernel (the paper's
+highest-retiring, highest-IPC kernel — Table 6's 3.14).  seqwish
+concatenates all input sequences into one coordinate space, indexes the
+all-to-all exact-match segments in an implicit interval tree, and then
+computes the *transitive closure* of the match relation over sequence
+positions: starting from each unseen position it chases matches through
+the tree, unioning every reachable position into one closure, with a
+seen-bitvector preventing rework.  Each closure becomes one base of the
+induced graph; compaction merges unbranching runs of closures into
+nodes, and each input sequence threads a path that spells it exactly.
+
+The hot loop — interval-tree stabs feeding a bitvector-guarded
+breadth-first chase — is exactly the access pattern the paper
+characterizes, and every step reports to the :class:`MachineProbe`:
+tree-node visits load tree entries, bitvector tests load/store bit
+words, and the union bookkeeping counts as scalar ALU work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GraphError
+from repro.graph.model import SequenceGraph
+from repro.sequence.records import SequenceRecord
+from repro.uarch.events import NULL_PROBE, AddressSpace, MachineProbe, OpClass
+
+
+@dataclass
+class TranscloseStats:
+    """Work counters for one transitive-closure run (the TC kernel's
+    reported work units)."""
+
+    positions: int = 0
+    matches: int = 0
+    closures: int = 0
+    tree_queries: int = 0
+    tree_nodes_visited: int = 0
+    bitvector_reads: int = 0
+    unions: int = 0
+
+
+@dataclass
+class TranscloseResult:
+    """The closed position space.
+
+    Attributes:
+        offsets: Record name -> start of that record in the global
+            concatenated coordinate space.
+        closure_of: Global position -> closure id (closure ids are dense
+            and assigned in ascending order of their smallest position).
+        closure_base: Closure id -> the single character its members share.
+        stats: Work counters.
+    """
+
+    offsets: dict[str, int]
+    closure_of: list[int]
+    closure_base: list[str]
+    stats: TranscloseStats
+
+
+class ImplicitIntervalTree:
+    """A static implicit interval tree over half-open match intervals.
+
+    Intervals are sorted by start into a flat array; an implicit binary
+    heap over that array stores subtree max-ends, so a point stab walks
+    O(log n) heap nodes plus the hits.  This mirrors the cache behaviour
+    seqwish gets from its implicit interval tree: mostly-sequential loads
+    down one root-to-leaf spine, then a local scan.
+    """
+
+    def __init__(self, intervals: list[tuple[int, int, int]],
+                 space: AddressSpace) -> None:
+        #: (start, end, other_start) sorted by start.
+        self.intervals = sorted(intervals)
+        self.size = len(self.intervals)
+        # Heap over the sorted array: node i covers leaves [lo_i, hi_i).
+        self._leaf_base = 1
+        while self._leaf_base < max(1, self.size):
+            self._leaf_base *= 2
+        self._max_end = [0] * (2 * self._leaf_base)
+        for index, (_, end, _) in enumerate(self.intervals):
+            self._max_end[self._leaf_base + index] = end
+        for node in range(self._leaf_base - 1, 0, -1):
+            self._max_end[node] = max(self._max_end[2 * node],
+                                      self._max_end[2 * node + 1])
+        self.base = space.alloc(16 * (2 * self._leaf_base))
+
+    def stab(self, position: int, probe: MachineProbe,
+             stats: TranscloseStats) -> list[tuple[int, int, int]]:
+        """All intervals containing *position*."""
+        stats.tree_queries += 1
+        hits: list[tuple[int, int, int]] = []
+        if self.size == 0:
+            return hits
+        intervals = self.intervals
+        max_end = self._max_end
+        leaf_base = self._leaf_base
+        stack = [1]
+        while stack:
+            node = stack.pop()
+            stats.tree_nodes_visited += 1
+            probe.load(self.base + 16 * node, 16)
+            if max_end[node] <= position:
+                probe.branch(site=1201, taken=False)
+                continue
+            probe.branch(site=1201, taken=True)
+            if node >= leaf_base:
+                index = node - leaf_base
+                if index < self.size:
+                    start, end, other = intervals[index]
+                    probe.alu(OpClass.SCALAR_ALU, 2)
+                    if start <= position < end:
+                        hits.append((start, end, other))
+                continue
+            # Left subtree always eligible; right subtree only if its
+            # leftmost start can still be <= position.
+            left = 2 * node
+            right = left + 1
+            stack.append(left)
+            right_first = self._first_leaf(right)
+            if right_first < self.size and \
+                    intervals[right_first][0] <= position:
+                stack.append(right)
+            probe.alu(OpClass.SCALAR_ALU, 3)
+        return hits
+
+    def _first_leaf(self, node: int) -> int:
+        while node < self._leaf_base:
+            node *= 2
+        return node - self._leaf_base
+
+
+def transclose(
+    records: list[SequenceRecord],
+    matches,
+    probe: MachineProbe = NULL_PROBE,
+) -> TranscloseResult:
+    """Transitively close *matches* over the concatenated *records*.
+
+    Every match segment asserts position-wise equivalence between its
+    query and target ranges; the closure unifies each equivalence class
+    into one *closure* holding one shared character.  Matches must be
+    exact (as :func:`repro.build.wfmash.all_to_all` guarantees); a
+    non-exact match raises :class:`GraphError` because it would merge
+    different characters into one graph base.
+    """
+    if not records:
+        raise GraphError("transclose needs at least one record")
+    offsets: dict[str, int] = {}
+    total = 0
+    for record in records:
+        if record.name in offsets:
+            raise GraphError(f"duplicate record name {record.name!r}")
+        offsets[record.name] = total
+        total += len(record.sequence)
+    text = "".join(record.sequence for record in records)
+
+    stats = TranscloseStats(positions=total, matches=len(matches))
+    space = AddressSpace()
+    intervals: list[tuple[int, int, int]] = []
+    for match in matches:
+        if match.length <= 0:
+            continue
+        q = offsets[match.query_name] + match.query_start
+        t = offsets[match.target_name] + match.target_start
+        if q + match.length > total or t + match.length > total:
+            raise GraphError("match segment out of range")
+        # Both orientations of the pairing, so chases are symmetric.
+        intervals.append((q, q + match.length, t))
+        intervals.append((t, t + match.length, q))
+    tree = ImplicitIntervalTree(intervals, space)
+    bitvector_base = space.alloc(total // 8 + 1)
+    closure_base_addr = space.alloc(4 * total)
+
+    seen = bytearray(total)
+    closure_of = [-1] * total
+    closure_base: list[str] = []
+    for position in range(total):
+        stats.bitvector_reads += 1
+        probe.load(bitvector_base + position // 8, 1)
+        probe.branch(site=1202, taken=bool(seen[position]))
+        if seen[position]:
+            continue
+        closure_id = len(closure_base)
+        base = text[position]
+        seen[position] = 1
+        probe.store(bitvector_base + position // 8, 1)
+        stack = [position]
+        while stack:
+            current = stack.pop()
+            closure_of[current] = closure_id
+            probe.store(closure_base_addr + 4 * current, 4)
+            if text[current] != base:
+                raise GraphError(
+                    "non-exact match: closure would merge "
+                    f"{base!r} with {text[current]!r}"
+                )
+            for start, _end, other in tree.stab(current, probe, stats):
+                partner = other + (current - start)
+                stats.bitvector_reads += 1
+                stats.unions += 1
+                probe.load(bitvector_base + partner // 8, 1)
+                probe.alu(OpClass.SCALAR_ALU, 4)
+                probe.branch(site=1203, taken=bool(seen[partner]))
+                if not seen[partner]:
+                    seen[partner] = 1
+                    probe.store(bitvector_base + partner // 8, 1)
+                    stack.append(partner)
+        closure_base.append(base)
+    stats.closures = len(closure_base)
+    return TranscloseResult(
+        offsets=offsets,
+        closure_of=closure_of,
+        closure_base=closure_base,
+        stats=stats,
+    )
+
+
+@dataclass
+class InduceResult:
+    """An induced graph plus the closure it came from."""
+
+    graph: SequenceGraph
+    closure: TranscloseResult
+    stats: TranscloseStats = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.stats = self.closure.stats
+
+
+def induce_graph(
+    records: list[SequenceRecord],
+    matches,
+    probe: MachineProbe = NULL_PROBE,
+) -> InduceResult:
+    """Close *matches* and induce the compacted sequence graph.
+
+    One path per input record spells that record exactly (the invariant
+    README and the pipeline tests assert).  Compaction merges runs of
+    closures that are unbranching *and* never start or end a record —
+    so every path enters a node at its first base and leaves at its last.
+    """
+    closure = transclose(records, matches, probe=probe)
+    closure_of = closure.closure_of
+    closure_base = closure.closure_base
+    n_closures = len(closure_base)
+
+    # Per-record closure walks, plus the closure-level link structure.
+    walks: dict[str, list[int]] = {}
+    successors: dict[int, set[int]] = {}
+    predecessors: dict[int, set[int]] = {}
+    walk_starts: set[int] = set()
+    walk_ends: set[int] = set()
+    for record in records:
+        offset = closure.offsets[record.name]
+        walk = closure_of[offset : offset + len(record.sequence)]
+        walks[record.name] = walk
+        walk_starts.add(walk[0])
+        walk_ends.add(walk[-1])
+        for source, target in zip(walk, walk[1:]):
+            successors.setdefault(source, set()).add(target)
+            predecessors.setdefault(target, set()).add(source)
+            probe.alu(OpClass.SCALAR_ALU, 2)
+
+    def merges_with_predecessor(closure_id: int) -> bool:
+        """True when this closure extends its unique predecessor's node."""
+        preds = predecessors.get(closure_id)
+        if preds is None or len(preds) != 1:
+            return False
+        (pred,) = preds
+        if pred == closure_id:
+            return False
+        if successors.get(pred) != {closure_id}:
+            return False
+        return closure_id not in walk_starts and pred not in walk_ends
+
+    # Chains: maximal unbranching closure runs become graph nodes.
+    chain_of: list[int] = [-1] * n_closures
+    chain_index: list[int] = [0] * n_closures
+    chains: list[list[int]] = []
+    for closure_id in range(n_closures):
+        merged = merges_with_predecessor(closure_id)
+        probe.branch(site=1204, taken=merged)
+        if merged:
+            continue
+        chain = [closure_id]
+        current = closure_id
+        while True:
+            nexts = successors.get(current)
+            if nexts is None or len(nexts) != 1:
+                break
+            (candidate,) = nexts
+            if not merges_with_predecessor(candidate):
+                break
+            chain.append(candidate)
+            current = candidate
+        chain_id = len(chains)
+        for index, member in enumerate(chain):
+            chain_of[member] = chain_id
+            chain_index[member] = index
+            probe.store((1 << 24) + 8 * member, 8)
+        chains.append(chain)
+
+    graph = SequenceGraph()
+    for chain_id, chain in enumerate(chains):
+        graph.add_node(chain_id, "".join(closure_base[c] for c in chain))
+    for source, targets in successors.items():
+        source_chain = chain_of[source]
+        for target in targets:
+            target_chain = chain_of[target]
+            # Internal chain adjacencies are already merged into one node.
+            if source_chain == target_chain and \
+                    chain_index[target] == chain_index[source] + 1:
+                continue
+            graph.add_edge(source_chain, target_chain)
+
+    for record in records:
+        walk = walks[record.name]
+        steps: list[int] = []
+        position = 0
+        while position < len(walk):
+            chain_id = chain_of[walk[position]]
+            steps.append(chain_id)
+            position += len(chains[chain_id]) - chain_index[walk[position]]
+        graph.add_path(record.name, steps)
+    return InduceResult(graph=graph, closure=closure)

@@ -1,0 +1,267 @@
+"""wfmash: MashMap-style sketch mapping plus WFA base-level alignment.
+
+wfmash is PGGB's aligner (Section 2.2): a MashMap-like sketch mapper
+proposes homologous segment pairs from minimizer-sketch Jaccard
+similarity, then WFA aligns each proposed segment at base level.  The
+output consumed downstream (by seqwish's transitive closure) is the set
+of *exact-match segments* of those alignments.
+
+The reproduction keeps that two-phase structure:
+
+1. **Sketch mapping.**  Every record gets a minimizer sketch
+   (:func:`repro.index.minimizer.minimizers`); candidate record pairs are
+   gated on the Jaccard estimate of their sketch sets, and each query
+   segment votes shared minimizers into diagonal buckets to locate its
+   target window (MashMap's winning-diagonal heuristic).
+2. **Base alignment.**  The segment is aligned against its window with
+   :func:`repro.align.wfa.wfa_edit_distance`; segments whose measured
+   divergence exceeds the threshold are rejected (wfmash's identity
+   filter), and the WFA's DP work accumulates into ``stats.wfa_cells``.
+   Accepted segments emit their anchors extended to *maximal exact
+   matches* — the match segments a real wfmash run spells out in its
+   CIGARs' ``=`` runs.
+
+Matches are guaranteed exact (both substrings identical): anchors are
+verified character-by-character during extension, so downstream closure
+never unifies differing bases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.align.wfa import wfa_edit_distance
+from repro.errors import AlignmentError
+from repro.index.minimizer import Minimizer, minimizers
+from repro.sequence.records import SequenceRecord
+from repro.uarch.events import NULL_PROBE, AddressSpace, MachineProbe, OpClass
+
+#: Diagonal bucket width for the segment-mapping vote.
+_DIAG_BUCKET = 64
+
+
+@dataclass(frozen=True)
+class Match:
+    """One exact-match segment between two records (both on the forward
+    strand): ``query[query_start : query_start+length] ==
+    target[target_start : target_start+length]``."""
+
+    query_name: str
+    target_name: str
+    query_start: int
+    target_start: int
+    length: int
+
+
+@dataclass
+class WfmashStats:
+    """Work counters for one all-to-all mapping run."""
+
+    pairs_considered: int = 0
+    pairs_mapped: int = 0
+    segments_mapped: int = 0
+    segments_rejected: int = 0
+    anchors: int = 0
+    wfa_cells: int = 0
+    matched_bases: int = 0
+
+
+def all_to_all(
+    records: list[SequenceRecord],
+    probe: MachineProbe = NULL_PROBE,
+    k: int = 15,
+    w: int = 10,
+    segment_length: int = 512,
+    min_jaccard: float = 0.02,
+    min_match: int = 20,
+    max_divergence: float = 0.3,
+) -> tuple[list[Match], WfmashStats]:
+    """All-to-all exact-match segments across *records*.
+
+    Every unordered record pair passing the sketch Jaccard gate is
+    segment-mapped and WFA-verified; each pair is emitted once with the
+    lower-indexed record as the query (the closure downstream is
+    symmetric).  Returns ``(matches, stats)``.
+    """
+    if min_match < k:
+        min_match = k
+    stats = WfmashStats()
+    space = AddressSpace()
+    sketches = [_Sketch(record, k, w, space) for record in records]
+    matches: list[Match] = []
+    for qi in range(len(records)):
+        for ti in range(qi + 1, len(records)):
+            stats.pairs_considered += 1
+            query, target = sketches[qi], sketches[ti]
+            jaccard = query.jaccard(target, probe)
+            probe.branch(site=1101, taken=jaccard >= min_jaccard)
+            if jaccard < min_jaccard:
+                continue
+            emitted = _map_pair(
+                query, target, probe, stats,
+                segment_length=segment_length,
+                min_match=min_match,
+                max_divergence=max_divergence,
+            )
+            if emitted:
+                stats.pairs_mapped += 1
+                matches.extend(emitted)
+    return matches, stats
+
+
+class _Sketch:
+    """A record's minimizer sketch plus a hash -> positions table."""
+
+    def __init__(self, record: SequenceRecord, k: int, w: int,
+                 space: AddressSpace) -> None:
+        self.record = record
+        self.k = k
+        self.minimizers: list[Minimizer] = minimizers(record.sequence, k, w)
+        self.hashes = {m.hash_value for m in self.minimizers}
+        self.table: dict[int, list[Minimizer]] = {}
+        for minimizer in self.minimizers:
+            self.table.setdefault(minimizer.hash_value, []).append(minimizer)
+        # Synthetic address region: one 16-byte entry per sketch position.
+        self.base = space.alloc(16 * max(1, len(self.minimizers)))
+
+    def jaccard(self, other: "_Sketch", probe: MachineProbe) -> float:
+        shared = 0
+        small, large = (self, other) if len(self.hashes) <= len(other.hashes) \
+            else (other, self)
+        for index, hash_value in enumerate(small.hashes):
+            probe.load(small.base + 16 * (index % max(1, len(small.minimizers))), 8)
+            probe.alu(OpClass.SCALAR_ALU, 2)
+            if hash_value in large.hashes:
+                shared += 1
+        union = len(self.hashes) + len(other.hashes) - shared
+        if union == 0:
+            return 0.0
+        return shared / union
+
+
+def _map_pair(
+    query: _Sketch,
+    target: _Sketch,
+    probe: MachineProbe,
+    stats: WfmashStats,
+    segment_length: int,
+    min_match: int,
+    max_divergence: float,
+) -> list[Match]:
+    """Map every query segment onto the target; emit verified matches."""
+    a = query.record.sequence
+    b = target.record.sequence
+    emitted: list[Match] = []
+    #: diagonal -> query end of the last maximal run emitted on it; anchors
+    #: landing inside an emitted run skip re-extension (they would only
+    #: rediscover the same run).
+    covered: dict[int, int] = {}
+    minimizer_index = 0
+    n_minimizers = len(query.minimizers)
+    for start in range(0, len(a), segment_length):
+        end = min(start + segment_length, len(a))
+        if end - start < query.k:
+            break
+        # Collect this segment's anchors from shared minimizers.
+        anchors: list[tuple[int, int]] = []
+        while minimizer_index < n_minimizers and \
+                query.minimizers[minimizer_index].position < start:
+            minimizer_index += 1
+        scan = minimizer_index
+        while scan < n_minimizers and query.minimizers[scan].position < end:
+            minimizer = query.minimizers[scan]
+            scan += 1
+            probe.load(target.base + 16 * (minimizer.hash_value %
+                                           max(1, len(target.minimizers))), 8)
+            hits = target.table.get(minimizer.hash_value)
+            probe.branch(site=1102, taken=hits is not None)
+            if not hits:
+                continue
+            for hit in hits:
+                if hit.is_reverse == minimizer.is_reverse:
+                    anchors.append((minimizer.position, hit.position))
+                    probe.alu(OpClass.SCALAR_ALU, 2)
+        stats.anchors += len(anchors)
+        if not anchors:
+            stats.segments_rejected += 1
+            continue
+        # Diagonal vote: the modal bucket decides the target window.
+        votes: dict[int, int] = {}
+        for q_pos, t_pos in anchors:
+            bucket = (t_pos - q_pos) // _DIAG_BUCKET
+            votes[bucket] = votes.get(bucket, 0) + 1
+            probe.alu(OpClass.SCALAR_ALU, 3)
+            probe.store(query.base + 8 * (bucket % max(1, len(votes))), 8)
+        best_bucket = max(votes, key=lambda bucket: (votes[bucket], -bucket))
+        best_diag = best_bucket * _DIAG_BUCKET + _DIAG_BUCKET // 2
+        segment_anchors = [
+            (q, t) for q, t in anchors
+            if abs((t - q) - best_diag) <= 2 * _DIAG_BUCKET
+        ]
+        if not segment_anchors:
+            stats.segments_rejected += 1
+            continue
+        # Base-level verification: WFA the segment against its window.
+        t_lo = max(0, start + best_diag)
+        t_hi = min(len(b), end + best_diag)
+        if t_hi - t_lo < query.k:
+            stats.segments_rejected += 1
+            continue
+        try:
+            result = wfa_edit_distance(a[start:end], b[t_lo:t_hi], probe=probe)
+        except AlignmentError:
+            stats.segments_rejected += 1
+            continue
+        stats.wfa_cells += (result.stats.cells_extended
+                            + result.stats.diagonals_processed)
+        divergence = result.distance / max(end - start, t_hi - t_lo)
+        probe.branch(site=1103, taken=divergence <= max_divergence)
+        if divergence > max_divergence:
+            stats.segments_rejected += 1
+            continue
+        stats.segments_mapped += 1
+        for q_pos, t_pos in sorted(segment_anchors):
+            diag = t_pos - q_pos
+            probe.load(query.base + 8 * (diag % 1024), 8)
+            probe.branch(site=1106, taken=covered.get(diag, -1) > q_pos)
+            if covered.get(diag, -1) > q_pos:
+                continue
+            match = _extend_anchor(a, b, q_pos, t_pos, probe)
+            if match is None or match[2] < min_match:
+                continue
+            q_start, t_start, length = match
+            covered[diag] = q_start + length
+            stats.matched_bases += length
+            emitted.append(Match(
+                query_name=query.record.name,
+                target_name=target.record.name,
+                query_start=q_start,
+                target_start=t_start,
+                length=length,
+            ))
+    return emitted
+
+
+def _extend_anchor(
+    a: str, b: str, q_pos: int, t_pos: int, probe: MachineProbe
+) -> tuple[int, int, int] | None:
+    """Extend an anchor to its maximal exact run; verifies every base.
+
+    Returns ``(query_start, target_start, length)`` or None when the
+    anchor itself mismatches (a sketch hash collision).
+    """
+    if a[q_pos] != b[t_pos]:
+        return None
+    left = 0
+    while q_pos - left - 1 >= 0 and t_pos - left - 1 >= 0 and \
+            a[q_pos - left - 1] == b[t_pos - left - 1]:
+        left += 1
+    right = 1
+    while q_pos + right < len(a) and t_pos + right < len(b) and \
+            a[q_pos + right] == b[t_pos + right]:
+        right += 1
+    length = left + right
+    probe.alu(OpClass.SCALAR_ALU, 2 * length)
+    probe.branch_run(site=1104, taken_count=left)
+    probe.branch_run(site=1105, taken_count=right)
+    return q_pos - left, t_pos - left, length

@@ -4,9 +4,12 @@ This is the library's fast path for producing realistic pangenome graphs:
 it chops the reference at variant breakpoints, adds one allele node per
 alternate allele, threads a path per haplotype, and therefore guarantees
 that every haplotype path spells exactly the haplotype's linear sequence.
-The slower discovery-based pipelines (Minigraph–Cactus, PGGB/seqwish in
-:mod:`repro.build`) construct graphs from alignments instead; this builder
-gives experiments a ground-truth graph with known topology.
+The slower discovery-based pipelines construct graphs from alignments
+instead: :func:`repro.build.cactus.build_progressive` (Minigraph–Cactus)
+and the PGGB chain :func:`repro.build.wfmash.all_to_all` →
+:func:`repro.build.seqwish.induce_graph` →
+:func:`repro.build.gfaffix.polish` / :func:`repro.build.smoothxg.smooth`.
+This builder gives experiments a ground-truth graph with known topology.
 """
 
 from __future__ import annotations

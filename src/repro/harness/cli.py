@@ -3,8 +3,9 @@
 Examples::
 
     python -m repro list
-    python -m repro run --kernels gssw gbwt --studies timing topdown
-    python -m repro run --scale 0.5 --out reports.json
+    python -m repro run gssw gbwt --studies timing topdown
+    python -m repro run tc --studies timing,validate
+    python -m repro run --kernels gssw gbwt --scale 0.5 --out reports.json
     python -m repro validate
 """
 
@@ -19,6 +20,17 @@ from repro.harness.runner import ALL_STUDIES, run_suite, save_reports
 from repro.kernels import SUITE_KERNELS, create_kernel, kernel_names
 
 
+def _study_list(value: str) -> list[str]:
+    """One ``--studies`` token: a study name or a comma-joined list."""
+    studies = [item for item in value.split(",") if item]
+    for study in studies:
+        if study not in ALL_STUDIES:
+            raise argparse.ArgumentTypeError(
+                f"invalid study {study!r} (choose from {', '.join(ALL_STUDIES)})"
+            )
+    return studies
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -30,12 +42,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = commands.add_parser("run", help="run kernels under selected studies")
     run.add_argument(
-        "--kernels", nargs="+", default=list(SUITE_KERNELS),
+        "kernels", nargs="*", metavar="KERNEL",
         help="kernel names (default: the eight suite kernels)",
     )
     run.add_argument(
-        "--studies", nargs="+", default=["timing"], choices=ALL_STUDIES,
-        help="studies to run (default: timing)",
+        "--kernels", dest="kernels_opt", nargs="+", default=None,
+        metavar="KERNEL", help="kernel names (same as the positionals)",
+    )
+    run.add_argument(
+        "--studies", nargs="+", default=[["timing"]], type=_study_list,
+        metavar="STUDY",
+        help="studies to run, space- or comma-separated "
+             f"(default: timing; choices: {', '.join(ALL_STUDIES)})",
     )
     run.add_argument("--scale", type=float, default=1.0,
                      help="dataset scale factor (default 1.0)")
@@ -63,8 +81,12 @@ def _command_list() -> int:
 
 
 def _command_run(args: argparse.Namespace) -> int:
+    kernels = list(args.kernels) + list(args.kernels_opt or [])
+    if not kernels:
+        kernels = list(SUITE_KERNELS)
+    studies = [study for token in args.studies for study in token]
     reports = run_suite(
-        tuple(args.kernels), studies=tuple(args.studies),
+        tuple(kernels), studies=tuple(studies),
         scale=args.scale, seed=args.seed,
     )
     rows = []
@@ -80,7 +102,7 @@ def _command_run(args: argparse.Namespace) -> int:
         ])
     print(render_table(
         ["kernel", "#inputs", "seconds", "IPC", "top slot", "validated"],
-        rows, title=f"Suite run (scale={args.scale}, studies={args.studies})",
+        rows, title=f"Suite run (scale={args.scale}, studies={studies})",
     ))
     if args.out:
         save_reports(reports, args.out)

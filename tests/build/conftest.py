@@ -1,0 +1,51 @@
+"""Shared fixtures for the graph-construction subsystem tests."""
+
+import pytest
+
+from repro.build.wfmash import all_to_all
+from repro.uarch.events import MachineProbe
+
+
+class CountingProbe(MachineProbe):
+    """Counts every event class a build stage reports."""
+
+    __slots__ = ("alu_ops", "loads", "stores", "branches")
+
+    def __init__(self):
+        self.alu_ops = 0
+        self.loads = 0
+        self.stores = 0
+        self.branches = 0
+
+    def alu(self, op_class, count=1, dependent=False):
+        self.alu_ops += count
+
+    def load(self, address, size=8):
+        self.loads += 1
+
+    def store(self, address, size=8):
+        self.stores += 1
+
+    def branch(self, site, taken):
+        self.branches += 1
+
+    def branch_run(self, site, taken_count):
+        self.branches += taken_count + 1
+
+
+@pytest.fixture
+def probe():
+    return CountingProbe()
+
+
+@pytest.fixture(scope="session")
+def assemblies(small_suite):
+    """Four related haplotype assemblies from the shared corpus."""
+    return list(small_suite.assemblies[:4])
+
+
+@pytest.fixture(scope="session")
+def assembly_matches(assemblies):
+    """The wfmash all-to-all exact-match set over ``assemblies``."""
+    matches, stats = all_to_all(assemblies)
+    return matches

@@ -1,0 +1,84 @@
+"""Minigraph-Cactus reproduction: progressive reference-biased build."""
+
+import pytest
+
+from repro.build.cactus import build_progressive
+from repro.build.gfaffix import PolishStats
+from repro.errors import GraphError
+from repro.sequence.records import SequenceRecord
+
+
+@pytest.fixture(scope="module")
+def build(assemblies):
+    return build_progressive(assemblies)
+
+
+class TestBuildProgressive:
+    def test_reference_spelled_exactly(self, assemblies, build):
+        reference = assemblies[0]
+        assert build.graph.path_sequence(reference.name) == reference.sequence
+
+    def test_every_record_threads_a_path(self, assemblies, build):
+        names = set(build.graph.path_names())
+        assert {record.name for record in assemblies} <= names
+
+    def test_haplotypes_spell_close_to_their_records(self, assemblies, build):
+        """Reference bias absorbs small divergence, so non-reference
+        paths are approximate — but within a few percent, not garbage."""
+        for record in assemblies[1:]:
+            spelled = build.graph.path_sequence(record.name)
+            assert abs(len(spelled) - len(record.sequence)) < \
+                0.1 * len(record.sequence)
+
+    def test_stats_counters(self, assemblies, build):
+        stats = build.stats
+        assert stats.anchors > 0
+        assert stats.gwfa_invocations > 0
+        assert stats.variants > 0
+        assert stats.alt_nodes <= stats.variants
+        assert stats.patched_bases > 0
+
+    def test_polish_toggle(self, assemblies):
+        polished = build_progressive(assemblies, run_polish=True)
+        raw = build_progressive(assemblies, run_polish=False)
+        assert isinstance(polished.polish_stats, PolishStats)
+        assert raw.polish_stats is None
+        # Polishing deduplicates spelled bases (prefix splits may add
+        # nodes, but never bases).
+        assert polished.graph.total_sequence_length <= \
+            raw.graph.total_sequence_length
+        reference = assemblies[0]
+        assert raw.graph.path_sequence(reference.name) == reference.sequence
+
+    def test_graph_is_valid(self, build):
+        build.graph.validate()
+
+    def test_single_record_is_just_the_reference(self):
+        record = SequenceRecord("ref", "ACGTACGTACGT" * 12)
+        build = build_progressive([record], run_polish=False)
+        assert build.graph.path_sequence("ref") == record.sequence
+        assert build.stats.variants == 0
+        assert build.stats.anchors == 0
+
+    def test_unrelated_haplotype_becomes_one_alt_node(self):
+        import random
+        rng = random.Random(7)
+        reference = SequenceRecord(
+            "ref", "".join(rng.choice("ACGT") for _ in range(600)))
+        alien = SequenceRecord(
+            "alien", "".join(rng.choice("ACGT") for _ in range(600)))
+        build = build_progressive([reference, alien], run_polish=False)
+        path = build.graph.path(alien.name)
+        assert build.graph.path_sequence(alien.name) == alien.sequence
+        assert len(path.nodes) == 1
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(GraphError):
+            build_progressive([])
+
+    def test_probe_sees_all_event_classes(self, assemblies, probe):
+        build_progressive(assemblies, probe=probe)
+        assert probe.loads > 0
+        assert probe.stores > 0
+        assert probe.branches > 0
+        assert probe.alu_ops > 0

@@ -1,0 +1,93 @@
+"""GFAffix reproduction: redundancy collapse preserving path spellings."""
+
+from repro.build.gfaffix import polish
+from repro.build.seqwish import induce_graph
+from repro.graph.model import SequenceGraph
+
+
+def _graph_with_identical_siblings():
+    graph = SequenceGraph()
+    graph.add_node(0, "ACGT")
+    graph.add_node(1, "TTT")
+    graph.add_node(2, "TTT")
+    graph.add_node(3, "GGAA")
+    graph.add_edge(0, 1)
+    graph.add_edge(0, 2)
+    graph.add_edge(1, 3)
+    graph.add_edge(2, 3)
+    graph.add_path("p", [0, 1, 3])
+    graph.add_path("q", [0, 2, 3])
+    return graph
+
+
+def _graph_with_shared_prefix():
+    graph = SequenceGraph()
+    graph.add_node(0, "ACGT")
+    graph.add_node(1, "TTGA")
+    graph.add_node(2, "TTCC")
+    graph.add_node(3, "GGAA")
+    graph.add_edge(0, 1)
+    graph.add_edge(0, 2)
+    graph.add_edge(1, 3)
+    graph.add_edge(2, 3)
+    graph.add_path("p", [0, 1, 3])
+    graph.add_path("q", [0, 2, 3])
+    return graph
+
+
+class TestPolish:
+    def test_identical_siblings_merge(self):
+        graph = _graph_with_identical_siblings()
+        polished, stats = polish(graph)
+        assert stats.nodes_merged == 1
+        assert polished.node_count == 3
+        assert polished.path_sequence("p") == "ACGTTTTGGAA"
+        assert polished.path_sequence("q") == "ACGTTTTGGAA"
+
+    def test_shared_prefix_splits(self):
+        graph = _graph_with_shared_prefix()
+        polished, stats = polish(graph)
+        assert stats.prefixes_collapsed >= 1
+        # The shared "TT" now lives in one node.
+        assert polished.total_sequence_length < graph.total_sequence_length
+        assert polished.path_sequence("p") == "ACGTTTGAGGAA"
+        assert polished.path_sequence("q") == "ACGTTTCCGGAA"
+
+    def test_input_graph_unmodified(self):
+        graph = _graph_with_identical_siblings()
+        before = sorted(graph.node_ids())
+        polish(graph)
+        assert sorted(graph.node_ids()) == before
+        assert graph.path_sequence("p") == "ACGTTTTGGAA"
+
+    def test_idempotent(self):
+        graph = _graph_with_shared_prefix()
+        once, stats_once = polish(graph)
+        twice, stats_twice = polish(once)
+        assert stats_twice.nodes_merged == 0
+        assert stats_twice.prefixes_collapsed == 0
+        assert stats_twice.rounds == 1
+        assert twice.node_count == once.node_count
+
+    def test_preserves_induced_graph_spellings(self, assemblies,
+                                               assembly_matches):
+        induced = induce_graph(assemblies, assembly_matches)
+        polished, stats = polish(induced.graph)
+        polished.validate()
+        for record in assemblies:
+            assert polished.path_sequence(record.name) == record.sequence
+        assert stats.rounds >= 1
+
+    def test_bases_removed_counts_shrinkage(self):
+        graph = _graph_with_identical_siblings()
+        polished, stats = polish(graph)
+        shrinkage = graph.total_sequence_length - polished.total_sequence_length
+        assert stats.bases_removed == shrinkage == 3
+
+    def test_probe_sees_all_event_classes(self, probe):
+        graph = _graph_with_shared_prefix()
+        polish(graph, probe=probe)
+        assert probe.loads > 0
+        assert probe.stores > 0
+        assert probe.branches > 0
+        assert probe.alu_ops > 0

@@ -1,0 +1,174 @@
+"""seqwish reproduction: transitive closure and graph induction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.build.seqwish import (
+    ImplicitIntervalTree,
+    TranscloseStats,
+    induce_graph,
+    transclose,
+)
+from repro.build.wfmash import Match, all_to_all
+from repro.errors import GraphError
+from repro.sequence.records import SequenceRecord
+from repro.uarch.events import NULL_PROBE, AddressSpace
+
+
+def _check_closure_oracle(records, matches, result):
+    """The TC kernel's validation oracle (tc_kernel.validate)."""
+    text = "".join(record.sequence for record in records)
+    for match in matches:
+        q = result.offsets[match.query_name] + match.query_start
+        t = result.offsets[match.target_name] + match.target_start
+        for i in range(match.length):
+            assert result.closure_of[q + i] == result.closure_of[t + i]
+    for position, closure in enumerate(result.closure_of):
+        assert text[position] == result.closure_base[closure]
+
+
+@st.composite
+def _populations(draw):
+    """A tiny pangenome: one ancestor plus point-mutated descendants."""
+    rng = random.Random(draw(st.integers(0, 2**20)))
+    length = draw(st.integers(min_value=80, max_value=240))
+    ancestor = "".join(rng.choice("ACGT") for _ in range(length))
+    records = [SequenceRecord("anc", ancestor)]
+    for index in range(draw(st.integers(min_value=1, max_value=3))):
+        bases = list(ancestor)
+        for _ in range(draw(st.integers(min_value=0, max_value=4))):
+            site = rng.randrange(length)
+            bases[site] = rng.choice("ACGT")
+        records.append(SequenceRecord(f"hap{index}", "".join(bases)))
+    return records
+
+
+class TestTransclose:
+    def test_oracle_on_suite_assemblies(self, assemblies, assembly_matches):
+        result = transclose(assemblies, assembly_matches)
+        _check_closure_oracle(assemblies, assembly_matches, result)
+
+    def test_closure_ids_dense_and_ascending(self, assemblies, assembly_matches):
+        result = transclose(assemblies, assembly_matches)
+        seen_order = []
+        seen = set()
+        for closure in result.closure_of:
+            assert 0 <= closure < len(result.closure_base)
+            if closure not in seen:
+                seen.add(closure)
+                seen_order.append(closure)
+        assert seen_order == sorted(seen_order)
+        assert len(seen) == len(result.closure_base)
+
+    def test_stats_counters(self, assemblies, assembly_matches):
+        result = transclose(assemblies, assembly_matches)
+        stats = result.stats
+        total = sum(len(r.sequence) for r in assemblies)
+        assert stats.positions == total
+        assert stats.matches == len(assembly_matches)
+        assert stats.closures == len(result.closure_base) < total
+        assert stats.tree_queries > 0
+        assert stats.tree_nodes_visited >= stats.tree_queries
+        assert stats.bitvector_reads >= stats.positions
+
+    def test_no_matches_yields_one_closure_per_position(self):
+        records = [SequenceRecord("a", "ACGT"), SequenceRecord("b", "GGCC")]
+        result = transclose(records, [])
+        assert result.closure_of == list(range(8))
+        assert "".join(result.closure_base) == "ACGTGGCC"
+
+    def test_duplicate_record_names_rejected(self):
+        records = [SequenceRecord("a", "ACGT"), SequenceRecord("a", "ACGT")]
+        with pytest.raises(GraphError):
+            transclose(records, [])
+
+    def test_non_exact_match_rejected(self):
+        records = [SequenceRecord("a", "AAAAACCCCCAAAAACCCCC"),
+                   SequenceRecord("b", "AAAAAGGGGGAAAAAGGGGG")]
+        bad = [Match("a", "b", 0, 0, 10)]
+        with pytest.raises(GraphError):
+            transclose(records, bad)
+
+    def test_out_of_range_match_rejected(self):
+        records = [SequenceRecord("a", "ACGT"), SequenceRecord("b", "ACGT")]
+        with pytest.raises(GraphError):
+            transclose(records, [Match("a", "b", 2, 0, 4)])
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(GraphError):
+            transclose([], [])
+
+    def test_probe_sees_all_event_classes(self, assemblies, assembly_matches,
+                                          probe):
+        transclose(assemblies, assembly_matches, probe=probe)
+        assert probe.loads > 0
+        assert probe.stores > 0
+        assert probe.branches > 0
+        assert probe.alu_ops > 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(records=_populations())
+    def test_property_pipeline_closure_is_consistent(self, records):
+        """For any mutated population, wfmash matches transitively close
+        into single-character equivalence classes (the TC oracle)."""
+        matches, _ = all_to_all(records)
+        result = transclose(records, matches)
+        _check_closure_oracle(records, matches, result)
+
+
+class TestImplicitIntervalTree:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        spans=st.lists(
+            st.tuples(st.integers(0, 120), st.integers(1, 30), st.integers(0, 120)),
+            max_size=25,
+        ),
+        position=st.integers(0, 150),
+    )
+    def test_stab_matches_brute_force(self, spans, position):
+        intervals = [(start, start + length, other)
+                     for start, length, other in spans]
+        tree = ImplicitIntervalTree(intervals, AddressSpace())
+        stats = TranscloseStats()
+        hits = tree.stab(position, NULL_PROBE, stats)
+        expected = [iv for iv in sorted(intervals) if iv[0] <= position < iv[1]]
+        assert sorted(hits) == expected
+        assert stats.tree_queries == 1
+
+
+class TestInduceGraph:
+    def test_paths_spell_records_exactly(self, assemblies, assembly_matches):
+        induced = induce_graph(assemblies, assembly_matches)
+        for record in assemblies:
+            assert induced.graph.path_sequence(record.name) == record.sequence
+
+    def test_graph_is_compacted_and_valid(self, assemblies, assembly_matches):
+        induced = induce_graph(assemblies, assembly_matches)
+        graph = induced.graph
+        graph.validate()
+        assert graph.node_count < len(induced.closure.closure_base)
+        # No node pair is mergeable: a unary edge chain would mean the
+        # compaction missed a merge.
+        for node_id in graph.node_ids():
+            succ = graph.successors(node_id)
+            if len(succ) == 1 and succ[0] != node_id:
+                preds = graph.predecessors(succ[0])
+                starts = {p.nodes[0] for p in graph.paths()}
+                ends = {p.nodes[-1] for p in graph.paths()}
+                assert (len(preds) != 1 or succ[0] in starts
+                        or node_id in ends)
+
+    def test_stats_mirror_the_closure(self, assemblies, assembly_matches):
+        induced = induce_graph(assemblies, assembly_matches)
+        assert induced.stats is induced.closure.stats
+        assert induced.stats.closures == len(induced.closure.closure_base)
+
+    def test_without_matches_one_node_per_record(self):
+        records = [SequenceRecord("a", "ACGTACGT"), SequenceRecord("b", "TTGG")]
+        induced = induce_graph(records, [])
+        assert induced.graph.node_count == 2
+        for record in records:
+            assert induced.graph.path_sequence(record.name) == record.sequence

@@ -1,0 +1,79 @@
+"""smoothxg reproduction: block partitioning + POA re-alignment."""
+
+import pytest
+
+from repro.build.seqwish import induce_graph
+from repro.build.smoothxg import smooth
+from repro.errors import GraphError
+from repro.graph.model import SequenceGraph
+
+
+@pytest.fixture(scope="module")
+def induced_graph(assemblies, assembly_matches):
+    return induce_graph(assemblies, assembly_matches).graph
+
+
+class TestSmooth:
+    def test_blocks_cover_every_path_base(self, induced_graph):
+        blocks, stats = smooth(induced_graph, block_length=400)
+        total_fragment = sum(len(s) for b in blocks for s in b.sequences)
+        total_path = sum(induced_graph.path_length(name)
+                        for name in induced_graph.path_names())
+        assert total_fragment == total_path
+        assert stats.fragments == sum(len(b.sequences) for b in blocks)
+
+    def test_blocks_cover_every_path_node(self, induced_graph):
+        blocks, _ = smooth(induced_graph, block_length=400)
+        block_nodes = {n for b in blocks for n in b.node_ids}
+        path_nodes = {n for p in induced_graph.paths() for n in p.nodes}
+        assert path_nodes <= block_nodes
+
+    def test_fragments_partition_known_paths(self):
+        """On a hand-built chain the block cuts are fully predictable."""
+        graph = SequenceGraph()
+        graph.add_node(0, "AAAA")   # offsets 0-3  -> block 0
+        graph.add_node(1, "CCCC")   # offsets 4-7  -> block 0
+        graph.add_node(2, "GGGG")   # offsets 8-11 -> block 1
+        graph.add_node(3, "TTTT")   # offsets 12-15 -> block 1
+        for source, target in [(0, 1), (1, 2), (2, 3)]:
+            graph.add_edge(source, target)
+        graph.add_path("p", [0, 1, 2, 3])
+        graph.add_path("q", [0, 1, 2, 3])
+        blocks, stats = smooth(graph, block_length=8)
+        by_id = {b.block_id: b for b in blocks}
+        assert sorted(by_id) == [0, 1]
+        assert sorted(by_id[0].sequences) == ["AAAACCCC", "AAAACCCC"]
+        assert sorted(by_id[1].sequences) == ["GGGGTTTT", "GGGGTTTT"]
+        assert by_id[0].node_ids == (0, 1)
+        assert by_id[1].node_ids == (2, 3)
+        assert stats.blocks == 2
+        assert stats.fragments == 4
+
+    def test_poa_work_is_counted(self, induced_graph):
+        blocks, stats = smooth(induced_graph, block_length=400)
+        assert stats.poa_cells > 0
+        assert stats.poa_cells == sum(b.poa_cells for b in blocks)
+        assert all(b.consensus for b in blocks)
+        assert stats.consensus_bases == sum(len(b.consensus) for b in blocks)
+
+    def test_shorter_blocks_mean_more_blocks(self, induced_graph):
+        short, _ = smooth(induced_graph, block_length=150)
+        long, _ = smooth(induced_graph, block_length=1200)
+        assert len(short) > len(long)
+
+    def test_block_length_must_be_positive(self, induced_graph):
+        with pytest.raises(GraphError):
+            smooth(induced_graph, block_length=0)
+
+    def test_needs_paths(self):
+        graph = SequenceGraph()
+        graph.add_node(0, "ACGT")
+        with pytest.raises(GraphError):
+            smooth(graph)
+
+    def test_probe_sees_all_event_classes(self, induced_graph, probe):
+        smooth(induced_graph, block_length=400, probe=probe)
+        assert probe.loads > 0
+        assert probe.stores > 0
+        assert probe.branches > 0
+        assert probe.alu_ops > 0

@@ -1,0 +1,74 @@
+"""wfmash reproduction: sketch mapping + WFA-verified exact matches."""
+
+import pytest
+
+from repro.build.wfmash import Match, WfmashStats, all_to_all
+from repro.sequence.records import SequenceRecord
+
+
+def _random_record(name, length, seed):
+    import random
+    rng = random.Random(seed)
+    return SequenceRecord(name, "".join(rng.choice("ACGT") for _ in range(length)))
+
+
+class TestAllToAll:
+    def test_matches_are_exact(self, assemblies, assembly_matches):
+        by_name = {r.name: r.sequence for r in assemblies}
+        assert assembly_matches
+        for match in assembly_matches:
+            q = by_name[match.query_name]
+            t = by_name[match.target_name]
+            assert q[match.query_start:match.query_start + match.length] == \
+                t[match.target_start:match.target_start + match.length]
+
+    def test_matches_in_range_and_long_enough(self, assemblies, assembly_matches):
+        by_name = {r.name: r.sequence for r in assemblies}
+        for match in assembly_matches:
+            assert match.length >= 20
+            assert 0 <= match.query_start
+            assert match.query_start + match.length <= len(by_name[match.query_name])
+            assert match.target_start + match.length <= len(by_name[match.target_name])
+
+    def test_query_precedes_target(self, assemblies, assembly_matches):
+        order = {r.name: i for i, r in enumerate(assemblies)}
+        for match in assembly_matches:
+            assert order[match.query_name] < order[match.target_name]
+
+    def test_stats_account_for_the_work(self, assemblies):
+        matches, stats = all_to_all(assemblies)
+        n = len(assemblies)
+        assert stats.pairs_considered == n * (n - 1) // 2
+        assert 0 < stats.pairs_mapped <= stats.pairs_considered
+        assert stats.wfa_cells > 0
+        assert stats.anchors > 0
+        assert stats.matched_bases == sum(m.length for m in matches)
+
+    def test_unrelated_sequences_do_not_map(self):
+        records = [_random_record("a", 2000, 1), _random_record("b", 2000, 2)]
+        matches, stats = all_to_all(records)
+        assert stats.pairs_considered == 1
+        assert matches == []
+
+    def test_identical_sequences_match_end_to_end(self):
+        record = _random_record("x", 1500, 3)
+        twin = SequenceRecord("y", record.sequence)
+        matches, stats = all_to_all([record, twin])
+        assert stats.pairs_mapped == 1
+        covered = set()
+        for match in matches:
+            assert match.query_start == match.target_start
+            covered.update(range(match.query_start, match.query_start + match.length))
+        assert len(covered) > 0.9 * len(record.sequence)
+
+    def test_probe_sees_all_event_classes(self, assemblies, probe):
+        all_to_all(assemblies, probe=probe)
+        assert probe.loads > 0
+        assert probe.stores > 0
+        assert probe.branches > 0
+        assert probe.alu_ops > 0
+
+    def test_match_is_frozen(self):
+        match = Match("a", "b", 0, 0, 25)
+        with pytest.raises(Exception):
+            match.length = 30
