@@ -5,10 +5,9 @@ high bad-speculation; GBWT is front-end/bad-spec exposed but NOT memory
 bound; PGSGD is memory+core bound; TC retires the most.
 """
 
-from _common import BENCH_SCALE, BENCH_SEED, emit
+from _common import CHAR_STUDIES, emit, engine_reports
 
 from repro.analysis.report import render_stacked_fractions, render_table
-from repro.harness.runner import run_suite
 from repro.kernels import CPU_KERNELS
 
 COMPONENTS = ("retiring", "frontend_bound", "bad_speculation", "core_bound",
@@ -16,8 +15,9 @@ COMPONENTS = ("retiring", "frontend_bound", "bad_speculation", "core_bound",
 
 
 def run_experiment():
-    return run_suite(CPU_KERNELS, studies=("topdown",), scale=BENCH_SCALE,
-                     seed=BENCH_SEED)
+    # The full characterization study set: one traced run per kernel
+    # serves this figure AND figs 7/8 + Table 6 from the result cache.
+    return engine_reports(CPU_KERNELS, CHAR_STUDIES)
 
 
 def test_fig6(benchmark):

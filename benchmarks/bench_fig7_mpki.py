@@ -5,16 +5,14 @@ Paper shape: the DP kernels miss mostly in L1 and almost never in L3
 (whole-graph random access).
 """
 
-from _common import BENCH_SCALE, BENCH_SEED, emit
+from _common import CHAR_STUDIES, emit, engine_reports
 
 from repro.analysis.report import render_table
-from repro.harness.runner import run_suite
 from repro.kernels import CPU_KERNELS
 
 
 def run_experiment():
-    return run_suite(CPU_KERNELS, studies=("cache",), scale=BENCH_SCALE,
-                     seed=BENCH_SEED)
+    return engine_reports(CPU_KERNELS, CHAR_STUDIES)
 
 
 def test_fig7(benchmark):

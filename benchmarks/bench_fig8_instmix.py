@@ -6,18 +6,16 @@ bitvector words); PGSGD heavily uses (scalar-)SSE floating point; GBWT
 and TC are scalar+memory.
 """
 
-from _common import BENCH_SCALE, BENCH_SEED, emit
+from _common import CHAR_STUDIES, emit, engine_reports
 
 from repro.analysis.report import render_table
-from repro.harness.runner import run_suite
 from repro.kernels import CPU_KERNELS
 
 BINS = ("vector", "memory", "branch", "scalar", "register")
 
 
 def run_experiment():
-    return run_suite(CPU_KERNELS, studies=("instmix",), scale=BENCH_SCALE,
-                     seed=BENCH_SEED)
+    return engine_reports(CPU_KERNELS, CHAR_STUDIES)
 
 
 def test_fig8(benchmark):

@@ -6,10 +6,9 @@ comparable (Python vs C++, downscaled data); the per-kernel work
 ordering and the dataset inventory are the reproducible artifacts.
 """
 
-from _common import BENCH_SCALE, BENCH_SEED, emit
+from _common import BENCH_SCALE, BENCH_SEED, emit, engine_reports
 
 from repro.analysis.report import render_table
-from repro.harness.runner import run_suite
 from repro.kernels import SUITE_KERNELS, create_kernel
 from repro.kernels.datasets import suite_data
 
@@ -20,8 +19,7 @@ PAPER_TABLE4_SECONDS = {
 
 
 def run_experiment():
-    return run_suite(SUITE_KERNELS, studies=("timing",), scale=BENCH_SCALE,
-                     seed=BENCH_SEED)
+    return engine_reports(SUITE_KERNELS, ("timing",))
 
 
 def test_tables_2_3_4(benchmark):

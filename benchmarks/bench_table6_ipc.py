@@ -5,10 +5,9 @@ GSSW 1.77 > PGSGD 0.88.  Reproduced claims: TC highest, PGSGD lowest by
 far, GSSW ~1.8, and the DP-kernel cluster in between.
 """
 
-from _common import BENCH_SCALE, BENCH_SEED, emit
+from _common import CHAR_STUDIES, emit, engine_reports
 
 from repro.analysis.report import render_table
-from repro.harness.runner import run_suite
 from repro.kernels import CPU_KERNELS
 
 PAPER_IPC = {
@@ -18,8 +17,7 @@ PAPER_IPC = {
 
 
 def run_experiment():
-    return run_suite(CPU_KERNELS, studies=("topdown",), scale=BENCH_SCALE,
-                     seed=BENCH_SEED)
+    return engine_reports(CPU_KERNELS, CHAR_STUDIES)
 
 
 def test_table6(benchmark):

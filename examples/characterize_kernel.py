@@ -3,6 +3,10 @@
 top-down, cache MPKI, instruction mix, oracle validation — like the
 paper's mainRun.py with every study enabled.
 
+Kernels run in parallel worker processes (one traced execution each,
+shared by all five studies); a crashing kernel would report its error
+here without taking down the rest.
+
 Run:  python examples/characterize_kernel.py [kernel ...]
       (default: gssw pgsgd tc)
 """
@@ -10,7 +14,7 @@ Run:  python examples/characterize_kernel.py [kernel ...]
 import sys
 
 from repro.analysis.report import render_table
-from repro.harness import run_kernel_studies
+from repro.harness import run_suite
 from repro.kernels import kernel_names
 
 
@@ -21,13 +25,18 @@ def main() -> None:
         if name not in known:
             raise SystemExit(f"unknown kernel {name!r}; choose from {known}")
 
+    reports = run_suite(
+        tuple(requested),
+        studies=("timing", "topdown", "cache", "instmix", "validate"),
+        scale=0.3,
+        jobs=min(4, len(requested)),
+    )
     rows = []
     for name in requested:
-        report = run_kernel_studies(
-            name,
-            studies=("timing", "topdown", "cache", "instmix", "validate"),
-            scale=0.3,
-        )
+        report = reports[name]
+        if report.error:
+            rows.append([name, "-", "-", "-", report.error, "-", "-", "-"])
+            continue
         bound = max(
             (k for k in report.topdown if k != "retiring"),
             key=report.topdown.get,

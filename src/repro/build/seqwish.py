@@ -103,15 +103,22 @@ class ImplicitIntervalTree:
             node = stack.pop()
             stats.tree_nodes_visited += 1
             probe.load(self.base + 16 * node, 16)
-            if max_end[node] <= position:
-                probe.branch(site=1201, taken=False)
+            # Per-node arithmetic: heap index math (2n, 2n+1), the
+            # max-end and start comparisons, the leaf test, and the
+            # explicit-stack bookkeeping.  The compiled loop falls
+            # through on the common descend/scan path; the subtree
+            # prune is the rare taken edge, so the branch is strongly
+            # biased and the predictor tracks it almost perfectly —
+            # this is why seqwish retires instead of speculating.
+            probe.alu(OpClass.SCALAR_ALU, 8)
+            pruned = max_end[node] <= position
+            probe.branch(site=1201, taken=pruned)
+            if pruned:
                 continue
-            probe.branch(site=1201, taken=True)
             if node >= leaf_base:
                 index = node - leaf_base
                 if index < self.size:
                     start, end, other = intervals[index]
-                    probe.alu(OpClass.SCALAR_ALU, 2)
                     if start <= position < end:
                         hits.append((start, end, other))
                 continue
@@ -124,7 +131,6 @@ class ImplicitIntervalTree:
             if right_first < self.size and \
                     intervals[right_first][0] <= position:
                 stack.append(right)
-            probe.alu(OpClass.SCALAR_ALU, 3)
         return hits
 
     def _first_leaf(self, node: int) -> int:
@@ -178,38 +184,55 @@ def transclose(
     seen = bytearray(total)
     closure_of = [-1] * total
     closure_base: list[str] = []
-    for position in range(total):
-        stats.bitvector_reads += 1
-        probe.load(bitvector_base + position // 8, 1)
-        probe.branch(site=1202, taken=bool(seen[position]))
-        if seen[position]:
-            continue
-        closure_id = len(closure_base)
-        base = text[position]
-        seen[position] = 1
-        probe.store(bitvector_base + position // 8, 1)
-        stack = [position]
-        while stack:
-            current = stack.pop()
-            closure_of[current] = closure_id
-            probe.store(closure_base_addr + 4 * current, 4)
-            if text[current] != base:
-                raise GraphError(
-                    "non-exact match: closure would merge "
-                    f"{base!r} with {text[current]!r}"
-                )
-            for start, _end, other in tree.stab(current, probe, stats):
-                partner = other + (current - start)
-                stats.bitvector_reads += 1
-                stats.unions += 1
-                probe.load(bitvector_base + partner // 8, 1)
-                probe.alu(OpClass.SCALAR_ALU, 4)
-                probe.branch(site=1203, taken=bool(seen[partner]))
-                if not seen[partner]:
-                    seen[partner] = 1
-                    probe.store(bitvector_base + partner // 8, 1)
-                    stack.append(partner)
-        closure_base.append(base)
+    # The outer sweep scans the seen bitvector one 64-bit word at a
+    # time, the way seqwish's sdsl bitvector is actually consumed: one
+    # load and a tzcnt-style scan per word, with a single skip branch
+    # when every bit in the word is already set.
+    for word_start in range(0, total, 64):
+        word_end = min(word_start + 64, total)
+        stats.bitvector_reads += word_end - word_start
+        probe.load(bitvector_base + word_start // 8, 8)
+        probe.alu(OpClass.SCALAR_ALU, 2)
+        probe.branch(
+            site=1202,
+            taken=all(seen[word_start:word_end]),
+        )
+        for position in range(word_start, word_end):
+            if seen[position]:
+                continue
+            # tzcnt + clearing the found bit + global offset math.
+            probe.alu(OpClass.SCALAR_ALU, 2)
+            closure_id = len(closure_base)
+            base = text[position]
+            seen[position] = 1
+            probe.store(bitvector_base + position // 8, 1)
+            stack = [position]
+            while stack:
+                current = stack.pop()
+                closure_of[current] = closure_id
+                probe.alu(OpClass.SCALAR_ALU, 2)
+                probe.store(closure_base_addr + 4 * current, 4)
+                if text[current] != base:
+                    raise GraphError(
+                        "non-exact match: closure would merge "
+                        f"{base!r} with {text[current]!r}"
+                    )
+                for start, _end, other in tree.stab(current, probe, stats):
+                    partner = other + (current - start)
+                    stats.bitvector_reads += 1
+                    stats.unions += 1
+                    probe.load(bitvector_base + partner // 8, 1)
+                    # Branchless union step: bit test, unconditional
+                    # OR-write of the mark, and a conditionally-moved
+                    # stack cursor bump — no mispredictable branch on
+                    # the seen bit (it flips exactly once per
+                    # position, the worst case for a predictor).
+                    probe.alu(OpClass.SCALAR_ALU, 6)
+                    if not seen[partner]:
+                        seen[partner] = 1
+                        probe.store(bitvector_base + partner // 8, 1)
+                        stack.append(partner)
+            closure_base.append(base)
     stats.closures = len(closure_base)
     return TranscloseResult(
         offsets=offsets,

@@ -4,8 +4,10 @@ Examples::
 
     python -m repro list
     python -m repro run gssw gbwt --studies timing topdown
-    python -m repro run tc --studies timing,validate
+    python -m repro run tc --studies timing,validate --jobs 2
+    python -m repro run tsu --studies gpu
     python -m repro run --kernels gssw gbwt --scale 0.5 --out reports.json
+    python -m repro run --machine A --reuse
     python -m repro validate
 """
 
@@ -16,17 +18,23 @@ import sys
 from typing import Sequence
 
 from repro.analysis.report import render_table
-from repro.harness.runner import ALL_STUDIES, run_suite, save_reports
+from repro.harness.runner import run_suite, save_reports
+from repro.harness.studies import study_names
 from repro.kernels import SUITE_KERNELS, create_kernel, kernel_names
+from repro.uarch.cache import MACHINE_A, MACHINE_B
+
+#: ``--machine`` choices (the paper's Table 5 machines).
+MACHINES = {"A": MACHINE_A, "B": MACHINE_B}
 
 
 def _study_list(value: str) -> list[str]:
     """One ``--studies`` token: a study name or a comma-joined list."""
     studies = [item for item in value.split(",") if item]
+    known = study_names()
     for study in studies:
-        if study not in ALL_STUDIES:
+        if study not in known:
             raise argparse.ArgumentTypeError(
-                f"invalid study {study!r} (choose from {', '.join(ALL_STUDIES)})"
+                f"invalid study {study!r} (choose from {', '.join(known)})"
             )
     return studies
 
@@ -53,11 +61,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--studies", nargs="+", default=[["timing"]], type=_study_list,
         metavar="STUDY",
         help="studies to run, space- or comma-separated "
-             f"(default: timing; choices: {', '.join(ALL_STUDIES)})",
+             f"(default: timing; choices: {', '.join(study_names())})",
     )
     run.add_argument("--scale", type=float, default=1.0,
                      help="dataset scale factor (default 1.0)")
     run.add_argument("--seed", type=int, default=0, help="dataset seed")
+    run.add_argument(
+        "--machine", choices=sorted(MACHINES), default="B",
+        help="cache-hierarchy configuration for the trace studies "
+             "(paper Table 5; default: B, the kernel-analysis machine)",
+    )
+    run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default 1: serial, deterministic; N>1 "
+             "runs kernels in parallel with per-kernel failure isolation)",
+    )
+    run.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-kernel time limit (enforced when --jobs > 1)",
+    )
+    run.add_argument(
+        "--reuse", action="store_true",
+        help="serve cache hits from benchmarks/results/cache/ and write "
+             "fresh reports back",
+    )
     run.add_argument("--out", default=None,
                      help="write JSON reports to this path")
 
@@ -88,6 +115,8 @@ def _command_run(args: argparse.Namespace) -> int:
     reports = run_suite(
         tuple(kernels), studies=tuple(studies),
         scale=args.scale, seed=args.seed,
+        cache_config=MACHINES[args.machine],
+        jobs=args.jobs, timeout=args.timeout, reuse=args.reuse,
     )
     rows = []
     for name, report in reports.items():
@@ -99,14 +128,23 @@ def _command_run(args: argparse.Namespace) -> int:
             (max(report.topdown, key=report.topdown.get)
              if report.topdown else "-"),
             "ok" if report.validated else "-",
+            report.error or "-",
         ])
     print(render_table(
-        ["kernel", "#inputs", "seconds", "IPC", "top slot", "validated"],
-        rows, title=f"Suite run (scale={args.scale}, studies={studies})",
+        ["kernel", "#inputs", "seconds", "IPC", "top slot", "validated",
+         "error"],
+        rows,
+        title=(f"Suite run (scale={args.scale}, machine={args.machine}, "
+               f"studies={studies})"),
     ))
     if args.out:
         save_reports(reports, args.out)
         print(f"\nreports written to {args.out}")
+    failures = [name for name, report in reports.items() if report.error]
+    if failures:
+        print(f"\n{len(failures)} kernel(s) failed: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
     return 0
 
 

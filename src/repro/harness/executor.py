@@ -1,0 +1,234 @@
+"""The execution layer: plan compilation and a failure-isolated pool.
+
+``compile_plan`` turns a suite request into an :class:`ExecutionPlan` of
+per-kernel :class:`Job`\\ s (validated up front, so configuration errors
+raise before anything runs).  ``execute_plan`` dispatches the plan:
+
+* serving cache hits from the :class:`~repro.harness.store.ResultStore`
+  when ``reuse`` is on;
+* in-process when ``jobs == 1`` (deterministic, no pickling);
+* over a pool of worker processes when ``jobs > 1``, with per-job
+  timeout and failure isolation — a kernel that raises, hangs past its
+  deadline, or kills its worker yields a report whose ``error`` field is
+  set, and the rest of the suite keeps going.
+
+The pool is managed directly over :mod:`multiprocessing` rather than
+``concurrent.futures.ProcessPoolExecutor``: a hung worker must be
+*terminated* on timeout (the executor API can cancel only jobs that have
+not started, and its atexit hook would block interpreter shutdown on the
+stuck process).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import KernelError
+from repro.harness.runner import KernelReport, run_kernel_studies
+from repro.harness.studies import create_study
+from repro.harness.store import ResultStore
+from repro.kernels.base import KERNEL_REGISTRY
+from repro.uarch.cache import MACHINE_B, CacheConfig
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable unit: a kernel under a set of studies."""
+
+    kernel: str
+    studies: tuple[str, ...]
+    scale: float = 1.0
+    seed: int = 0
+    cache_config: CacheConfig = MACHINE_B
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A validated, ordered set of jobs."""
+
+    jobs: tuple[Job, ...]
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+def compile_plan(
+    kernels: tuple[str, ...],
+    studies: tuple[str, ...] = ("timing",),
+    scale: float = 1.0,
+    seed: int = 0,
+    cache_config: CacheConfig = MACHINE_B,
+) -> ExecutionPlan:
+    """Compile one job per kernel, validating names before any runs."""
+    for study in studies:
+        create_study(study)  # raises KernelError on unknown studies
+    for name in kernels:
+        if name not in KERNEL_REGISTRY:
+            known = ", ".join(sorted(KERNEL_REGISTRY))
+            raise KernelError(f"unknown kernel {name!r}; known: {known}")
+    return ExecutionPlan(
+        jobs=tuple(
+            Job(
+                kernel=name,
+                studies=tuple(studies),
+                scale=scale,
+                seed=seed,
+                cache_config=cache_config,
+            )
+            for name in kernels
+        )
+    )
+
+
+def _failure_report(job: Job, error: str) -> KernelReport:
+    return KernelReport(
+        kernel=job.kernel,
+        error=error,
+        scale=job.scale,
+        seed=job.seed,
+        machine=job.cache_config.name,
+    )
+
+
+def _execute_job(job: Job) -> KernelReport:
+    """Run one job, catching kernel failures into the report."""
+    try:
+        return run_kernel_studies(
+            job.kernel,
+            studies=job.studies,
+            scale=job.scale,
+            seed=job.seed,
+            cache_config=job.cache_config,
+        )
+    except Exception as error:  # noqa: BLE001 — isolate per-kernel failures
+        return _failure_report(job, f"{type(error).__name__}: {error}")
+
+
+def _job_worker(job: Job, conn) -> None:
+    """Process entry point: run the job and ship the report back."""
+    try:
+        conn.send(_execute_job(job))
+    finally:
+        conn.close()
+
+
+def _mp_context():
+    """Prefer fork (kernels registered at runtime stay visible in the
+    children); fall back to the platform default elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+@dataclass
+class _Running:
+    index: int
+    job: Job
+    process: multiprocessing.Process
+    deadline: float | None
+
+
+def _execute_pool(
+    jobs: list[Job], workers: int, timeout: float | None
+) -> list[KernelReport]:
+    """Run *jobs* over *workers* processes with per-job deadlines."""
+    ctx = _mp_context()
+    queue: deque[tuple[int, Job]] = deque(enumerate(jobs))
+    running: dict[multiprocessing.connection.Connection, _Running] = {}
+    results: list[KernelReport | None] = [None] * len(jobs)
+
+    def finish(conn, report: KernelReport, terminate: bool = False) -> None:
+        entry = running.pop(conn)
+        if terminate:
+            entry.process.terminate()
+        entry.process.join(timeout=5)
+        conn.close()
+        results[entry.index] = report
+
+    try:
+        while queue or running:
+            while queue and len(running) < workers:
+                index, job = queue.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_job_worker, args=(job, child_conn), daemon=True
+                )
+                process.start()
+                child_conn.close()
+                running[parent_conn] = _Running(
+                    index=index,
+                    job=job,
+                    process=process,
+                    deadline=time.monotonic() + timeout if timeout else None,
+                )
+            ready = multiprocessing.connection.wait(list(running), timeout=0.05)
+            for conn in ready:
+                entry = running[conn]
+                try:
+                    report = conn.recv()
+                except EOFError:
+                    # The worker died without reporting (hard crash).
+                    code = entry.process.exitcode
+                    report = _failure_report(
+                        entry.job, f"WorkerDied: exit code {code}"
+                    )
+                finish(conn, report)
+            now = time.monotonic()
+            for conn, entry in list(running.items()):
+                if entry.deadline is not None and now > entry.deadline:
+                    finish(
+                        conn,
+                        _failure_report(
+                            entry.job, f"Timeout: exceeded {timeout:g}s"
+                        ),
+                        terminate=True,
+                    )
+    finally:
+        for conn, entry in list(running.items()):
+            entry.process.terminate()
+            entry.process.join(timeout=5)
+            conn.close()
+    return [report for report in results if report is not None]
+
+
+def execute_plan(
+    plan: ExecutionPlan,
+    jobs: int = 1,
+    timeout: float | None = None,
+    reuse: bool = False,
+    store: ResultStore | None = None,
+) -> dict[str, KernelReport]:
+    """Execute *plan* and return reports keyed by kernel, in plan order.
+
+    With ``reuse=True`` cached reports are served without executing the
+    kernel and fresh (successful) reports are written back to *store*
+    (default: the shared ``benchmarks/results/cache/`` store).  Timeouts
+    require process isolation and are enforced only when ``jobs > 1``.
+    """
+    if jobs < 1:
+        raise KernelError("jobs must be >= 1")
+    if reuse and store is None:
+        store = ResultStore()
+
+    reports: dict[str, KernelReport] = {}
+    pending: list[Job] = []
+    for job in plan.jobs:
+        cached = store.load(job) if reuse and store is not None else None
+        if cached is not None:
+            reports[job.kernel] = cached
+        else:
+            pending.append(job)
+
+    if jobs == 1:
+        executed = [_execute_job(job) for job in pending]
+    else:
+        executed = _execute_pool(pending, workers=jobs, timeout=timeout)
+
+    for job, report in zip(pending, executed):
+        if reuse and store is not None:
+            store.save(job, report)
+        reports[job.kernel] = report
+    return {job.kernel: reports[job.kernel] for job in plan.jobs}

@@ -1,34 +1,54 @@
-"""The suite runner — our analog of the paper's ``mainRun.py``.
+"""The suite engine — our analog of the paper's ``mainRun.py``.
 
-Runs any subset of kernels under any subset of studies:
+Three layers (see README "Harness architecture"):
 
-* ``timing`` — wall-clock and kernel work counters (the default);
-* ``topdown`` — the Figure 6 top-down slot attribution + Table 6 IPC;
-* ``cache`` — Figure 7 MPKI;
-* ``instmix`` — Figure 8 instruction-class fractions;
-* ``validate`` — each kernel's oracle self-check.
+* **studies** (:mod:`repro.harness.studies`) — pluggable characterization
+  passes (``timing``/``topdown``/``cache``/``instmix``/``validate``/
+  ``gpu``) in ``STUDY_REGISTRY``;
+* **executor** (:mod:`repro.harness.executor`) — compiles an
+  :class:`~repro.harness.executor.ExecutionPlan` and dispatches it over a
+  process pool with per-job timeout and failure isolation;
+* **store** (:mod:`repro.harness.store`) — a content-addressed report
+  cache, so repeated runs at identical parameters execute nothing.
 
-Results serialize to JSON for the benches and EXPERIMENTS.md.
+This module holds the data model (:class:`KernelReport`), the single-job
+engine (:func:`run_kernel_studies`) and the versioned JSON serialization;
+:func:`run_suite` is the high-level entry the CLI, benches and tests use.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+import subprocess
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 
+import repro
 from repro.errors import KernelError
+from repro.harness.studies import create_study, study_names
 from repro.kernels.base import create_kernel, kernel_names
 from repro.uarch.cache import MACHINE_B, CacheConfig
+from repro.uarch.events import NULL_PROBE
 from repro.uarch.machine import TraceMachine
-from repro.uarch.topdown import analyze
 
-ALL_STUDIES = ("timing", "topdown", "cache", "instmix", "validate")
+#: JSON schema version written by :func:`save_reports` and the result
+#: store; bump when :class:`KernelReport` changes incompatibly.
+SCHEMA_VERSION = 2
+
+
+#: The built-in study names (the old harness's hard-coded tuple, now a
+#: snapshot of ``STUDY_REGISTRY``; use ``study_names()`` for a live view
+#: that includes studies registered after import).
+ALL_STUDIES = study_names()
 
 
 @dataclass
 class KernelReport:
-    """Everything one kernel produced across the requested studies."""
+    """Everything one kernel produced across the requested studies.
+
+    Picklable (it crosses process boundaries in the parallel executor)
+    and JSON-round-trippable via :func:`save_reports`/:func:`load_reports`.
+    """
 
     kernel: str
     wall_seconds: float = 0.0
@@ -41,6 +61,26 @@ class KernelReport:
     branch_misprediction_rate: float = 0.0
     instructions: int = 0
     validated: bool = False
+    #: Table 7 SIMT counters collected by the ``gpu`` study.
+    gpu: dict[str, float] = field(default_factory=dict)
+    #: Structured failure record ("ExcType: message") when the kernel
+    #: raised, timed out, or its worker died; ``None`` on success.
+    error: str | None = None
+    # Run metadata (reproducibility of cached/serialized reports).
+    scale: float = 1.0
+    seed: int = 0
+    machine: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "KernelReport":
+        """Build a report from a JSON mapping, ignoring unknown fields
+        (forward compatibility with reports written by newer code)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
 
 
 def run_kernel_studies(
@@ -50,44 +90,36 @@ def run_kernel_studies(
     seed: int = 0,
     cache_config: CacheConfig = MACHINE_B,
 ) -> KernelReport:
-    """Run one kernel under the requested studies."""
-    for study in studies:
-        if study not in ALL_STUDIES:
-            raise KernelError(f"unknown study {study!r}; known: {ALL_STUDIES}")
-    report = KernelReport(kernel=name)
+    """Run one kernel under the requested studies (one execution).
+
+    The engine is study-agnostic: it instantiates each study from
+    ``STUDY_REGISTRY``, executes the kernel at most once (traced iff any
+    study requires the event stream), records the generic run metadata,
+    and lets each study's ``collect`` hook fill its report fields.
+    """
+    plugins = [create_study(study) for study in studies]
+    report = KernelReport(
+        kernel=name, scale=scale, seed=seed, machine=cache_config.name
+    )
     kernel = create_kernel(name, scale=scale, seed=seed)
 
-    if "timing" in studies:
-        result = kernel.run()
-        report.wall_seconds = result.wall_seconds
+    machine = (
+        TraceMachine(cache_config)
+        if any(plugin.requires_trace for plugin in plugins)
+        else None
+    )
+    result = summary = None
+    if machine is not None or any(plugin.requires_run for plugin in plugins):
+        result = kernel.run(probe=machine if machine is not None else NULL_PROBE)
         report.inputs_processed = result.inputs_processed
         report.work = dict(result.work)
-
-    needs_trace = any(s in studies for s in ("topdown", "cache", "instmix"))
-    if needs_trace:
-        machine = TraceMachine(cache_config)
-        result = kernel.run(probe=machine)
-        if not report.inputs_processed:
-            report.inputs_processed = result.inputs_processed
-            report.work = dict(result.work)
+    if machine is not None:
         summary = machine.summary()
         report.instructions = summary.instructions
         report.branch_misprediction_rate = summary.branch_stats.misprediction_rate
-        if summary.instructions:
-            if "topdown" in studies:
-                topdown = analyze(summary)
-                report.topdown = topdown.as_dict()
-                report.ipc = topdown.ipc
-            if "cache" in studies:
-                report.mpki = summary.mpki()
-            if "instmix" in studies:
-                report.instruction_mix = summary.instruction_mix()
-        # GPU kernels (tsu) run on the SIMT simulator and emit no CPU
-        # events; their profiling metrics live in the work counters.
 
-    if "validate" in studies:
-        kernel.validate()
-        report.validated = True
+    for plugin in plugins:
+        plugin.collect(kernel, result, summary, report)
     return report
 
 
@@ -97,24 +129,83 @@ def run_suite(
     scale: float = 1.0,
     seed: int = 0,
     cache_config: CacheConfig = MACHINE_B,
+    jobs: int = 1,
+    timeout: float | None = None,
+    reuse: bool = False,
+    store: "object | None" = None,
 ) -> dict[str, KernelReport]:
-    """Run the whole suite (or a subset) under the requested studies."""
+    """Run the whole suite (or a subset) under the requested studies.
+
+    * ``jobs`` — worker processes; 1 (the default) runs in-process for
+      determinism, >1 dispatches over the parallel executor with
+      per-kernel failure isolation.
+    * ``timeout`` — per-kernel wall-clock limit in seconds (enforced when
+      ``jobs > 1``; a timed-out kernel's report carries an ``error``).
+    * ``reuse`` — serve cache hits from (and write misses to) the result
+      ``store`` (default: :class:`repro.harness.store.ResultStore` under
+      ``benchmarks/results/cache/``).
+    """
+    from repro.harness.executor import compile_plan, execute_plan
+
     names = kernels if kernels is not None else tuple(kernel_names())
-    return {
-        name: run_kernel_studies(
-            name, studies=studies, scale=scale, seed=seed, cache_config=cache_config
+    plan = compile_plan(
+        names, studies=studies, scale=scale, seed=seed, cache_config=cache_config
+    )
+    return execute_plan(plan, jobs=jobs, timeout=timeout, reuse=reuse, store=store)
+
+
+def _git_sha() -> str:
+    """Short git revision of the working tree, or "unknown"."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
         )
-        for name in names
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def run_metadata() -> dict[str, str]:
+    """Provenance recorded alongside serialized reports."""
+    return {"package_version": repro.__version__, "git_sha": _git_sha()}
+
+
+def save_reports(
+    reports: dict[str, KernelReport],
+    path: str | Path,
+    metadata: dict | None = None,
+) -> None:
+    """Serialize suite reports to versioned JSON."""
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "metadata": {**run_metadata(), **(metadata or {})},
+        "reports": {name: asdict(report) for name, report in reports.items()},
     }
-
-
-def save_reports(reports: dict[str, KernelReport], path: str | Path) -> None:
-    """Serialize suite reports to JSON."""
-    payload = {name: asdict(report) for name, report in reports.items()}
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
 
 
 def load_reports(path: str | Path) -> dict[str, KernelReport]:
-    """Load reports saved by :func:`save_reports`."""
+    """Load reports saved by :func:`save_reports`.
+
+    Checks ``schema_version`` (rejecting files from a newer schema),
+    ignores unknown per-report fields, and still reads the legacy
+    unversioned ``{kernel: fields}`` layout.
+    """
     payload = json.loads(Path(path).read_text())
-    return {name: KernelReport(**fields) for name, fields in payload.items()}
+    if "schema_version" in payload:
+        version = payload["schema_version"]
+        if not isinstance(version, int) or version > SCHEMA_VERSION:
+            raise KernelError(
+                f"unsupported report schema {version!r} (this build reads "
+                f"<= {SCHEMA_VERSION})"
+            )
+        records = payload.get("reports", {})
+    else:  # legacy schema 1: a bare name -> fields mapping
+        records = payload
+    return {
+        name: KernelReport.from_dict(record) for name, record in records.items()
+    }

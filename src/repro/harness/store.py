@@ -1,0 +1,113 @@
+"""The cached result store — the harness engine's third layer.
+
+Reports are cached on disk keyed by a content digest of everything that
+determines a job's outcome: kernel name, the (order-normalized) study
+set, scale, seed, the cache-hierarchy configuration, and the package
+version.  ``run_suite(..., reuse=True)`` serves cache hits, so the 14
+benchmark figures stop re-characterizing the same kernels once per
+figure, and a repeated run at identical parameters executes nothing.
+
+Layout (under ``benchmarks/results/cache/`` by default, overridable via
+the ``REPRO_CACHE_DIR`` environment variable or the ``root`` argument)::
+
+    benchmarks/results/cache/
+        <16-hex-digest>.json    # {"schema_version", "job", "report"}
+
+Failed reports (``report.error`` set) are never cached: a crash or
+timeout should re-execute on the next run, not stick.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import repro
+from repro.harness.runner import SCHEMA_VERSION, KernelReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.harness.executor import Job
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``<repo>/benchmarks/results/cache``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    # store.py -> harness -> repro -> src -> repository root
+    return Path(__file__).parents[3] / "benchmarks" / "results" / "cache"
+
+
+def job_key(job: "Job") -> dict:
+    """The canonical key payload a job is cached under."""
+    return {
+        "kernel": job.kernel,
+        "studies": sorted(set(job.studies)),
+        "scale": job.scale,
+        "seed": job.seed,
+        "cache_config": asdict(job.cache_config),
+        "package_version": repro.__version__,
+    }
+
+
+def job_digest(job: "Job") -> str:
+    """Content digest (hex) identifying a job's cached report."""
+    canonical = json.dumps(job_key(job), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+class ResultStore:
+    """Content-addressed on-disk cache of :class:`KernelReport`\\ s."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path(self, job: "Job") -> Path:
+        return self.root / f"{job_digest(job)}.json"
+
+    def load(self, job: "Job") -> KernelReport | None:
+        """The cached report for *job*, or ``None`` on any miss
+        (absent, unreadable, or written by an incompatible schema)."""
+        path = self.path(job)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema_version") != SCHEMA_VERSION:
+            return None
+        record = payload.get("report")
+        if not isinstance(record, dict) or "kernel" not in record:
+            return None
+        report = KernelReport.from_dict(record)
+        if report.error is not None:
+            return None
+        return report
+
+    def save(self, job: "Job", report: KernelReport) -> Path | None:
+        """Cache *report* under *job*'s digest (no-op for failures)."""
+        if report.error is not None:
+            return None
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(job)
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "job": job_key(job),
+            "report": asdict(report),
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        return path
+
+    def clear(self) -> int:
+        """Delete every cached report; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for entry in self.root.glob("*.json"):
+                entry.unlink()
+                removed += 1
+        return removed

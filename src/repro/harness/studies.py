@@ -1,0 +1,188 @@
+"""The study plugin layer of the harness engine.
+
+The paper characterizes every kernel under a fixed set of *studies*
+(timing, top-down, cache, instruction mix, validation, GPU utilization).
+Here each study is a :class:`Study` subclass in ``STUDY_REGISTRY`` —
+mirroring ``KERNEL_REGISTRY`` — so the engine in
+:mod:`repro.harness.runner` never switches on study names: it executes
+the kernel (traced if any requested study needs the event stream) and
+hands each study the shared ``(kernel, result, summary, report)`` to
+fill in its slice of the :class:`~repro.harness.runner.KernelReport`.
+
+Adding a study is one registered subclass:
+
+>>> from repro.harness.studies import Study, register_study
+>>> @register_study
+... class RateStudy(Study):
+...     name = "rate"
+...     def collect(self, kernel, result, summary, report):
+...         report.work["inputs_per_second"] = result.rate()
+
+Studies sharing a traced execution share *one* kernel run: requesting
+``("timing", "topdown", "cache")`` executes the kernel once under a
+:class:`~repro.uarch.machine.TraceMachine` instead of the old harness's
+separate timing and characterization runs.  Wall-clock measured under a
+trace therefore includes instrumentation overhead; run ``timing`` alone
+when clean wall times matter (the benches do).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import KernelError
+from repro.uarch.topdown import analyze
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.harness.runner import KernelReport
+    from repro.kernels.base import Kernel, KernelResult
+    from repro.uarch.machine import MachineSummary
+
+
+class Study:
+    """One characterization study; subclasses register via
+    :func:`register_study`.
+
+    Class attributes declare what the engine must provide:
+
+    * ``requires_run`` — the kernel must be executed (``validate`` is the
+      one study that only needs the kernel object);
+    * ``requires_trace`` — the execution must run under a
+      :class:`~repro.uarch.machine.TraceMachine` so ``summary`` is
+      available.
+    """
+
+    name: str = ""
+    requires_run: bool = True
+    requires_trace: bool = False
+
+    def collect(
+        self,
+        kernel: "Kernel",
+        result: "KernelResult | None",
+        summary: "MachineSummary | None",
+        report: "KernelReport",
+    ) -> None:
+        """Fill this study's fields of *report*.
+
+        *result* is ``None`` unless some requested study set
+        ``requires_run``; *summary* is ``None`` unless some requested
+        study set ``requires_trace``.
+        """
+        raise NotImplementedError
+
+
+#: name -> factory () -> Study, in registration order (display order).
+STUDY_REGISTRY: dict[str, Callable[[], Study]] = {}
+
+
+def register_study(cls: type[Study]) -> type[Study]:
+    """Class decorator adding a study to the registry."""
+    if not cls.name:
+        raise KernelError(f"{cls.__name__} has no study name")
+    if cls.name in STUDY_REGISTRY:
+        raise KernelError(f"duplicate study name {cls.name!r}")
+    STUDY_REGISTRY[cls.name] = cls
+    return cls
+
+
+def create_study(name: str) -> Study:
+    """Instantiate a registered study by name."""
+    try:
+        factory = STUDY_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(STUDY_REGISTRY)
+        raise KernelError(f"unknown study {name!r}; known: {known}") from None
+    return factory()
+
+
+def study_names() -> tuple[str, ...]:
+    """All registered study names, in registration order."""
+    return tuple(STUDY_REGISTRY)
+
+
+@register_study
+class TimingStudy(Study):
+    """Wall-clock timing (Table 4); work counters come with every run."""
+
+    name = "timing"
+
+    def collect(self, kernel, result, summary, report):
+        report.wall_seconds = result.wall_seconds
+
+
+@register_study
+class TopdownStudy(Study):
+    """Figure 6 top-down slot attribution + Table 6 IPC."""
+
+    name = "topdown"
+    requires_trace = True
+
+    def collect(self, kernel, result, summary, report):
+        if summary.instructions:
+            topdown = analyze(summary)
+            report.topdown = topdown.as_dict()
+            report.ipc = topdown.ipc
+
+
+@register_study
+class CacheStudy(Study):
+    """Figure 7 exclusive misses per kilo-instruction."""
+
+    name = "cache"
+    requires_trace = True
+
+    def collect(self, kernel, result, summary, report):
+        if summary.instructions:
+            report.mpki = summary.mpki()
+
+
+@register_study
+class InstMixStudy(Study):
+    """Figure 8 hierarchical instruction-class fractions."""
+
+    name = "instmix"
+    requires_trace = True
+
+    def collect(self, kernel, result, summary, report):
+        if summary.instructions:
+            report.instruction_mix = summary.instruction_mix()
+
+
+@register_study
+class ValidateStudy(Study):
+    """The kernel's oracle self-check; raises on failure."""
+
+    name = "validate"
+    requires_run = False
+
+    def collect(self, kernel, result, summary, report):
+        kernel.validate()
+        report.validated = True
+
+
+#: Work-counter keys the SIMT simulator emits (Table 7 / Figure 9
+#: metrics); kernels running on :mod:`repro.gpu` report these in
+#: ``KernelResult.work``.
+GPU_METRIC_KEYS = (
+    "gpu_time_ms",
+    "theoretical_occupancy",
+    "achieved_occupancy",
+    "warp_utilization",
+    "memory_bw_utilization",
+    "single_lane_extend_fraction",
+)
+
+
+@register_study
+class GpuStudy(Study):
+    """Table 7 GPU utilization: surface the SIMT counters the old runner
+    ignored (GPU kernels emit no CPU events, so the trace studies skip
+    them; their profile lives in the work counters)."""
+
+    name = "gpu"
+
+    def collect(self, kernel, result, summary, report):
+        report.gpu = {
+            key: result.work[key] for key in GPU_METRIC_KEYS if key in result.work
+        }

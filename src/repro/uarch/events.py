@@ -69,12 +69,29 @@ class MachineProbe:
         """A loop-back branch taken *taken_count* times then not taken.
 
         Equivalent to ``taken_count`` taken outcomes plus one not-taken,
-        but cheap to record (predictors learn the taken direction after
-        a couple of iterations, so only the boundary events matter).
+        but cheap to record: only the boundary outcomes are *simulated*
+        (predictors learn the taken direction after a couple of
+        iterations), while the bulk of the run is credited through
+        :meth:`branch_bulk` so counting probes see every branch — long
+        loops must not under-report the instruction-mix and MPKI
+        denominators (paper Figure 8 / Figure 7).
         """
-        for _ in range(min(taken_count, 3)):
+        trained = min(taken_count, 3)
+        for _ in range(trained):
             self.branch(site, True)
+        remaining = taken_count - trained
+        if remaining > 0:
+            self.branch_bulk(site, remaining)
         self.branch(site, False)
+
+    def branch_bulk(self, site: int, taken_count: int) -> None:
+        """*taken_count* additional taken outcomes of a saturated branch.
+
+        Called by :meth:`branch_run` for the iterations past the
+        predictor's warm-up.  Counting probes must credit all of them
+        (as correctly-predicted taken branches) without simulating each
+        outcome; the no-op default keeps pure timing runs free.
+        """
 
     def touch_region(self, address: int, size: int, stride: int = 64) -> None:
         """Sequential loads over [address, address+size) at *stride*."""

@@ -128,18 +128,14 @@ class TraceMachine(MachineProbe):
         self.op_counts[OpClass.BRANCH] += 1
         self.predictor.predict_and_update(site, taken)
 
-    def branch_run(self, site: int, taken_count: int) -> None:
-        """Loop-back branch: train on the first iterations, batch the rest
-        (a saturated predictor gets the remaining taken outcomes right)."""
-        trained = min(taken_count, 3)
-        for _ in range(trained):
-            self.branch(site, True)
-        remaining = taken_count - trained
-        if remaining > 0:
-            self.op_counts[OpClass.BRANCH] += remaining
-            self.predictor.stats.branches += remaining
-            self.predictor.stats.taken += remaining
-        self.branch(site, False)
+    def branch_bulk(self, site: int, taken_count: int) -> None:
+        """Credit the saturated iterations of a loop-back branch run: a
+        trained predictor gets the remaining taken outcomes right, so
+        they count as correctly-predicted branches without per-outcome
+        simulation."""
+        self.op_counts[OpClass.BRANCH] += taken_count
+        self.predictor.stats.branches += taken_count
+        self.predictor.stats.taken += taken_count
 
     def summary(self) -> MachineSummary:
         return MachineSummary(

@@ -24,7 +24,8 @@ class TestCli:
         out = capsys.readouterr().out
         assert "gbwt" in out
         payload = json.loads(path.read_text())
-        assert payload["gbwt"]["inputs_processed"] > 0
+        assert payload["schema_version"] >= 2
+        assert payload["reports"]["gbwt"]["inputs_processed"] > 0
 
     def test_run_topdown(self, capsys):
         assert main([
@@ -33,6 +34,44 @@ class TestCli:
         ]) == 0
         assert "IPC" in capsys.readouterr().out
 
+    def test_run_machine_a(self, capsys, tmp_path):
+        path = tmp_path / "r.json"
+        assert main([
+            "run", "--kernels", "gbwt", "--studies", "cache",
+            "--scale", "0.25", "--machine", "A", "--out", str(path),
+        ]) == 0
+        assert "machine=A" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert payload["reports"]["gbwt"]["machine"] == "machine_a"
+
+    def test_run_parallel_jobs(self, capsys):
+        assert main([
+            "run", "--kernels", "gbwt", "tsu", "--studies", "timing,gpu",
+            "--scale", "0.25", "--jobs", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "gbwt" in out and "tsu" in out
+
+    def test_run_reuse_hits_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        argv = ["run", "--kernels", "gbwt", "--studies", "timing",
+                "--scale", "0.25", "--reuse"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        # The cached report is served verbatim: identical wall seconds.
+        assert second == first
+        assert list((tmp_path / "cache").glob("*.json"))
+
+    def test_failing_kernel_exits_nonzero(self, capsys, fake_kernels):
+        code = main(["run", "--kernels", "fake-crash", "fake-ok",
+                     "--studies", "timing"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "RuntimeError: boom" in captured.out
+        assert "fake-crash" in captured.err
+
     def test_validate(self, capsys):
         assert main(["validate", "--kernels", "gbwt", "--scale", "0.25"]) == 0
         assert "ok" in capsys.readouterr().out
@@ -40,3 +79,7 @@ class TestCli:
     def test_bad_study_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--studies", "vtune"])
+
+    def test_gpu_is_a_known_study(self):
+        args = build_parser().parse_args(["run", "tsu", "--studies", "gpu"])
+        assert args.studies[-1] == ["gpu"]

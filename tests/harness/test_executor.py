@@ -1,0 +1,127 @@
+"""The execution layer: plans, parallel dispatch, isolation, reuse."""
+
+import time
+
+import pytest
+from fakes import CrashKernel, OkKernel
+
+from repro.errors import KernelError
+from repro.harness.executor import Job, compile_plan, execute_plan
+from repro.harness.runner import run_suite
+from repro.harness.store import ResultStore
+from repro.uarch.cache import MACHINE_A, MACHINE_B
+
+
+class TestPlanCompilation:
+    def test_one_job_per_kernel(self):
+        plan = compile_plan(("gbwt", "tsu"), studies=("timing",), scale=0.25)
+        assert len(plan) == 2
+        assert [job.kernel for job in plan.jobs] == ["gbwt", "tsu"]
+        assert plan.jobs[0].studies == ("timing",)
+        assert plan.jobs[0].cache_config is MACHINE_B
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KernelError):
+            compile_plan(("no-such-kernel",))
+
+    def test_unknown_study_rejected(self):
+        with pytest.raises(KernelError):
+            compile_plan(("gbwt",), studies=("vtune",))
+
+    def test_jobs_are_picklable_values(self):
+        import pickle
+
+        job = Job(kernel="gbwt", studies=("timing",), cache_config=MACHINE_A)
+        assert pickle.loads(pickle.dumps(job)) == job
+
+
+class TestFailureIsolation:
+    def test_serial_crash_is_isolated(self, fake_kernels):
+        reports = run_suite(("fake-crash", "fake-ok"), jobs=1)
+        assert set(reports) == {"fake-crash", "fake-ok"}
+        assert reports["fake-crash"].error == "RuntimeError: boom"
+        assert not reports["fake-crash"].ok
+        assert reports["fake-ok"].ok
+        assert reports["fake-ok"].inputs_processed == 3
+
+    def test_parallel_crash_is_isolated(self, fake_kernels):
+        reports = run_suite(("fake-crash", "fake-ok"), jobs=2)
+        assert set(reports) == {"fake-crash", "fake-ok"}
+        assert "RuntimeError: boom" in reports["fake-crash"].error
+        assert reports["fake-ok"].ok
+        assert reports["fake-ok"].inputs_processed == 3
+
+    def test_dead_worker_is_isolated(self, fake_kernels):
+        reports = run_suite(("fake-die", "fake-ok"), jobs=2)
+        assert "WorkerDied" in reports["fake-die"].error
+        assert reports["fake-ok"].ok
+
+    def test_timeout_terminates_hung_kernel(self, fake_kernels):
+        start = time.monotonic()
+        reports = run_suite(("fake-hang", "fake-ok"), jobs=2, timeout=1.0)
+        elapsed = time.monotonic() - start
+        assert "Timeout" in reports["fake-hang"].error
+        assert reports["fake-ok"].ok
+        assert elapsed < 30  # the 300 s sleep was terminated
+
+    def test_failure_report_carries_metadata(self, fake_kernels):
+        reports = run_suite(
+            ("fake-crash",), scale=0.5, seed=7, cache_config=MACHINE_A
+        )
+        report = reports["fake-crash"]
+        assert (report.scale, report.seed, report.machine) == (
+            0.5, 7, "machine_a",
+        )
+
+
+class TestParallelDispatch:
+    def test_matches_serial_results(self, fake_kernels):
+        serial = run_suite(("fake-ok",), studies=("instmix",), jobs=1)
+        parallel = run_suite(("fake-ok",), studies=("instmix",), jobs=2)
+        assert parallel["fake-ok"].instruction_mix == (
+            serial["fake-ok"].instruction_mix
+        )
+        assert parallel["fake-ok"].instructions == serial["fake-ok"].instructions
+
+    def test_real_kernel_over_the_pool(self):
+        reports = run_suite(("gbwt",), studies=("timing",), scale=0.25, jobs=2)
+        assert reports["gbwt"].ok
+        assert reports["gbwt"].inputs_processed > 0
+
+    def test_bad_job_count_rejected(self):
+        plan = compile_plan(("gbwt",))
+        with pytest.raises(KernelError):
+            execute_plan(plan, jobs=0)
+
+
+class TestReuse:
+    def test_second_run_executes_no_kernel(self, fake_kernels, tmp_path):
+        store = ResultStore(tmp_path)
+        first = run_suite(("fake-ok",), studies=("timing",), reuse=True,
+                          store=store)
+        assert OkKernel.executions == 1
+        second = run_suite(("fake-ok",), studies=("timing",), reuse=True,
+                           store=store)
+        assert OkKernel.executions == 1  # cache hit: zero executions
+        assert second["fake-ok"] == first["fake-ok"]
+
+    def test_different_parameters_miss(self, fake_kernels, tmp_path):
+        store = ResultStore(tmp_path)
+        run_suite(("fake-ok",), studies=("timing",), seed=0, reuse=True,
+                  store=store)
+        run_suite(("fake-ok",), studies=("timing",), seed=1, reuse=True,
+                  store=store)
+        assert OkKernel.executions == 2
+
+    def test_failures_are_not_cached(self, fake_kernels, tmp_path):
+        store = ResultStore(tmp_path)
+        run_suite(("fake-crash",), reuse=True, store=store)
+        assert CrashKernel.executions == 1
+        run_suite(("fake-crash",), reuse=True, store=store)
+        assert CrashKernel.executions == 2  # re-executed, not served
+
+    def test_reuse_off_always_executes(self, fake_kernels, tmp_path):
+        store = ResultStore(tmp_path)
+        run_suite(("fake-ok",), reuse=True, store=store)
+        run_suite(("fake-ok",), reuse=False, store=store)
+        assert OkKernel.executions == 2

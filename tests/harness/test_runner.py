@@ -1,9 +1,13 @@
-"""Suite runner: studies, serialization."""
+"""Suite runner: studies, serialization, schema compatibility."""
+
+import json
 
 import pytest
 
 from repro.errors import KernelError
 from repro.harness.runner import (
+    SCHEMA_VERSION,
+    KernelReport,
     load_reports,
     run_kernel_studies,
     run_suite,
@@ -36,6 +40,14 @@ class TestStudies:
         with pytest.raises(KernelError):
             run_kernel_studies("gbwt", studies=("vtune",))
 
+    def test_run_metadata_recorded(self):
+        report = run_kernel_studies("gbwt", studies=("timing",), scale=0.25,
+                                    seed=3)
+        assert report.scale == 0.25
+        assert report.seed == 3
+        assert report.machine == "machine_b"
+        assert report.ok
+
 
 class TestSuiteAndSerialization:
     def test_run_subset(self):
@@ -49,3 +61,40 @@ class TestSuiteAndSerialization:
         loaded = load_reports(path)
         assert loaded["gbwt"].inputs_processed == reports["gbwt"].inputs_processed
         assert loaded["gbwt"].work == reports["gbwt"].work
+        assert loaded["gbwt"] == reports["gbwt"]
+
+    def test_saved_payload_is_versioned_with_metadata(self, tmp_path):
+        path = tmp_path / "reports.json"
+        save_reports({"gbwt": KernelReport(kernel="gbwt")}, path)
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert "package_version" in payload["metadata"]
+        assert "git_sha" in payload["metadata"]
+        assert "gbwt" in payload["reports"]
+
+    def test_load_ignores_unknown_report_fields(self, tmp_path):
+        path = tmp_path / "reports.json"
+        save_reports({"gbwt": KernelReport(kernel="gbwt", ipc=2.0)}, path)
+        payload = json.loads(path.read_text())
+        payload["reports"]["gbwt"]["metric_from_the_future"] = [1, 2, 3]
+        path.write_text(json.dumps(payload))
+        loaded = load_reports(path)
+        assert loaded["gbwt"].ipc == 2.0
+
+    def test_load_rejects_future_schema(self, tmp_path):
+        path = tmp_path / "reports.json"
+        path.write_text(json.dumps({
+            "schema_version": SCHEMA_VERSION + 10, "reports": {},
+        }))
+        with pytest.raises(KernelError):
+            load_reports(path)
+
+    def test_load_reads_legacy_unversioned_layout(self, tmp_path):
+        """Schema-1 files (a bare name -> fields mapping) still load."""
+        path = tmp_path / "reports.json"
+        path.write_text(json.dumps({
+            "gbwt": {"kernel": "gbwt", "wall_seconds": 1.0,
+                     "inputs_processed": 9},
+        }))
+        loaded = load_reports(path)
+        assert loaded["gbwt"].inputs_processed == 9

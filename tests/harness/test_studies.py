@@ -1,0 +1,98 @@
+"""The study plugin layer: registry, hooks, shared executions."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.harness.runner import run_kernel_studies
+from repro.harness.studies import (
+    GPU_METRIC_KEYS,
+    STUDY_REGISTRY,
+    Study,
+    create_study,
+    register_study,
+    study_names,
+)
+
+from fakes import OkKernel
+
+
+class TestRegistry:
+    def test_builtin_studies_registered(self):
+        assert set(study_names()) >= {
+            "timing", "topdown", "cache", "instmix", "validate", "gpu",
+        }
+
+    def test_display_order_starts_with_timing(self):
+        assert study_names()[0] == "timing"
+
+    def test_unknown_study_rejected(self):
+        with pytest.raises(KernelError):
+            create_study("vtune")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(KernelError):
+            @register_study
+            class Duplicate(Study):
+                name = "timing"
+
+    def test_unnamed_study_rejected(self):
+        with pytest.raises(KernelError):
+            @register_study
+            class Nameless(Study):
+                pass
+
+
+class TestPluggability:
+    def test_custom_study_needs_only_registration(self, fake_kernels):
+        """Adding a study = registering a subclass; no engine edits."""
+
+        @register_study
+        class RateStudy(Study):
+            name = "rate-test"
+
+            def collect(self, kernel, result, summary, report):
+                report.work["inputs_per_second"] = result.rate()
+
+        try:
+            report = run_kernel_studies("fake-ok", studies=("rate-test",))
+            assert "inputs_per_second" in report.work
+        finally:
+            STUDY_REGISTRY.pop("rate-test", None)
+
+
+class TestSharedExecution:
+    def test_trace_and_timing_share_one_run(self, fake_kernels):
+        report = run_kernel_studies(
+            "fake-ok", studies=("timing", "topdown", "cache", "instmix")
+        )
+        assert OkKernel.executions == 1
+        assert report.wall_seconds > 0
+        assert report.topdown and report.mpki and report.instruction_mix
+        assert report.instructions > 0
+
+    def test_validate_only_never_executes(self, fake_kernels):
+        report = run_kernel_studies("fake-ok", studies=("validate",))
+        assert OkKernel.executions == 0
+        assert report.validated
+        assert report.inputs_processed == 0
+
+    def test_bulk_branches_in_instruction_counts(self, fake_kernels):
+        """branch_run's saturated iterations reach the instmix/MPKI
+        denominators (the old probe default dropped them)."""
+        report = run_kernel_studies("fake-ok", studies=("instmix",))
+        # 40 alu + 1 load + (10 taken + 1 exit) branches = 52
+        assert report.instructions == 52
+        assert report.instruction_mix["branch"] == pytest.approx(11 / 52)
+
+
+class TestGpuStudy:
+    def test_surfaces_simt_counters_for_tsu(self):
+        report = run_kernel_studies("tsu", studies=("gpu",), scale=0.25)
+        assert set(report.gpu) == set(GPU_METRIC_KEYS)
+        assert 0 < report.gpu["achieved_occupancy"] <= 1
+        assert 0 < report.gpu["warp_utilization"] <= 1
+        assert report.gpu["gpu_time_ms"] > 0
+
+    def test_empty_for_cpu_kernels(self, fake_kernels):
+        report = run_kernel_studies("fake-ok", studies=("gpu",))
+        assert report.gpu == {}

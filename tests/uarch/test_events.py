@@ -17,7 +17,7 @@ class TestNullProbe:
 
 
 class TestBranchRunDefault:
-    def test_default_delegates_to_branch(self):
+    def test_boundary_outcomes_delegate_to_branch(self):
         calls = []
 
         class Recorder(MachineProbe):
@@ -26,6 +26,33 @@ class TestBranchRunDefault:
 
         Recorder().branch_run(9, taken_count=10)
         assert calls == [(9, True)] * 3 + [(9, False)]
+
+    def test_bulk_credits_full_taken_count(self):
+        """Counting probes overriding branch_bulk see every iteration of
+        a long loop, not just the simulated boundary outcomes."""
+
+        class Counter(MachineProbe):
+            branches = 0
+
+            def branch(self, site, taken):
+                self.branches += 1
+
+            def branch_bulk(self, site, taken_count):
+                self.branches += taken_count
+
+        probe = Counter()
+        probe.branch_run(9, taken_count=1000)
+        assert probe.branches == 1001
+
+    def test_short_runs_emit_no_bulk(self):
+        bulk = []
+
+        class Recorder(MachineProbe):
+            def branch_bulk(self, site, taken_count):
+                bulk.append(taken_count)
+
+        Recorder().branch_run(9, taken_count=2)
+        assert bulk == []
 
 
 class TestAddressSpacePages:
