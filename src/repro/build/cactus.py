@@ -30,6 +30,7 @@ from repro.build.gfaffix import PolishStats, polish
 from repro.errors import AlignmentError, GraphError
 from repro.graph.model import SequenceGraph
 from repro.index.minimizer import GraphMinimizerIndex
+from repro.obs import trace
 from repro.sequence.records import SequenceRecord
 from repro.uarch.events import NULL_PROBE, AddressSpace, MachineProbe, OpClass
 
@@ -77,17 +78,20 @@ def build_progressive(
     space = AddressSpace()
     anchor_base = space.alloc(1 << 20)
 
-    graph, n_reference_nodes = _seed_reference(records[0], node_length)
+    with trace.span("cactus/seed"):
+        graph, n_reference_nodes = _seed_reference(records[0], node_length)
     for record in records[1:]:
-        _thread_haplotype(
-            graph, record, n_reference_nodes, node_length, stats, probe,
-            anchor_base, k=k, w=w, max_gap=max_gap,
-            divergence_threshold=divergence_threshold,
-            diagonal_band=diagonal_band,
-        )
+        with trace.span("cactus/thread", {"record": record.name}):
+            _thread_haplotype(
+                graph, record, n_reference_nodes, node_length, stats, probe,
+                anchor_base, k=k, w=w, max_gap=max_gap,
+                divergence_threshold=divergence_threshold,
+                diagonal_band=diagonal_band,
+            )
     polish_stats: PolishStats | None = None
     if run_polish:
-        graph, polish_stats = polish(graph, probe=probe)
+        with trace.span("cactus/polish"):
+            graph, polish_stats = polish(graph, probe=probe)
     return ProgressiveBuild(graph=graph, stats=stats, polish_stats=polish_stats)
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.graph.model import SequenceGraph
+from repro.obs import trace
 from repro.uarch.events import NULL_PROBE, AddressSpace, MachineProbe, OpClass
 
 
@@ -53,8 +54,14 @@ def polish(
     signature_base = space.alloc(32 * max(1, len(state.sequence)))
     for _ in range(max_rounds):
         stats.rounds += 1
-        changed = _merge_identical_siblings(state, stats, probe, signature_base)
-        changed |= _collapse_shared_prefixes(state, stats, probe, signature_base)
+        with trace.span("gfaffix/siblings"):
+            changed = _merge_identical_siblings(
+                state, stats, probe, signature_base
+            )
+        with trace.span("gfaffix/prefixes"):
+            changed |= _collapse_shared_prefixes(
+                state, stats, probe, signature_base
+            )
         if not changed:
             break
     return state.build(), stats

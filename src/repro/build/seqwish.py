@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import GraphError
 from repro.graph.model import SequenceGraph
+from repro.obs import trace
 from repro.sequence.records import SequenceRecord
 from repro.uarch.events import NULL_PROBE, AddressSpace, MachineProbe, OpClass
 
@@ -155,29 +156,31 @@ def transclose(
     """
     if not records:
         raise GraphError("transclose needs at least one record")
-    offsets: dict[str, int] = {}
-    total = 0
-    for record in records:
-        if record.name in offsets:
-            raise GraphError(f"duplicate record name {record.name!r}")
-        offsets[record.name] = total
-        total += len(record.sequence)
-    text = "".join(record.sequence for record in records)
+    with trace.span("seqwish/intervals"):
+        offsets: dict[str, int] = {}
+        total = 0
+        for record in records:
+            if record.name in offsets:
+                raise GraphError(f"duplicate record name {record.name!r}")
+            offsets[record.name] = total
+            total += len(record.sequence)
+        text = "".join(record.sequence for record in records)
 
-    stats = TranscloseStats(positions=total, matches=len(matches))
-    space = AddressSpace()
-    intervals: list[tuple[int, int, int]] = []
-    for match in matches:
-        if match.length <= 0:
-            continue
-        q = offsets[match.query_name] + match.query_start
-        t = offsets[match.target_name] + match.target_start
-        if q + match.length > total or t + match.length > total:
-            raise GraphError("match segment out of range")
-        # Both orientations of the pairing, so chases are symmetric.
-        intervals.append((q, q + match.length, t))
-        intervals.append((t, t + match.length, q))
-    tree = ImplicitIntervalTree(intervals, space)
+        stats = TranscloseStats(positions=total, matches=len(matches))
+        space = AddressSpace()
+        intervals: list[tuple[int, int, int]] = []
+        for match in matches:
+            if match.length <= 0:
+                continue
+            q = offsets[match.query_name] + match.query_start
+            t = offsets[match.target_name] + match.target_start
+            if q + match.length > total or t + match.length > total:
+                raise GraphError("match segment out of range")
+            # Both orientations of the pairing, so chases are symmetric.
+            intervals.append((q, q + match.length, t))
+            intervals.append((t, t + match.length, q))
+    with trace.span("seqwish/tree"):
+        tree = ImplicitIntervalTree(intervals, space)
     bitvector_base = space.alloc(total // 8 + 1)
     closure_base_addr = space.alloc(4 * total)
 
@@ -188,51 +191,52 @@ def transclose(
     # time, the way seqwish's sdsl bitvector is actually consumed: one
     # load and a tzcnt-style scan per word, with a single skip branch
     # when every bit in the word is already set.
-    for word_start in range(0, total, 64):
-        word_end = min(word_start + 64, total)
-        stats.bitvector_reads += word_end - word_start
-        probe.load(bitvector_base + word_start // 8, 8)
-        probe.alu(OpClass.SCALAR_ALU, 2)
-        probe.branch(
-            site=1202,
-            taken=all(seen[word_start:word_end]),
-        )
-        for position in range(word_start, word_end):
-            if seen[position]:
-                continue
-            # tzcnt + clearing the found bit + global offset math.
+    with trace.span("seqwish/closure"):
+        for word_start in range(0, total, 64):
+            word_end = min(word_start + 64, total)
+            stats.bitvector_reads += word_end - word_start
+            probe.load(bitvector_base + word_start // 8, 8)
             probe.alu(OpClass.SCALAR_ALU, 2)
-            closure_id = len(closure_base)
-            base = text[position]
-            seen[position] = 1
-            probe.store(bitvector_base + position // 8, 1)
-            stack = [position]
-            while stack:
-                current = stack.pop()
-                closure_of[current] = closure_id
+            probe.branch(
+                site=1202,
+                taken=all(seen[word_start:word_end]),
+            )
+            for position in range(word_start, word_end):
+                if seen[position]:
+                    continue
+                # tzcnt + clearing the found bit + global offset math.
                 probe.alu(OpClass.SCALAR_ALU, 2)
-                probe.store(closure_base_addr + 4 * current, 4)
-                if text[current] != base:
-                    raise GraphError(
-                        "non-exact match: closure would merge "
-                        f"{base!r} with {text[current]!r}"
-                    )
-                for start, _end, other in tree.stab(current, probe, stats):
-                    partner = other + (current - start)
-                    stats.bitvector_reads += 1
-                    stats.unions += 1
-                    probe.load(bitvector_base + partner // 8, 1)
-                    # Branchless union step: bit test, unconditional
-                    # OR-write of the mark, and a conditionally-moved
-                    # stack cursor bump — no mispredictable branch on
-                    # the seen bit (it flips exactly once per
-                    # position, the worst case for a predictor).
-                    probe.alu(OpClass.SCALAR_ALU, 6)
-                    if not seen[partner]:
-                        seen[partner] = 1
-                        probe.store(bitvector_base + partner // 8, 1)
-                        stack.append(partner)
-            closure_base.append(base)
+                closure_id = len(closure_base)
+                base = text[position]
+                seen[position] = 1
+                probe.store(bitvector_base + position // 8, 1)
+                stack = [position]
+                while stack:
+                    current = stack.pop()
+                    closure_of[current] = closure_id
+                    probe.alu(OpClass.SCALAR_ALU, 2)
+                    probe.store(closure_base_addr + 4 * current, 4)
+                    if text[current] != base:
+                        raise GraphError(
+                            "non-exact match: closure would merge "
+                            f"{base!r} with {text[current]!r}"
+                        )
+                    for start, _end, other in tree.stab(current, probe, stats):
+                        partner = other + (current - start)
+                        stats.bitvector_reads += 1
+                        stats.unions += 1
+                        probe.load(bitvector_base + partner // 8, 1)
+                        # Branchless union step: bit test, unconditional
+                        # OR-write of the mark, and a conditionally-moved
+                        # stack cursor bump — no mispredictable branch on
+                        # the seen bit (it flips exactly once per
+                        # position, the worst case for a predictor).
+                        probe.alu(OpClass.SCALAR_ALU, 6)
+                        if not seen[partner]:
+                            seen[partner] = 1
+                            probe.store(bitvector_base + partner // 8, 1)
+                            stack.append(partner)
+                closure_base.append(base)
     stats.closures = len(closure_base)
     return TranscloseResult(
         offsets=offsets,
@@ -267,6 +271,17 @@ def induce_graph(
     so every path enters a node at its first base and leaves at its last.
     """
     closure = transclose(records, matches, probe=probe)
+    with trace.span("seqwish/induce"):
+        graph = _induce_from_closure(records, closure, probe)
+    return InduceResult(graph=graph, closure=closure)
+
+
+def _induce_from_closure(
+    records: list[SequenceRecord],
+    closure: TranscloseResult,
+    probe: MachineProbe,
+) -> SequenceGraph:
+    """Compact *closure* into a sequence graph (see :func:`induce_graph`)."""
     closure_of = closure.closure_of
     closure_base = closure.closure_base
     n_closures = len(closure_base)
@@ -349,4 +364,4 @@ def induce_graph(
             steps.append(chain_id)
             position += len(chains[chain_id]) - chain_index[walk[position]]
         graph.add_path(record.name, steps)
-    return InduceResult(graph=graph, closure=closure)
+    return graph

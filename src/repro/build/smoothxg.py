@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.align.poa import PoaGraph
 from repro.errors import GraphError
 from repro.graph.model import SequenceGraph
+from repro.obs import trace
 from repro.uarch.events import NULL_PROBE, AddressSpace, MachineProbe, OpClass
 
 
@@ -67,63 +68,67 @@ def smooth(
     bucket_base = space.alloc(8 * max(1, graph.node_count))
 
     # Bucket each node by the smallest path offset reaching it.
-    min_offset: dict[int, int] = {}
-    for path in graph.paths():
-        offset = 0
-        for node_id in path.nodes:
-            probe.load(bucket_base + 8 * (node_id % 4096), 8)
-            probe.alu(OpClass.SCALAR_ALU, 2)
-            if node_id not in min_offset or offset < min_offset[node_id]:
-                min_offset[node_id] = offset
-                probe.store(bucket_base + 8 * (node_id % 4096), 8)
-            offset += len(graph.node(node_id))
-    bucket_of = {
-        node_id: offset // block_length for node_id, offset in min_offset.items()
-    }
+    with trace.span("smoothxg/bucket"):
+        min_offset: dict[int, int] = {}
+        for path in graph.paths():
+            offset = 0
+            for node_id in path.nodes:
+                probe.load(bucket_base + 8 * (node_id % 4096), 8)
+                probe.alu(OpClass.SCALAR_ALU, 2)
+                if node_id not in min_offset or offset < min_offset[node_id]:
+                    min_offset[node_id] = offset
+                    probe.store(bucket_base + 8 * (node_id % 4096), 8)
+                offset += len(graph.node(node_id))
+        bucket_of = {
+            node_id: offset // block_length
+            for node_id, offset in min_offset.items()
+        }
 
     # Cut each path where its steps change bucket; collect fragments.
-    block_nodes: dict[int, set[int]] = {}
-    block_fragments: dict[int, list[str]] = {}
-    for node_id, bucket in bucket_of.items():
-        block_nodes.setdefault(bucket, set()).add(node_id)
-    for path in graph.paths():
-        fragment: list[str] = []
-        fragment_bucket: int | None = None
-        for node_id in path.nodes:
-            bucket = bucket_of[node_id]
-            probe.branch(site=1401, taken=bucket != fragment_bucket)
-            if bucket != fragment_bucket and fragment:
+    with trace.span("smoothxg/cut"):
+        block_nodes: dict[int, set[int]] = {}
+        block_fragments: dict[int, list[str]] = {}
+        for node_id, bucket in bucket_of.items():
+            block_nodes.setdefault(bucket, set()).add(node_id)
+        for path in graph.paths():
+            fragment: list[str] = []
+            fragment_bucket: int | None = None
+            for node_id in path.nodes:
+                bucket = bucket_of[node_id]
+                probe.branch(site=1401, taken=bucket != fragment_bucket)
+                if bucket != fragment_bucket and fragment:
+                    block_fragments.setdefault(fragment_bucket, []).append(
+                        "".join(fragment)
+                    )
+                    fragment = []
+                fragment_bucket = bucket
+                fragment.append(graph.node(node_id).sequence)
+            if fragment:
                 block_fragments.setdefault(fragment_bucket, []).append(
                     "".join(fragment)
                 )
-                fragment = []
-            fragment_bucket = bucket
-            fragment.append(graph.node(node_id).sequence)
-        if fragment:
-            block_fragments.setdefault(fragment_bucket, []).append(
-                "".join(fragment)
-            )
 
     stats = SmoothStats()
     blocks: list[SmoothBlock] = []
-    for bucket in sorted(block_nodes):
-        fragments = block_fragments.get(bucket, [])
-        if not fragments:
-            continue
-        poa = PoaGraph(probe=probe)
-        for fragment in fragments:
-            poa.add_sequence(fragment, band=band)
-        consensus = poa.consensus()
-        cells = poa.cells_computed
-        blocks.append(SmoothBlock(
-            block_id=bucket,
-            node_ids=tuple(sorted(block_nodes[bucket])),
-            sequences=tuple(fragments),
-            consensus=consensus,
-            poa_cells=cells,
-        ))
-        stats.blocks += 1
-        stats.fragments += len(fragments)
-        stats.poa_cells += cells
-        stats.consensus_bases += len(consensus)
+    with trace.span("smoothxg/poa"):
+        for bucket in sorted(block_nodes):
+            fragments = block_fragments.get(bucket, [])
+            if not fragments:
+                continue
+            poa = PoaGraph(probe=probe)
+            for fragment in fragments:
+                poa.add_sequence(fragment, band=band)
+            consensus = poa.consensus()
+            cells = poa.cells_computed
+            blocks.append(SmoothBlock(
+                block_id=bucket,
+                node_ids=tuple(sorted(block_nodes[bucket])),
+                sequences=tuple(fragments),
+                consensus=consensus,
+                poa_cells=cells,
+            ))
+            stats.blocks += 1
+            stats.fragments += len(fragments)
+            stats.poa_cells += cells
+            stats.consensus_bases += len(consensus)
     return blocks, stats

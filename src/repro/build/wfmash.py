@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from repro.align.wfa import wfa_edit_distance
 from repro.errors import AlignmentError
 from repro.index.minimizer import Minimizer, minimizers
+from repro.obs import trace
 from repro.sequence.records import SequenceRecord
 from repro.uarch.events import NULL_PROBE, AddressSpace, MachineProbe, OpClass
 
@@ -87,25 +88,27 @@ def all_to_all(
         min_match = k
     stats = WfmashStats()
     space = AddressSpace()
-    sketches = [_Sketch(record, k, w, space) for record in records]
+    with trace.span("wfmash/sketch"):
+        sketches = [_Sketch(record, k, w, space) for record in records]
     matches: list[Match] = []
-    for qi in range(len(records)):
-        for ti in range(qi + 1, len(records)):
-            stats.pairs_considered += 1
-            query, target = sketches[qi], sketches[ti]
-            jaccard = query.jaccard(target, probe)
-            probe.branch(site=1101, taken=jaccard >= min_jaccard)
-            if jaccard < min_jaccard:
-                continue
-            emitted = _map_pair(
-                query, target, probe, stats,
-                segment_length=segment_length,
-                min_match=min_match,
-                max_divergence=max_divergence,
-            )
-            if emitted:
-                stats.pairs_mapped += 1
-                matches.extend(emitted)
+    with trace.span("wfmash/map"):
+        for qi in range(len(records)):
+            for ti in range(qi + 1, len(records)):
+                stats.pairs_considered += 1
+                query, target = sketches[qi], sketches[ti]
+                jaccard = query.jaccard(target, probe)
+                probe.branch(site=1101, taken=jaccard >= min_jaccard)
+                if jaccard < min_jaccard:
+                    continue
+                emitted = _map_pair(
+                    query, target, probe, stats,
+                    segment_length=segment_length,
+                    min_match=min_match,
+                    max_divergence=max_divergence,
+                )
+                if emitted:
+                    stats.pairs_mapped += 1
+                    matches.extend(emitted)
     return matches, stats
 
 

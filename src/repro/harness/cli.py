@@ -8,6 +8,8 @@ Examples::
     python -m repro run tsu --studies gpu
     python -m repro run --kernels gssw gbwt --scale 0.5 --out reports.json
     python -m repro run --machine A --reuse
+    python -m repro run tc gcsa --trace-out suite.trace.json
+    python -m repro trace tc --trace-out tc.trace.json
     python -m repro validate
 """
 
@@ -15,12 +17,21 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext as _null_context
 from typing import Sequence
 
 from repro.analysis.report import render_table
-from repro.harness.runner import run_suite, save_reports
+from repro.harness.runner import run_kernel_studies, run_suite, save_reports
 from repro.harness.studies import study_names
 from repro.kernels import SUITE_KERNELS, create_kernel, kernel_names
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
+from repro.obs.spans import (
+    Tracer,
+    merge_records,
+    render_tree,
+    write_chrome_trace,
+)
 from repro.uarch.cache import MACHINE_A, MACHINE_B
 
 #: ``--machine`` choices (the paper's Table 5 machines).
@@ -87,6 +98,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--out", default=None,
                      help="write JSON reports to this path")
+    run.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="trace the run and write a Chrome trace-event JSON file "
+             "(open in https://ui.perfetto.dev)",
+    )
+
+    tracecmd = commands.add_parser(
+        "trace",
+        help="trace one kernel: span tree, per-phase top-down, Chrome trace",
+    )
+    tracecmd.add_argument("kernel", metavar="KERNEL", help="kernel to trace")
+    tracecmd.add_argument("--scale", type=float, default=1.0,
+                          help="dataset scale factor (default 1.0)")
+    tracecmd.add_argument("--seed", type=int, default=0, help="dataset seed")
+    tracecmd.add_argument(
+        "--machine", choices=sorted(MACHINES), default="B",
+        help="cache-hierarchy configuration (default B)",
+    )
+    tracecmd.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="also write the spans as a Chrome trace-event JSON file",
+    )
 
     validate = commands.add_parser(
         "validate", help="run every kernel's oracle self-check"
@@ -112,12 +145,23 @@ def _command_run(args: argparse.Namespace) -> int:
     if not kernels:
         kernels = list(SUITE_KERNELS)
     studies = [study for token in args.studies for study in token]
-    reports = run_suite(
-        tuple(kernels), studies=tuple(studies),
-        scale=args.scale, seed=args.seed,
-        cache_config=MACHINES[args.machine],
-        jobs=args.jobs, timeout=args.timeout, reuse=args.reuse,
-    )
+    tracer = Tracer() if args.trace_out else None
+    with trace.use(tracer) if tracer else _null_context():
+        reports = run_suite(
+            tuple(kernels), studies=tuple(studies),
+            scale=args.scale, seed=args.seed,
+            cache_config=MACHINES[args.machine],
+            jobs=args.jobs, timeout=args.timeout, reuse=args.reuse,
+        )
+    if tracer is not None:
+        # Fold in spans shipped back from worker processes (parallel
+        # runs); merge_records drops the parent's own duplicates.
+        records = merge_records(
+            tracer.records(),
+            *(report.spans for report in reports.values()),
+        )
+        write_chrome_trace(records, args.trace_out)
+        print(f"trace written to {args.trace_out}")
     rows = []
     for name, report in reports.items():
         rows.append([
@@ -148,6 +192,56 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Studies the ``trace`` command always runs: timing for wall clock and
+#: the three trace studies so the PhaseAttributor has counters to split.
+TRACE_STUDIES = ("timing", "topdown", "cache", "instmix")
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    tracer = Tracer()
+    registry = obs_metrics.MetricsRegistry()
+    with trace.use(tracer), obs_metrics.use(registry):
+        report = run_kernel_studies(
+            args.kernel,
+            studies=TRACE_STUDIES,
+            scale=args.scale,
+            seed=args.seed,
+            cache_config=MACHINES[args.machine],
+        )
+    records = tracer.records()
+    print(render_tree(
+        records,
+        title=(f"Span tree: {args.kernel} (scale={args.scale}, "
+               f"machine={args.machine})"),
+    ))
+    if report.phases:
+        rows = []
+        for name, phase in report.phases.items():
+            topdown = phase["topdown"]
+            rows.append([
+                name,
+                phase["instructions"],
+                f"{phase['ipc']:.2f}",
+                f"{topdown['retiring']:.3f}",
+                f"{topdown['frontend_bound']:.3f}",
+                f"{topdown['bad_speculation']:.3f}",
+                f"{topdown['core_bound']:.3f}",
+                f"{topdown['memory_bound']:.3f}",
+            ])
+        print()
+        print(render_table(
+            ["phase", "instructions", "IPC", "retiring", "frontend",
+             "bad spec", "core", "memory"],
+            rows,
+            title="Per-phase top-down (exclusive attribution)",
+        ))
+    if args.trace_out:
+        write_chrome_trace(records, args.trace_out)
+        print(f"\ntrace written to {args.trace_out} "
+              "(open in https://ui.perfetto.dev)")
+    return 1 if report.error else 0
+
+
 def _command_validate(args: argparse.Namespace) -> int:
     names = args.kernels or kernel_names()
     failures = 0
@@ -168,6 +262,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_list()
     if args.command == "run":
         return _command_run(args)
+    if args.command == "trace":
+        return _command_trace(args)
     if args.command == "validate":
         return _command_validate(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -12,6 +12,15 @@ raise before anything runs).  ``execute_plan`` dispatches the plan:
   deadline, or kills its worker yields a report whose ``error`` field is
   set, and the rest of the suite keeps going.
 
+The pool is observable end to end: every worker runs under its own span
+tracer and ships its spans back inside the report; each span is *also*
+spooled to disk as it finishes, so a job that times out or crashes its
+worker still yields the spans it completed.  The parent records job
+lifecycle (queue-wait and run intervals) into the current tracer and
+metrics registry, and every report — including failures, which now carry
+their elapsed wall time — gets the executor's queue-wait/wall series
+merged into ``report.metrics``.
+
 The pool is managed directly over :mod:`multiprocessing` rather than
 ``concurrent.futures.ProcessPoolExecutor``: a hung worker must be
 *terminated* on timeout (the executor API can cancel only jobs that have
@@ -21,17 +30,23 @@ stuck process).
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import multiprocessing.connection
+import tempfile
 import time
 from collections import deque
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.errors import KernelError
 from repro.harness.runner import KernelReport, run_kernel_studies
 from repro.harness.studies import create_study
 from repro.harness.store import ResultStore
 from repro.kernels.base import KERNEL_REGISTRY
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
+from repro.obs.spans import NULL_TRACER, Tracer
 from repro.uarch.cache import MACHINE_B, CacheConfig
 
 
@@ -95,7 +110,9 @@ def _failure_report(job: Job, error: str) -> KernelReport:
 
 
 def _execute_job(job: Job) -> KernelReport:
-    """Run one job, catching kernel failures into the report."""
+    """Run one job, catching kernel failures into the report (which
+    still carries the elapsed wall time up to the failure)."""
+    started = time.monotonic()
     try:
         return run_kernel_studies(
             job.kernel,
@@ -105,13 +122,62 @@ def _execute_job(job: Job) -> KernelReport:
             cache_config=job.cache_config,
         )
     except Exception as error:  # noqa: BLE001 — isolate per-kernel failures
-        return _failure_report(job, f"{type(error).__name__}: {error}")
+        report = _failure_report(job, f"{type(error).__name__}: {error}")
+        report.wall_seconds = time.monotonic() - started
+        return report
 
 
-def _job_worker(job: Job, conn) -> None:
-    """Process entry point: run the job and ship the report back."""
+def _spool_writer(path: Path):
+    """An ``on_finish`` hook appending each record as one JSON line.
+
+    Opened per record on purpose: the worker may be terminated at any
+    moment, and a line-buffered append is the crash-safe spool the
+    parent reads partial spans back from.
+    """
+
+    def on_finish(record: dict) -> None:
+        with path.open("a") as spool:
+            spool.write(json.dumps(record) + "\n")
+
+    return on_finish
+
+
+def _read_spool(path: Path) -> list[dict]:
+    """Recover span records from a worker's spool file (tolerating a
+    torn final line from a terminated worker)."""
     try:
-        conn.send(_execute_job(job))
+        text = path.read_text()
+    except OSError:
+        return []
+    records = []
+    for line in text.splitlines():
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            continue  # torn write at termination
+    return records
+
+
+def _job_worker(job: Job, conn, spool_path: str) -> None:
+    """Process entry point: run the job under its own tracer and
+    metrics registry and ship the report back.
+
+    Every finished span is also spooled to *spool_path* so the parent
+    can recover partial spans when this process is terminated (timeout)
+    or dies before reporting.
+    """
+    tracer = Tracer(on_finish=_spool_writer(Path(spool_path)))
+    registry = obs_metrics.MetricsRegistry()
+    try:
+        with trace.use(tracer), obs_metrics.use(registry):
+            report = _execute_job(job)
+        # Failure reports from _execute_job bypass run_kernel_studies'
+        # span/metric capture; attach what the worker did record.
+        if not report.spans:
+            report.spans = tracer.records()
+        if not report.metrics:
+            report.metrics = registry.as_dict()
+        conn.send(report)
     finally:
         conn.close()
 
@@ -129,6 +195,49 @@ class _Running:
     job: Job
     process: multiprocessing.Process
     deadline: float | None
+    started: float  # monotonic launch time (elapsed-wall accounting)
+    started_pc: float  # perf_counter launch time (tracer timebase)
+    queue_wait: float  # seconds the job sat queued before launch
+    spool_path: Path
+
+
+def _record_job(entry: _Running, report: KernelReport, elapsed: float) -> None:
+    """Fold job-lifecycle observability into *report* and the parent's
+    ambient tracer/metrics: queue-wait and wall gauges, an outcome
+    counter, and executor spans when a real tracer is installed."""
+    outcome = "ok" if report.error is None else "error"
+    lifecycle = obs_metrics.MetricsRegistry()
+    lifecycle.counter(
+        "executor.jobs", kernel=entry.job.kernel, outcome=outcome
+    ).inc()
+    lifecycle.gauge(
+        "executor.queue_wait_seconds", kernel=entry.job.kernel
+    ).set(entry.queue_wait)
+    lifecycle.gauge(
+        "executor.wall_seconds", kernel=entry.job.kernel
+    ).set(elapsed)
+    lifecycle.histogram("executor.queue_wait_seconds").observe(entry.queue_wait)
+    exported = lifecycle.as_dict()
+    report.metrics = (
+        obs_metrics.merge(report.metrics, exported)
+        if report.metrics else exported
+    )
+    obs_metrics.current_registry().merge_dict(exported)
+
+    tracer = trace.current_tracer()
+    if tracer is not NULL_TRACER:
+        if entry.queue_wait > 0:
+            tracer.add_record(
+                f"executor/queue-wait/{entry.job.kernel}",
+                entry.started_pc - entry.queue_wait,
+                entry.queue_wait,
+            )
+        tracer.add_record(
+            f"executor/job/{entry.job.kernel}",
+            entry.started_pc,
+            elapsed,
+            {"outcome": outcome},
+        )
 
 
 def _execute_pool(
@@ -139,6 +248,7 @@ def _execute_pool(
     queue: deque[tuple[int, Job]] = deque(enumerate(jobs))
     running: dict[multiprocessing.connection.Connection, _Running] = {}
     results: list[KernelReport | None] = [None] * len(jobs)
+    pool_start = time.monotonic()
 
     def finish(conn, report: KernelReport, terminate: bool = False) -> None:
         entry = running.pop(conn)
@@ -146,51 +256,72 @@ def _execute_pool(
             entry.process.terminate()
         entry.process.join(timeout=5)
         conn.close()
+        elapsed = time.monotonic() - entry.started
+        if report.error is not None:
+            # A timed-out / crashed / raising job still spent real wall
+            # time; report it, plus whatever spans hit the spool before
+            # the worker went away.
+            if report.wall_seconds == 0.0:
+                report.wall_seconds = elapsed
+            if not report.spans:
+                report.spans = _read_spool(entry.spool_path)
+        _record_job(entry, report, elapsed)
         results[entry.index] = report
 
-    try:
-        while queue or running:
-            while queue and len(running) < workers:
-                index, job = queue.popleft()
-                parent_conn, child_conn = ctx.Pipe(duplex=False)
-                process = ctx.Process(
-                    target=_job_worker, args=(job, child_conn), daemon=True
-                )
-                process.start()
-                child_conn.close()
-                running[parent_conn] = _Running(
-                    index=index,
-                    job=job,
-                    process=process,
-                    deadline=time.monotonic() + timeout if timeout else None,
-                )
-            ready = multiprocessing.connection.wait(list(running), timeout=0.05)
-            for conn in ready:
-                entry = running[conn]
-                try:
-                    report = conn.recv()
-                except EOFError:
-                    # The worker died without reporting (hard crash).
-                    code = entry.process.exitcode
-                    report = _failure_report(
-                        entry.job, f"WorkerDied: exit code {code}"
+    with tempfile.TemporaryDirectory(prefix="repro-spans-") as spool_dir:
+        try:
+            while queue or running:
+                while queue and len(running) < workers:
+                    index, job = queue.popleft()
+                    parent_conn, child_conn = ctx.Pipe(duplex=False)
+                    spool_path = Path(spool_dir) / f"job-{index}.jsonl"
+                    process = ctx.Process(
+                        target=_job_worker,
+                        args=(job, child_conn, str(spool_path)),
+                        daemon=True,
                     )
-                finish(conn, report)
-            now = time.monotonic()
+                    process.start()
+                    child_conn.close()
+                    launched = time.monotonic()
+                    running[parent_conn] = _Running(
+                        index=index,
+                        job=job,
+                        process=process,
+                        deadline=launched + timeout if timeout else None,
+                        started=launched,
+                        started_pc=time.perf_counter(),
+                        queue_wait=launched - pool_start,
+                        spool_path=spool_path,
+                    )
+                ready = multiprocessing.connection.wait(
+                    list(running), timeout=0.05
+                )
+                for conn in ready:
+                    entry = running[conn]
+                    try:
+                        report = conn.recv()
+                    except EOFError:
+                        # The worker died without reporting (hard crash).
+                        code = entry.process.exitcode
+                        report = _failure_report(
+                            entry.job, f"WorkerDied: exit code {code}"
+                        )
+                    finish(conn, report)
+                now = time.monotonic()
+                for conn, entry in list(running.items()):
+                    if entry.deadline is not None and now > entry.deadline:
+                        finish(
+                            conn,
+                            _failure_report(
+                                entry.job, f"Timeout: exceeded {timeout:g}s"
+                            ),
+                            terminate=True,
+                        )
+        finally:
             for conn, entry in list(running.items()):
-                if entry.deadline is not None and now > entry.deadline:
-                    finish(
-                        conn,
-                        _failure_report(
-                            entry.job, f"Timeout: exceeded {timeout:g}s"
-                        ),
-                        terminate=True,
-                    )
-    finally:
-        for conn, entry in list(running.items()):
-            entry.process.terminate()
-            entry.process.join(timeout=5)
-            conn.close()
+                entry.process.terminate()
+                entry.process.join(timeout=5)
+                conn.close()
     return [report for report in results if report is not None]
 
 

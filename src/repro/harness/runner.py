@@ -27,13 +27,18 @@ import repro
 from repro.errors import KernelError
 from repro.harness.studies import create_study, study_names
 from repro.kernels.base import create_kernel, kernel_names
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
+from repro.obs.attribution import PhaseAttributor
+from repro.obs.spans import NULL_TRACER
 from repro.uarch.cache import MACHINE_B, CacheConfig
 from repro.uarch.events import NULL_PROBE
 from repro.uarch.machine import TraceMachine
 
 #: JSON schema version written by :func:`save_reports` and the result
 #: store; bump when :class:`KernelReport` changes incompatibly.
-SCHEMA_VERSION = 2
+#: v3: observability — ``spans``, ``metrics`` and ``phases`` fields.
+SCHEMA_VERSION = 3
 
 
 #: The built-in study names (the old harness's hard-coded tuple, now a
@@ -70,6 +75,17 @@ class KernelReport:
     scale: float = 1.0
     seed: int = 0
     machine: str = ""
+    #: Span records collected during the run (see repro.obs.spans for
+    #: the record schema); populated whenever a real tracer is
+    #: installed, including spans shipped back from worker processes.
+    spans: list = field(default_factory=list)
+    #: Metrics registry export for the run (repro.obs.metrics schema);
+    #: the executor folds its queue-wait / job-lifecycle series in here.
+    metrics: dict = field(default_factory=dict)
+    #: Per-phase μarch attribution keyed by span name (the VTune-regions
+    #: analog): instructions / ipc / topdown / mpki / instruction_mix
+    #: per phase, exclusive, summing to the whole-run counters.
+    phases: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -96,6 +112,15 @@ def run_kernel_studies(
     ``STUDY_REGISTRY``, executes the kernel at most once (traced iff any
     study requires the event stream), records the generic run metadata,
     and lets each study's ``collect`` hook fill its report fields.
+
+    Observability rides along for free when enabled: with a real span
+    tracer installed (``repro trace`` / ``--trace-out`` / the executor's
+    workers), the kernel's spans land in ``report.spans``; with a
+    :class:`TraceMachine` additionally in play, a
+    :class:`~repro.obs.attribution.PhaseAttributor` splits its counters
+    across span boundaries into ``report.phases``.  Metrics emitted
+    during the run are captured into ``report.metrics`` and folded into
+    the ambient registry.
     """
     plugins = [create_study(study) for study in studies]
     report = KernelReport(
@@ -108,15 +133,40 @@ def run_kernel_studies(
         if any(plugin.requires_trace for plugin in plugins)
         else None
     )
-    result = summary = None
-    if machine is not None or any(plugin.requires_run for plugin in plugins):
-        result = kernel.run(probe=machine if machine is not None else NULL_PROBE)
-        report.inputs_processed = result.inputs_processed
-        report.work = dict(result.work)
+    tracer = trace.current_tracer()
+    traced = tracer is not NULL_TRACER
+    mark = tracer.mark() if traced else 0
+    attributor = None
+    if traced and machine is not None:
+        attributor = PhaseAttributor(machine)
+        tracer.listeners.append(attributor)
+
+    run_registry = obs_metrics.MetricsRegistry()
+    try:
+        with obs_metrics.use(run_registry):
+            result = summary = None
+            if machine is not None or any(
+                plugin.requires_run for plugin in plugins
+            ):
+                result = kernel.run(
+                    probe=machine if machine is not None else NULL_PROBE
+                )
+                report.inputs_processed = result.inputs_processed
+                report.work = dict(result.work)
+    finally:
+        if attributor is not None:
+            attributor.finish()
+            tracer.listeners.remove(attributor)
     if machine is not None:
         summary = machine.summary()
         report.instructions = summary.instructions
         report.branch_misprediction_rate = summary.branch_stats.misprediction_rate
+    if attributor is not None:
+        report.phases = attributor.report(cache_config)
+    if traced:
+        report.spans = tracer.records_since(mark)
+    report.metrics = run_registry.as_dict()
+    obs_metrics.current_registry().merge_dict(report.metrics)
 
     for plugin in plugins:
         plugin.collect(kernel, result, summary, report)

@@ -11,12 +11,12 @@ under an optional :class:`~repro.uarch.events.MachineProbe`, and
 
 from __future__ import annotations
 
-import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.errors import KernelError
+from repro.obs import metrics, trace
 from repro.uarch.events import NULL_PROBE, MachineProbe
 
 
@@ -65,16 +65,27 @@ class Kernel(ABC):
         """Run the kernel over the prepared dataset."""
 
     def run(self, probe: MachineProbe = NULL_PROBE) -> KernelResult:
-        """Prepare if needed, execute, and time the kernel."""
+        """Prepare if needed, execute, and time the kernel.
+
+        Wall time comes from the span tracer (the one timing source in
+        the suite): ``kernel/<name>/prepare`` and ``kernel/<name>/execute``
+        spans always measure, and show up in trace exports whenever a
+        real tracer is installed (``repro trace`` / ``--trace-out``).
+        """
         if not self._prepared:
-            self.prepare()
+            with trace.timed_span(f"kernel/{self.name}/prepare") as prepared:
+                self.prepare()
             self._prepared = True
-        start = time.perf_counter()
-        result = self._execute(probe)
-        elapsed = time.perf_counter() - start
+            metrics.gauge("kernel.prepare_seconds",
+                          kernel=self.name).set(prepared.duration)
+        with trace.timed_span(f"kernel/{self.name}/execute") as span:
+            result = self._execute(probe)
+        metrics.counter("kernel.runs", kernel=self.name).inc()
+        metrics.gauge("kernel.execute_seconds",
+                      kernel=self.name).set(span.duration)
         return KernelResult(
             kernel=result.kernel,
-            wall_seconds=elapsed,
+            wall_seconds=span.duration,
             inputs_processed=result.inputs_processed,
             work=result.work,
         )

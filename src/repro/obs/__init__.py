@@ -1,0 +1,49 @@
+"""repro.obs: the observability layer (spans, metrics, attribution).
+
+The paper's characterization is *regional* — VTune top-down per pipeline
+phase, PIN instruction mixes, per-stage runtime breakdowns (Figs. 2/3/6)
+— so the reproduction needs observability smaller than one kernel run.
+Three cooperating pieces:
+
+* :mod:`repro.obs.spans` — a hierarchical, thread-safe span tracer with
+  a zero-overhead null implementation, a text tree report, and Chrome
+  trace-event JSON export (loadable in Perfetto / ``chrome://tracing``);
+* :mod:`repro.obs.metrics` — a process-local registry of labeled
+  counters / gauges / histograms with a JSON-merging export that rides
+  inside :class:`~repro.harness.runner.KernelReport`;
+* :mod:`repro.obs.attribution` — a span listener that snapshots
+  :class:`~repro.uarch.machine.TraceMachine` counters at span
+  boundaries, yielding per-phase top-down / MPKI / instruction-mix (the
+  VTune-regions analog of the paper's Fig. 6).
+
+:mod:`repro.obs.trace` holds the process-current tracer; library code
+calls ``trace.span("seqwish/closure")`` and pays nothing unless a real
+tracer is installed (``repro trace <kernel>`` or ``--trace-out``).
+"""
+
+from repro.obs.attribution import UNTRACED, PhaseAttributor
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    chrome_trace,
+    render_tree,
+    spans_from_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "PhaseAttributor",
+    "UNTRACED",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "render_tree",
+    "spans_from_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,345 @@
+"""Hierarchical span tracing with a zero-overhead disabled path.
+
+A :class:`Span` is one timed region; entering it starts the clock,
+leaving it stops the clock and (when the span is bound to a
+:class:`Tracer`) appends a plain-dict record to the tracer.  Records are
+JSON- and pickle-friendly on purpose: they ride inside
+:class:`~repro.harness.runner.KernelReport` across process boundaries
+and serialize into Chrome trace-event files.
+
+The *null* path is the hot path: with no tracer installed,
+``trace.span(...)`` returns a shared :data:`NULL_SPAN` singleton whose
+``__enter__``/``__exit__`` do nothing — no clock reads, no allocation —
+so instrumented library code costs nothing in ordinary runs (the
+disabled-overhead test in ``tests/obs`` holds this to account).
+
+Record schema (one dict per finished span)::
+
+    {"name": str, "id": int, "parent": int,  # -1 at the root
+     "ts": float, "dur": float,              # seconds from tracer epoch
+     "tid": int, "pid": int,
+     "attrs": dict}                          # only when non-empty
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from time import perf_counter
+from typing import Callable, Iterable
+
+from repro.errors import ReproError
+
+
+class Span:
+    """One timed region; a re-usable-once context manager.
+
+    Unbound spans (``tracer=None``) still measure — they are the
+    single source of truth for wall time in :class:`Kernel.run` and
+    :class:`~repro.tools.base.StageTimer` even when tracing is off —
+    but record nowhere.
+    """
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "tid",
+                 "start", "duration", "_tracer")
+
+    def __init__(self, name: str, attrs: dict | None = None,
+                 tracer: "Tracer | None" = None) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.span_id = -1
+        self.parent_id = -1
+        self.tid = 0
+        self.start = 0.0
+        self.duration = 0.0
+        self._tracer = tracer
+
+    def __enter__(self) -> "Span":
+        if self._tracer is not None:
+            self._tracer._enter(self)
+        self.start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = perf_counter() - self.start
+        if self._tracer is not None:
+            self._tracer._exit(self)
+        return False
+
+
+class _NullSpan:
+    """The do-nothing span: shared, allocation-free, immutable."""
+
+    __slots__ = ()
+
+    #: Mirrors :attr:`Span.duration` so callers can read it uniformly.
+    duration = 0.0
+    name = ""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: The shared null span every disabled ``span()`` call returns.
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer stand-in when tracing is disabled: hands out
+    :data:`NULL_SPAN` and records nothing."""
+
+    __slots__ = ()
+
+    def span(self, name: str, attrs: dict | None = None) -> _NullSpan:
+        return NULL_SPAN
+
+
+#: Shared disabled tracer (the process default; see repro.obs.trace).
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """A thread-safe hierarchical span recorder.
+
+    Nesting is tracked per thread (each thread keeps its own open-span
+    stack); finished records land in one shared, append-only list in
+    finish order.  ``listeners`` (objects with ``on_enter(span)`` /
+    ``on_exit(span)``) observe span boundaries — the μarch attributor in
+    :mod:`repro.obs.attribution` plugs in here.  ``on_finish`` (one
+    callable receiving each finished record) supports incremental
+    spooling, which is how the executor recovers partial spans from a
+    timed-out worker.
+    """
+
+    def __init__(self, on_finish: Callable[[dict], None] | None = None) -> None:
+        self.epoch = perf_counter()
+        self.listeners: list = []
+        self.on_finish = on_finish
+        self._lock = threading.Lock()
+        self._records: list[dict] = []
+        self._next_id = 0
+        self._local = threading.local()
+
+    # -- recording -------------------------------------------------------
+
+    def span(self, name: str, attrs: dict | None = None) -> Span:
+        """A new span bound to this tracer (use as a context manager)."""
+        return Span(name, attrs, tracer=self)
+
+    def traced(self, name: str) -> Callable:
+        """Decorator form: run the wrapped callable inside a span."""
+        def decorate(function: Callable) -> Callable:
+            def wrapper(*args, **kwargs):
+                with self.span(name):
+                    return function(*args, **kwargs)
+            wrapper.__name__ = getattr(function, "__name__", name)
+            return wrapper
+        return decorate
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _enter(self, span: Span) -> None:
+        stack = self._stack()
+        span.parent_id = stack[-1].span_id if stack else -1
+        span.tid = threading.get_ident()
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+        stack.append(span)
+        for listener in self.listeners:
+            listener.on_enter(span)
+
+    def _exit(self, span: Span) -> None:
+        # Exception-safe unwind: pop until this span is removed, so a
+        # span leaked by a raised exception cannot corrupt the stack.
+        stack = self._stack()
+        while stack and stack.pop() is not span:
+            pass
+        for listener in self.listeners:
+            listener.on_exit(span)
+        record = {
+            "name": span.name,
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "ts": span.start - self.epoch,
+            "dur": span.duration,
+            "tid": span.tid,
+            "pid": os.getpid(),
+        }
+        if span.attrs:
+            record["attrs"] = dict(span.attrs)
+        self._append(record)
+
+    def add_record(self, name: str, start: float, duration: float,
+                   attrs: dict | None = None) -> dict:
+        """Record an externally-timed interval (*start* in
+        ``perf_counter`` timebase) — used by the executor for job
+        lifecycle and queue-wait events it times itself."""
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        record = {
+            "name": name,
+            "id": span_id,
+            "parent": -1,
+            "ts": start - self.epoch,
+            "dur": duration,
+            "tid": threading.get_ident(),
+            "pid": os.getpid(),
+        }
+        if attrs:
+            record["attrs"] = dict(attrs)
+        self._append(record)
+        return record
+
+    def _append(self, record: dict) -> None:
+        with self._lock:
+            self._records.append(record)
+        if self.on_finish is not None:
+            self.on_finish(record)
+
+    # -- reading ---------------------------------------------------------
+
+    def records(self) -> list[dict]:
+        """All finished span records, in finish order."""
+        with self._lock:
+            return list(self._records)
+
+    def mark(self) -> int:
+        """A position in the record list; pair with :meth:`records_since`."""
+        with self._lock:
+            return len(self._records)
+
+    def records_since(self, mark: int) -> list[dict]:
+        """Records finished after *mark* (from :meth:`mark`)."""
+        with self._lock:
+            return list(self._records[mark:])
+
+
+# -- Chrome trace-event export (Perfetto / chrome://tracing) -------------
+
+
+def chrome_trace(records: Iterable[dict]) -> dict:
+    """Span records as a Chrome trace-event JSON object.
+
+    Complete ("X") events with microsecond timestamps; open the file in
+    https://ui.perfetto.dev or ``chrome://tracing``.
+    """
+    events = []
+    for record in records:
+        event = {
+            "name": record["name"],
+            "ph": "X",
+            "cat": "repro",
+            "ts": record["ts"] * 1e6,
+            "dur": record["dur"] * 1e6,
+            "pid": record.get("pid", 0),
+            "tid": record.get("tid", 0),
+        }
+        if record.get("attrs"):
+            event["args"] = record["attrs"]
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(records: Iterable[dict], path: str | Path) -> Path:
+    """Serialize *records* to a Chrome trace-event file at *path*."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(records), indent=1))
+    return path
+
+
+def spans_from_chrome_trace(payload: dict) -> list[dict]:
+    """Invert :func:`chrome_trace` (parent links are not representable
+    in the event format and come back as -1)."""
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ReproError("not a Chrome trace-event object")
+    records = []
+    for event in payload["traceEvents"]:
+        if event.get("ph") != "X":
+            continue
+        record = {
+            "name": event["name"],
+            "id": -1,
+            "parent": -1,
+            "ts": event["ts"] / 1e6,
+            "dur": event["dur"] / 1e6,
+            "tid": event.get("tid", 0),
+            "pid": event.get("pid", 0),
+        }
+        if event.get("args"):
+            record["attrs"] = dict(event["args"])
+        records.append(record)
+    return records
+
+
+def merge_records(*record_lists: Iterable[dict]) -> list[dict]:
+    """Concatenate record lists, dropping (pid, id) duplicates — used
+    when worker-collected spans overlap the parent tracer's own."""
+    merged: list[dict] = []
+    seen: set[tuple[int, int]] = set()
+    for records in record_lists:
+        for record in records:
+            key = (record.get("pid", 0), record.get("id", -1))
+            if key[1] != -1 and key in seen:
+                continue
+            seen.add(key)
+            merged.append(record)
+    return merged
+
+
+# -- text tree / flame report --------------------------------------------
+
+
+def render_tree(records: list[dict], title: str | None = None) -> str:
+    """An indented span tree with same-name siblings aggregated.
+
+    Each line shows total seconds, call count, and the share of the
+    parent's time — the flame-style report ``repro trace`` prints.
+    """
+    children: dict[tuple[int, int], list[dict]] = {}
+    for record in records:
+        key = (record.get("pid", 0), record.get("parent", -1))
+        children.setdefault(key, []).append(record)
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+
+    def walk(pid: int, parent_id: int, depth: int,
+             parent_seconds: float) -> None:
+        grouped: dict[str, list[dict]] = {}
+        for record in children.get((pid, parent_id), []):
+            grouped.setdefault(record["name"], []).append(record)
+        for name, group in sorted(
+            grouped.items(), key=lambda item: -sum(r["dur"] for r in item[1])
+        ):
+            seconds = sum(record["dur"] for record in group)
+            share = (f"  {100.0 * seconds / parent_seconds:5.1f}%"
+                     if parent_seconds > 0 else "")
+            count = f"  {len(group)}x" if len(group) > 1 else ""
+            lines.append(
+                f"{'  ' * depth}{name:<{max(1, 44 - 2 * depth)}}"
+                f"{seconds:10.4f}s{share}{count}"
+            )
+            for record in group:
+                walk(pid, record["id"], depth + 1, seconds)
+
+    pids = sorted({record.get("pid", 0) for record in records})
+    for pid in pids:
+        if len(pids) > 1:
+            lines.append(f"[pid {pid}]")
+        roots = children.get((pid, -1), [])
+        total = sum(record["dur"] for record in roots)
+        walk(pid, -1, 0, total)
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""The process-current tracer.
+
+Library code does not thread a tracer through every signature; it calls
+``trace.span("seqwish/closure")`` against the module-current tracer,
+which defaults to :data:`~repro.obs.spans.NULL_TRACER` (zero overhead).
+``repro trace`` / ``--trace-out`` install a real
+:class:`~repro.obs.spans.Tracer` for the run via :func:`use`; the
+executor's workers install their own per-process tracer the same way.
+
+The current tracer is process-global, not thread-local: one observed
+run per process is the model (the :class:`Tracer` itself is
+thread-safe, so threads inside that run may open spans freely).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.spans import NULL_TRACER, NullTracer, Span, Tracer, _NullSpan
+
+_current: Tracer | NullTracer = NULL_TRACER
+
+
+def current_tracer() -> Tracer | NullTracer:
+    """The tracer library spans currently record to."""
+    return _current
+
+
+def enabled() -> bool:
+    """True when a real tracer is installed."""
+    return _current is not NULL_TRACER
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install *tracer* (``None`` restores the null tracer)."""
+    global _current
+    _current = tracer if tracer is not None else NULL_TRACER
+    return _current
+
+
+@contextmanager
+def use(tracer: Tracer | NullTracer) -> Iterator[Tracer | NullTracer]:
+    """Install *tracer* for the duration of the block."""
+    global _current
+    previous = _current
+    _current = tracer
+    try:
+        yield tracer
+    finally:
+        _current = previous
+
+
+def span(name: str, attrs: dict | None = None) -> "Span | _NullSpan":
+    """A span on the current tracer — free when tracing is disabled."""
+    return _current.span(name, attrs)
+
+
+def timed_span(name: str, attrs: dict | None = None) -> Span:
+    """A span that *always* measures wall time.
+
+    The single source of truth for code that needs the number even with
+    tracing off (kernel wall seconds, stage timers): bound to the
+    current tracer when one is installed, otherwise an unbound
+    :class:`Span` that measures and records nowhere.
+    """
+    if _current is NULL_TRACER:
+        return Span(name, attrs)
+    return _current.span(name, attrs)

@@ -9,6 +9,8 @@ from repro.errors import KernelError
 from repro.harness.executor import Job, compile_plan, execute_plan
 from repro.harness.runner import run_suite
 from repro.harness.store import ResultStore
+from repro.obs import trace
+from repro.obs.spans import Tracer
 from repro.uarch.cache import MACHINE_A, MACHINE_B
 
 
@@ -92,6 +94,70 @@ class TestParallelDispatch:
         plan = compile_plan(("gbwt",))
         with pytest.raises(KernelError):
             execute_plan(plan, jobs=0)
+
+
+class TestExecutorObservability:
+    def test_parallel_reports_carry_worker_spans(self, fake_kernels):
+        reports = run_suite(("fake-ok",), jobs=2)
+        names = {r["name"] for r in reports["fake-ok"].spans}
+        assert "kernel/fake-ok/execute" in names
+        assert "kernel/fake-ok/prepare" in names
+
+    def test_executor_metrics_merged_into_report(self, fake_kernels):
+        reports = run_suite(("fake-ok",), jobs=2)
+        metrics = reports["fake-ok"].metrics
+        gauges = metrics["gauges"]
+        assert gauges["executor.wall_seconds{kernel=fake-ok}"] > 0
+        assert "executor.queue_wait_seconds{kernel=fake-ok}" in gauges
+        counters = metrics["counters"]
+        assert counters["executor.jobs{kernel=fake-ok,outcome=ok}"] == 1.0
+        # The worker's own kernel metrics survived the merge.
+        assert counters["kernel.runs{kernel=fake-ok}"] == 1.0
+
+    def test_timeout_report_carries_wall_and_partial_spans(
+        self, fake_kernels
+    ):
+        reports = run_suite(("fake-hang",), jobs=2, timeout=1.0)
+        report = reports["fake-hang"]
+        assert "Timeout" in report.error
+        assert report.wall_seconds >= 1.0
+        names = {r["name"] for r in report.spans}
+        # prepare finished (and hit the spool) before the hang; the
+        # execute span never closed, so it cannot appear.
+        assert "kernel/fake-hang/prepare" in names
+        assert "kernel/fake-hang/execute" not in names
+
+    def test_crash_report_carries_wall_time_and_spans(self, fake_kernels):
+        reports = run_suite(("fake-crash",), jobs=2)
+        report = reports["fake-crash"]
+        assert report.wall_seconds > 0
+        names = {r["name"] for r in report.spans}
+        # The execute span closed on the way out of the raise.
+        assert "kernel/fake-crash/execute" in names
+
+    def test_serial_crash_report_carries_wall_time(self, fake_kernels):
+        reports = run_suite(("fake-crash",), jobs=1)
+        assert reports["fake-crash"].wall_seconds > 0
+
+    def test_dead_worker_report_carries_wall_and_spool_spans(
+        self, fake_kernels
+    ):
+        reports = run_suite(("fake-die",), jobs=2)
+        report = reports["fake-die"]
+        assert "WorkerDied" in report.error
+        assert report.wall_seconds > 0
+        names = {r["name"] for r in report.spans}
+        assert "kernel/fake-die/prepare" in names
+
+    def test_parent_tracer_gets_job_lifecycle_records(self, fake_kernels):
+        tracer = Tracer()
+        with trace.use(tracer):
+            run_suite(("fake-ok", "fake-crash"), jobs=2)
+        records = [r for r in tracer.records()
+                   if r["name"].startswith("executor/job/")]
+        by_name = {r["name"]: r for r in records}
+        assert by_name["executor/job/fake-ok"]["attrs"]["outcome"] == "ok"
+        assert by_name["executor/job/fake-crash"]["attrs"]["outcome"] == "error"
 
 
 class TestReuse:

@@ -1,0 +1,117 @@
+"""Per-phase μarch attribution: the sums-to-whole-run invariant."""
+
+from repro.obs.attribution import UNTRACED, PhaseAttributor
+from repro.obs.spans import Tracer
+from repro.uarch.cache import MACHINE_B
+from repro.uarch.events import OpClass
+from repro.uarch.machine import TraceMachine
+
+
+def _instrumented_run(machine, tracer):
+    """Probe work split across nested spans plus untraced stretches."""
+    machine.alu(OpClass.SCALAR_ALU, 10)  # before any span -> UNTRACED
+    with tracer.span("phase/a"):
+        machine.alu(OpClass.SCALAR_ALU, 100)
+        machine.load(1 << 16)
+        with tracer.span("phase/a/inner"):
+            machine.alu(OpClass.VECTOR_ALU, 50)
+            machine.branch(site=1, taken=True)
+        machine.store(1 << 17)  # back in phase/a after the inner span
+    with tracer.span("phase/b"):
+        machine.alu(OpClass.SCALAR_MUL_DIV, 30)
+    machine.alu(OpClass.SCALAR_ALU, 5)  # tail -> UNTRACED
+
+
+def _attributed(machine=None):
+    machine = machine or TraceMachine(MACHINE_B)
+    tracer = Tracer()
+    attributor = PhaseAttributor(machine)
+    tracer.listeners.append(attributor)
+    _instrumented_run(machine, tracer)
+    attributor.finish()
+    return machine, attributor
+
+
+class TestExclusiveAttribution:
+    def test_phase_sums_equal_whole_run(self):
+        machine, attributor = _attributed()
+        report = attributor.report(MACHINE_B)
+        total = sum(phase["instructions"] for phase in report.values())
+        assert total == machine.summary().instructions
+
+    def test_inner_span_counts_are_exclusive(self):
+        _, attributor = _attributed()
+        inner = attributor.phases["phase/a/inner"]
+        outer = attributor.phases["phase/a"]
+        # 50 vector ops + 1 branch in the inner span, none leaked out.
+        assert inner.instructions == 51
+        assert inner.op_counts[list(OpClass).index(OpClass.VECTOR_ALU)] == 50
+        # phase/a keeps its own 100 ALU + load + store only.
+        assert outer.instructions == 102
+
+    def test_untraced_bucket_collects_outside_work(self):
+        _, attributor = _attributed()
+        assert attributor.phases[UNTRACED].instructions == 15
+
+    def test_repeated_spans_aggregate_by_name(self):
+        machine = TraceMachine(MACHINE_B)
+        tracer = Tracer()
+        attributor = PhaseAttributor(machine)
+        tracer.listeners.append(attributor)
+        for _ in range(3):
+            with tracer.span("loop"):
+                machine.alu(OpClass.SCALAR_ALU, 7)
+        attributor.finish()
+        assert attributor.phases["loop"].instructions == 21
+
+    def test_report_drops_zero_instruction_phases(self):
+        machine = TraceMachine(MACHINE_B)
+        tracer = Tracer()
+        attributor = PhaseAttributor(machine)
+        tracer.listeners.append(attributor)
+        with tracer.span("empty"):
+            pass
+        with tracer.span("busy"):
+            machine.alu(OpClass.SCALAR_ALU, 3)
+        attributor.finish()
+        report = attributor.report(MACHINE_B)
+        assert "empty" not in report
+        assert set(report) == {"busy"}
+
+    def test_report_orders_largest_phase_first(self):
+        _, attributor = _attributed()
+        report = attributor.report(MACHINE_B)
+        counts = [phase["instructions"] for phase in report.values()]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestPhaseAnalyses:
+    def test_phase_entries_carry_full_analysis(self):
+        _, attributor = _attributed()
+        report = attributor.report(MACHINE_B)
+        phase = report["phase/a/inner"]
+        assert set(phase) == {
+            "instructions", "ipc", "topdown", "mpki", "instruction_mix",
+            "branch_misprediction_rate",
+        }
+        assert phase["ipc"] > 0
+        slots = phase["topdown"]
+        assert set(slots) == {"retiring", "frontend_bound",
+                              "bad_speculation", "core_bound", "memory_bound"}
+        assert sum(slots.values()) == 1.0 or abs(sum(slots.values()) - 1.0) < 1e-9
+
+    def test_phase_summary_matches_whole_run_when_single_phase(self):
+        machine = TraceMachine(MACHINE_B)
+        tracer = Tracer()
+        attributor = PhaseAttributor(machine)
+        tracer.listeners.append(attributor)
+        with tracer.span("only"):
+            machine.alu(OpClass.SCALAR_ALU, 64)
+            machine.load(1 << 12)
+            machine.branch(site=9, taken=False)
+        attributor.finish()
+        phase = attributor.phases["only"].summary(MACHINE_B)
+        whole = machine.summary()
+        assert phase.op_counts == whole.op_counts
+        assert phase.branch_stats == whole.branch_stats
+        assert phase.l1_misses == whole.l1_misses

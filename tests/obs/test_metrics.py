@@ -1,0 +1,146 @@
+"""Metrics registry: series naming, export schema, associative merge."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import metrics
+from repro.obs.metrics import (
+    MetricsRegistry,
+    merge,
+    quantile_estimate,
+    series_name,
+)
+
+
+class TestSeriesNaming:
+    def test_no_labels_is_bare_name(self):
+        assert series_name("kernel.runs", {}) == "kernel.runs"
+
+    def test_labels_sorted_canonically(self):
+        assert series_name("m", {"b": 2, "a": 1}) == "m{a=1,b=2}"
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("runs").inc()
+        registry.counter("runs").inc(2)
+        assert registry.as_dict() == {"counters": {"runs": 3.0}}
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ReproError):
+            MetricsRegistry().counter("runs").inc(-1)
+
+    def test_labels_make_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("runs", kernel="tc").inc()
+        registry.counter("runs", kernel="gcsa").inc(5)
+        counters = registry.as_dict()["counters"]
+        assert counters == {"runs{kernel=tc}": 1.0, "runs{kernel=gcsa}": 5.0}
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("seconds").set(1.5)
+        registry.gauge("seconds").set(0.5)
+        assert registry.as_dict() == {"gauges": {"seconds": 0.5}}
+
+    def test_histogram_buckets_and_overflow(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("wait", bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            h.observe(value)
+        payload = registry.as_dict()["histograms"]["wait"]
+        assert payload["count"] == 3
+        assert payload["sum"] == pytest.approx(55.5)
+        assert payload["buckets"] == {"1.0": 1, "10.0": 1, "inf": 1}
+
+    def test_empty_sections_omitted(self):
+        assert MetricsRegistry().as_dict() == {}
+
+
+class TestMerge:
+    def test_counters_add_gauges_overwrite(self):
+        left = {"counters": {"runs": 1.0}, "gauges": {"s": 1.0}}
+        right = {"counters": {"runs": 2.0, "new": 1.0}, "gauges": {"s": 9.0}}
+        merged = merge(left, right)
+        assert merged["counters"] == {"runs": 3.0, "new": 1.0}
+        assert merged["gauges"] == {"s": 9.0}
+
+    def test_histograms_add_bucketwise(self):
+        registry = MetricsRegistry()
+        registry.histogram("wait", bounds=(1.0,)).observe(0.5)
+        one = registry.as_dict()
+        merged = merge(one, one)
+        payload = merged["histograms"]["wait"]
+        assert payload["count"] == 2
+        assert payload["buckets"] == {"1.0": 2, "inf": 0}
+
+    def test_histogram_bound_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("wait", bounds=(1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("wait", bounds=(2.0,)).observe(0.5)
+        with pytest.raises(ReproError):
+            merge(a.as_dict(), b.as_dict())
+
+    def test_merge_does_not_mutate_inputs(self):
+        left = {"counters": {"runs": 1.0}}
+        right = {"counters": {"runs": 2.0}}
+        merge(left, right)
+        assert left == {"counters": {"runs": 1.0}}
+
+    def test_merge_dict_folds_into_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("runs", kernel="tc").inc()
+        registry.merge_dict(
+            {"counters": {"runs{kernel=tc}": 2.0},
+             "gauges": {"s{kernel=tc}": 0.25}}
+        )
+        out = registry.as_dict()
+        assert out["counters"] == {"runs{kernel=tc}": 3.0}
+        assert out["gauges"] == {"s{kernel=tc}": 0.25}
+        # Instruments keep working after a merge rebuild.
+        registry.counter("runs", kernel="tc").inc()
+        assert registry.as_dict()["counters"]["runs{kernel=tc}"] == 4.0
+
+    def test_associativity_over_worker_exports(self):
+        exports = []
+        for _ in range(3):
+            registry = MetricsRegistry()
+            registry.counter("jobs", outcome="ok").inc()
+            registry.histogram("wait").observe(0.05)
+            exports.append(registry.as_dict())
+        left_first = merge(merge(exports[0], exports[1]), exports[2])
+        right_first = merge(exports[0], merge(exports[1], exports[2]))
+        assert left_first == right_first
+        assert left_first["counters"]["jobs{outcome=ok}"] == 3.0
+
+
+class TestCurrentRegistry:
+    def test_use_installs_and_restores(self):
+        ambient = metrics.current_registry()
+        scoped = MetricsRegistry()
+        with metrics.use(scoped):
+            assert metrics.current_registry() is scoped
+            metrics.counter("scoped.runs").inc()
+        assert metrics.current_registry() is ambient
+        assert scoped.as_dict() == {"counters": {"scoped.runs": 1.0}}
+        assert "scoped.runs" not in ambient.as_dict().get("counters", {})
+
+
+class TestQuantiles:
+    def test_quantile_estimate_bucket_bound(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("wait", bounds=(1.0, 10.0))
+        for value in (0.5, 0.6, 5.0, 50.0):
+            h.observe(value)
+        payload = registry.as_dict()["histograms"]["wait"]
+        assert quantile_estimate(payload, 0.5) == 1.0
+        assert quantile_estimate(payload, 0.75) == 10.0
+        assert quantile_estimate(payload, 1.0) == math.inf
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(ReproError):
+            quantile_estimate({"count": 0, "buckets": {}}, 1.5)

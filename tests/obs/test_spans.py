@@ -1,0 +1,268 @@
+"""Span tracer: nesting, exception safety, the null path, exports."""
+
+import json
+import threading
+import tracemalloc
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import trace
+from repro.obs.spans import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    chrome_trace,
+    merge_records,
+    render_tree,
+    spans_from_chrome_trace,
+    write_chrome_trace,
+)
+
+
+class TestNesting:
+    def test_parent_links_follow_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        records = {r["name"]: r for r in tracer.records()}
+        assert records["outer"]["parent"] == -1
+        assert records["inner"]["parent"] == records["outer"]["id"]
+        assert records["sibling"]["parent"] == records["outer"]["id"]
+
+    def test_records_in_finish_order(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert [r["name"] for r in tracer.records()] == ["b", "a"]
+
+    def test_durations_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        records = {r["name"]: r for r in tracer.records()}
+        assert 0 <= records["inner"]["dur"] <= records["outer"]["dur"]
+        assert records["outer"]["ts"] <= records["inner"]["ts"]
+
+    def test_attrs_recorded_only_when_present(self):
+        tracer = Tracer()
+        with tracer.span("plain"):
+            pass
+        with tracer.span("labeled", {"k": "v"}):
+            pass
+        records = {r["name"]: r for r in tracer.records()}
+        assert "attrs" not in records["plain"]
+        assert records["labeled"]["attrs"] == {"k": "v"}
+
+    def test_traced_decorator(self):
+        tracer = Tracer()
+
+        @tracer.traced("fn")
+        def double(x):
+            return 2 * x
+
+        assert double(21) == 42
+        assert [r["name"] for r in tracer.records()] == ["fn"]
+
+
+class TestExceptionSafety:
+    def test_record_survives_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        names = [r["name"] for r in tracer.records()]
+        assert names == ["inner", "outer"]
+
+    def test_stack_unwinds_after_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failed"):
+                raise ValueError("boom")
+        with tracer.span("after"):
+            pass
+        records = {r["name"]: r for r in tracer.records()}
+        assert records["after"]["parent"] == -1  # not parented to "failed"
+
+
+class TestThreadSafety:
+    def test_threads_keep_independent_stacks(self):
+        tracer = Tracer()
+
+        def work(label):
+            with tracer.span(f"outer-{label}"):
+                with tracer.span(f"inner-{label}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        records = {r["name"]: r for r in tracer.records()}
+        assert len(records) == 8
+        for i in range(4):
+            inner, outer = records[f"inner-{i}"], records[f"outer-{i}"]
+            assert inner["parent"] == outer["id"]
+            assert inner["tid"] == outer["tid"]
+        assert len({r["id"] for r in tracer.records()}) == 8  # ids unique
+
+
+class TestNullPath:
+    def test_disabled_span_is_the_shared_singleton(self):
+        assert trace.current_tracer() is NULL_TRACER
+        assert trace.span("anything") is NULL_SPAN
+        assert trace.span("other", {"k": 1}) is NULL_SPAN
+
+    def test_null_span_context_manager_is_inert(self):
+        with trace.span("nothing") as span:
+            assert span is NULL_SPAN
+        assert span.duration == 0.0
+
+    def test_hot_path_does_not_allocate(self):
+        with trace.span("warm"):  # warm any lazy interpreter state
+            pass
+        tracemalloc.start()
+        before = tracemalloc.get_traced_memory()[0]
+        for _ in range(1000):
+            with trace.span("hot"):
+                pass
+        after = tracemalloc.get_traced_memory()[0]
+        tracemalloc.stop()
+        # The loop machinery itself may allocate once; the 1000 span
+        # enters/exits must not (they return the shared NULL_SPAN).
+        assert after - before < 512
+
+    def test_timed_span_measures_without_a_tracer(self):
+        span = trace.timed_span("unbound")
+        assert isinstance(span, Span)
+        with span:
+            pass
+        assert span.duration > 0.0
+        assert trace.current_tracer() is NULL_TRACER
+
+    def test_timed_span_records_with_a_tracer(self):
+        tracer = Tracer()
+        with trace.use(tracer):
+            with trace.timed_span("bound"):
+                pass
+        assert [r["name"] for r in tracer.records()] == ["bound"]
+
+
+class TestCurrentTracer:
+    def test_use_installs_and_restores(self):
+        tracer = Tracer()
+        assert not trace.enabled()
+        with trace.use(tracer):
+            assert trace.enabled()
+            assert trace.current_tracer() is tracer
+            with trace.span("seen"):
+                pass
+        assert not trace.enabled()
+        assert [r["name"] for r in tracer.records()] == ["seen"]
+
+    def test_set_tracer_none_restores_null(self):
+        trace.set_tracer(Tracer())
+        try:
+            assert trace.enabled()
+        finally:
+            trace.set_tracer(None)
+        assert trace.current_tracer() is NULL_TRACER
+
+
+class TestMarks:
+    def test_records_since_mark(self):
+        tracer = Tracer()
+        with tracer.span("early"):
+            pass
+        mark = tracer.mark()
+        with tracer.span("late"):
+            pass
+        assert [r["name"] for r in tracer.records_since(mark)] == ["late"]
+
+    def test_add_record_external_timing(self):
+        tracer = Tracer()
+        record = tracer.add_record("ext", tracer.epoch + 1.0, 0.5,
+                                   {"outcome": "ok"})
+        assert record["ts"] == pytest.approx(1.0)
+        assert record["dur"] == 0.5
+        assert record["attrs"] == {"outcome": "ok"}
+        assert tracer.records() == [record]
+
+    def test_on_finish_sees_every_record(self):
+        seen = []
+        tracer = Tracer(on_finish=seen.append)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert [r["name"] for r in seen] == ["b", "a"]
+
+
+class TestChromeTrace:
+    def test_round_trip(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", {"k": "v"}):
+            with tracer.span("inner"):
+                pass
+        path = write_chrome_trace(tracer.records(), tmp_path / "t.json")
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        back = spans_from_chrome_trace(payload)
+        original = tracer.records()
+        assert [r["name"] for r in back] == [r["name"] for r in original]
+        for a, b in zip(back, original):
+            assert a["ts"] == pytest.approx(b["ts"])
+            assert a["dur"] == pytest.approx(b["dur"])
+        assert back[1]["attrs"] == {"k": "v"}
+
+    def test_events_are_complete_events_in_microseconds(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        record = tracer.records()[0]
+        event = chrome_trace([record])["traceEvents"][0]
+        assert event["ph"] == "X"
+        assert event["ts"] == pytest.approx(record["ts"] * 1e6)
+        assert event["dur"] == pytest.approx(record["dur"] * 1e6)
+
+    def test_rejects_non_trace_payload(self):
+        with pytest.raises(ReproError):
+            spans_from_chrome_trace({"not": "a trace"})
+
+    def test_merge_records_drops_duplicates(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        records = tracer.records()
+        other = [{"name": "w", "id": 0, "parent": -1, "ts": 0.0,
+                  "dur": 0.1, "tid": 1, "pid": records[0]["pid"] + 1}]
+        merged = merge_records(records, records, other)
+        assert len(merged) == 2  # the duplicate list collapsed
+
+
+class TestRenderTree:
+    def test_tree_shows_nesting_counts_and_shares(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            for _ in range(3):
+                with tracer.span("inner"):
+                    pass
+        text = render_tree(tracer.records(), title="T")
+        assert "T" in text
+        assert "outer" in text and "inner" in text
+        assert "3x" in text
+        assert "%" in text
+        # children indented under their parent
+        outer_line = next(l for l in text.splitlines() if "outer" in l)
+        inner_line = next(l for l in text.splitlines() if "inner" in l)
+        assert inner_line.startswith("  ")
+        assert not outer_line.startswith(" ")

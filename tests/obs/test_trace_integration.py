@@ -1,0 +1,118 @@
+"""End-to-end observability: traced kernel runs, the CLI, overhead."""
+
+import json
+from time import perf_counter
+
+from repro.harness.cli import main
+from repro.harness.runner import (
+    load_reports,
+    run_kernel_studies,
+    save_reports,
+)
+from repro.obs import metrics, trace
+from repro.obs.spans import Tracer
+
+TRACE_STUDIES = ("timing", "topdown", "cache", "instmix")
+
+
+def _traced_tc_report():
+    tracer = Tracer()
+    with trace.use(tracer), metrics.use(metrics.MetricsRegistry()):
+        report = run_kernel_studies("tc", studies=TRACE_STUDIES, scale=0.25)
+    return tracer, report
+
+
+class TestTracedKernelRun:
+    def test_execute_has_nested_phase_spans(self):
+        tracer, report = _traced_tc_report()
+        records = {r["name"]: r for r in tracer.records()}
+        assert "kernel/tc/prepare" in records
+        assert "kernel/tc/execute" in records
+        execute_id = records["kernel/tc/execute"]["id"]
+        phases = [r for r in tracer.records()
+                  if r["parent"] == execute_id]
+        assert len(phases) >= 3  # seqwish intervals / tree / closure
+        assert report.spans == tracer.records()
+
+    def test_prepare_has_nested_build_spans(self):
+        tracer, _ = _traced_tc_report()
+        records = {r["name"]: r for r in tracer.records()}
+        prepare_id = records["kernel/tc/prepare"]["id"]
+        children = {r["name"] for r in tracer.records()
+                    if r["parent"] == prepare_id}
+        assert {"wfmash/sketch", "wfmash/map"} <= children
+
+    def test_phase_instructions_sum_to_whole_run(self):
+        _, report = _traced_tc_report()
+        assert report.phases
+        total = sum(p["instructions"] for p in report.phases.values())
+        assert total == report.instructions
+        assert report.instructions > 0
+
+    def test_run_metrics_exported_on_report(self):
+        _, report = _traced_tc_report()
+        assert report.metrics["counters"]["kernel.runs{kernel=tc}"] == 1.0
+        gauges = report.metrics["gauges"]
+        assert gauges["kernel.execute_seconds{kernel=tc}"] > 0
+
+    def test_untraced_run_has_no_span_overhead_fields(self):
+        report = run_kernel_studies("tc", studies=("timing",), scale=0.25)
+        assert report.spans == []
+        assert report.phases == {}
+
+    def test_reports_round_trip_with_observability(self, tmp_path):
+        _, report = _traced_tc_report()
+        path = tmp_path / "reports.json"
+        save_reports({"tc": report}, path)
+        loaded = load_reports(path)["tc"]
+        assert loaded.spans == report.spans
+        assert loaded.metrics == report.metrics
+        assert loaded.phases == report.phases
+
+
+class TestTraceCommand:
+    def test_trace_writes_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "tc.trace.json"
+        code = main(["trace", "tc", "--scale", "0.25",
+                     "--trace-out", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        events = payload["traceEvents"]
+        assert events
+        names = {event["name"] for event in events}
+        assert "kernel/tc/prepare" in names
+        assert "kernel/tc/execute" in names
+        assert sum(n not in ("kernel/tc/prepare", "kernel/tc/execute")
+                   for n in names) >= 3
+        assert all(event["ph"] == "X" and event["dur"] >= 0
+                   for event in events)
+        text = capsys.readouterr().out
+        assert "Span tree" in text
+        assert "Per-phase top-down" in text
+        assert "seqwish/closure" in text
+
+    def test_run_trace_out_covers_suite(self, tmp_path, capsys):
+        out = tmp_path / "suite.trace.json"
+        code = main(["run", "tc", "--scale", "0.25", "--studies", "timing",
+                     "--trace-out", str(out)])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "kernel/tc/execute" in names
+
+
+class TestDisabledOverhead:
+    def test_null_tracing_costs_under_two_percent(self):
+        tracer, report = _traced_tc_report()
+        span_count = len(tracer.records())
+        assert span_count > 0
+        # Per-call cost of the disabled path, measured directly.
+        iterations = 200_000
+        start = perf_counter()
+        for _ in range(iterations):
+            with trace.span("hot"):
+                pass
+        per_span = (perf_counter() - start) / iterations
+        # All the spans a traced tc run opens, priced at the null rate,
+        # must stay under 2% of the kernel's execute wall time.
+        assert per_span * span_count <= 0.02 * max(report.wall_seconds, 1e-3)
