@@ -50,6 +50,31 @@ class GBVResult:
     queue_pushes: int
 
 
+class _EventAccumulator:
+    """Per-align buffers of probe events, flushed as blocks.
+
+    GBV's probe traffic never steers its control flow, so deferring the
+    per-word branches, per-parent loads and ALU credits to one block
+    flush per :meth:`GBV.align` call is observationally equivalent for
+    any probe while removing the per-event call overhead.
+    """
+
+    __slots__ = (
+        "parent_loads", "row_stores", "merge_branches", "changed_branches",
+        "queue_branches", "threshold_branches", "alu_total", "alu_dependent",
+    )
+
+    def __init__(self) -> None:
+        self.parent_loads: list[int] = []
+        self.row_stores: list[int] = []
+        self.merge_branches: list[bool] = []
+        self.changed_branches: list[bool] = []
+        self.queue_branches: list[bool] = []
+        self.threshold_branches: tuple[list[bool], list[bool]] = ([], [])
+        self.alu_total = 0
+        self.alu_dependent = 0
+
+
 class GBV:
     """Graph Myers aligner for one query, reusable across graphs."""
 
@@ -90,12 +115,18 @@ class GBV:
         in_queue = [True] * len(rows)
         queue_pushes += len(rows)
 
+        # The probe never steers control flow, so data-dependent outcomes
+        # and addresses accumulate per site and flush as blocks after the
+        # stabilization loop instead of one call per word/parent/child.
+        acc = _EventAccumulator()
+
         while heap:
             row = heapq.heappop(heap)
             in_queue[row] = False
             delta = self._delta.get(row_base[row], self._delta["N"])
             new_value = self._compute_row(
-                [values[p] for p in row_parents[row]], delta, row_address, row_parents[row]
+                [values[p] for p in row_parents[row]], delta, row_address,
+                row_parents[row], acc,
             )
             rows_computed += 1
             computed[row] += 1
@@ -103,28 +134,38 @@ class GBV:
             if old_value is not None:
                 improved = new_value < old_value
                 changed = bool(improved.any())
-                probe.alu(OpClass.SCALAR_ALU, self._words)
+                acc.alu_total += self._words
                 # Per-word merge comparisons: the data-dependent branches
                 # of the graph merge step (Section 5.2).
                 words = max(1, len(improved) // 64)
-                for word in range(words):
-                    segment = improved[word * 64 : (word + 1) * 64]
-                    probe.branch(site=32, taken=bool(segment.any()))
+                merged = improved[: words * 64]
+                acc.merge_branches.extend(
+                    (np.add.reduceat(merged, np.arange(words) * 64) > 0).tolist()
+                )
             else:
                 changed = True
-            probe.branch(site=30, taken=changed)
+            acc.changed_branches.append(changed)
             if not changed:
                 continue
             if old_value is not None:
                 np.minimum(new_value, old_value, out=new_value)
             values[row] = new_value
-            probe.store(row_address[row], row_bytes)
+            acc.row_stores.append(row_address[row])
             for child in row_children[row]:
-                probe.branch(site=31, taken=not in_queue[child])
+                acc.queue_branches.append(not in_queue[child])
                 if not in_queue[child]:
                     heapq.heappush(heap, child)
                     in_queue[child] = True
                     queue_pushes += 1
+
+        probe.load_block(acc.parent_loads, self._words * 16)
+        probe.store_block(acc.row_stores, row_bytes)
+        probe.alu_bulk(OpClass.SCALAR_ALU, acc.alu_total, acc.alu_dependent)
+        probe.branch_trace(32, acc.merge_branches)
+        probe.branch_trace(30, acc.changed_branches)
+        probe.branch_trace(31, acc.queue_branches)
+        probe.branch_trace(36, acc.threshold_branches[0])
+        probe.branch_trace(38, acc.threshold_branches[1])
 
         best = _BIG
         best_row = 0
@@ -201,27 +242,29 @@ class GBV:
         delta: np.ndarray,
         row_address: list[int],
         parent_ids: list[int],
+        acc: "_EventAccumulator",
     ) -> np.ndarray:
         """Evaluate one row from its parents (plus the virtual start row)."""
-        probe = self.probe
         candidates = [self._candidate(self._virtual, delta)]
         for parent_id, parent in zip(parent_ids, parent_values):
             if parent is None:
                 continue
-            probe.load(row_address[parent_id], self._words * 16)
+            acc.parent_loads.append(row_address[parent_id])
             candidates.append(self._candidate(parent, delta))
             # The Myers word update is a serial chain of bit operations
             # (carry-propagating adds); about half its depth overlaps.
-            probe.alu(OpClass.SCALAR_ALU, 7 * self._words, dependent=True)
-            probe.alu(OpClass.SCALAR_ALU, 7 * self._words)
+            acc.alu_total += 14 * self._words
+            acc.alu_dependent += 7 * self._words
         row = candidates[0]
+        # bitvector merges
+        acc.alu_total += 6 * self._words * (len(candidates) - 1)
         for other in candidates[1:]:
             np.minimum(row, other, out=row)
-            probe.alu(OpClass.SCALAR_ALU, 6 * self._words)  # bitvector merge
         # Horizontal pass: row[j] = min_k<=j row[k] + (j - k).
         np.minimum.accumulate(row - self._indices, out=row)
         row += self._indices
-        probe.alu(OpClass.SCALAR_ALU, 4 * self._words, dependent=True)
+        acc.alu_total += 4 * self._words
+        acc.alu_dependent += 4 * self._words
         row[0] = 0
         # Per-word score/band threshold checks: GraphAligner decides per
         # word whether the block is still under the score band, and the
@@ -229,7 +272,7 @@ class GBV:
         m = len(row) - 1
         for word in range(0, self._words, 2):
             cell = int(row[min(word * 64 + 63, m)])
-            probe.branch(site=36 + (word % 4), taken=(cell & 3) == 0)
+            acc.threshold_branches[(word % 4) // 2].append((cell & 3) == 0)
         return row
 
     def _candidate(self, parent: np.ndarray, delta: np.ndarray) -> np.ndarray:

@@ -132,6 +132,14 @@ class GSSW:
         self._profile_base = self._space.alloc(4 * self.segment_length * self._word_bytes)
         self._graph_base = self._space.alloc(1 << 16)
         self._profile = self._build_profile()
+        # Per-column striped-row addresses and swizzle scatter offsets are
+        # the same for every column; precompute them once for block emission.
+        self._profile_row = self._profile_base + self._word_bytes * np.arange(
+            self.segment_length, dtype=np.int64
+        )
+        # Lane l / segment s holds query position l*seg + s, so walking
+        # lanes then segments visits query positions 0..len(query)-1.
+        self._swizzle_positions = np.arange(len(query), dtype=np.int64)
 
     def _build_profile(self) -> dict[str, np.ndarray]:
         seg = self.segment_length
@@ -162,6 +170,9 @@ class GSSW:
         best = 0
         best_node = best_offset = best_q = 0
         cells = 0
+        improved_flags: list[bool] = []
+        lazyf_branches: list[bool] = []
+        lazyf_alu = [0]
 
         for node_id in order:
             node = graph.node(node_id)
@@ -188,19 +199,31 @@ class GSSW:
             h_store = h_prev
             e = e_prev
             sequence_base = self._space.alloc(len(node))
+            probe.load_block(
+                sequence_base + np.arange(len(node), dtype=np.int64), 1
+            )
+            row_stride = len(node) * self.LANE_BYTES
+            swizzle_rows = base_address + self._swizzle_positions * row_stride
             for offset, base in enumerate(node.sequence):
-                probe.load(sequence_base + offset, 1)
                 h_store, e = self._column(
                     h_store, e, self._profile.get(base, self._profile["A"]),
                     open_cost, extend_cost,
                     first=(offset == 0 and not parents),
+                    lazyf_branches=lazyf_branches,
+                    lazyf_alu=lazyf_alu,
                 )
                 cells += len(self.query)
                 if self.store_full_matrix:
-                    self._swizzle_store(base_address, offset, len(node))
+                    # Scatter the packed column into the row-major node
+                    # matrix: consecutive stores stride by the node length —
+                    # the poor-locality writeback VTune blames for GSSW's
+                    # memory stalls.
+                    probe.store_block(
+                        swizzle_rows + offset * self.LANE_BYTES, self.LANE_BYTES
+                    )
                 column_best = int(h_store.max())
                 improved = column_best > best
-                probe.branch(site=10, taken=improved)
+                improved_flags.append(improved)
                 if improved:
                     best = column_best
                     best_node = node_id
@@ -211,6 +234,9 @@ class GSSW:
                     best_q = int(lane) * seg + int(segment) + 1
             final_h[node_id] = h_store
             final_e[node_id] = e
+        probe.branch_trace(11, lazyf_branches)
+        probe.alu_bulk(OpClass.VECTOR_ALU, lazyf_alu[0])
+        probe.branch_trace(10, improved_flags)
         return GraphAlignmentResult(
             score=int(best),
             end_node=best_node,
@@ -227,8 +253,15 @@ class GSSW:
         open_cost: int,
         extend_cost: int,
         first: bool,
+        lazyf_branches: list[bool],
+        lazyf_alu: list[int],
     ) -> tuple[np.ndarray, np.ndarray]:
-        """One striped SW column given the previous column (striped layout)."""
+        """One striped SW column given the previous column (striped layout).
+
+        Lazy-F's data-dependent exit branches and vector-op counts are
+        accumulated into the caller's lists and flushed as one block per
+        :meth:`align` call.
+        """
         seg = self.segment_length
         probe = self.probe
         h_store = np.zeros((seg, self.lanes), dtype=np.int64)
@@ -237,59 +270,39 @@ class GSSW:
         h = np.empty(self.lanes, dtype=np.int64)
         h[0] = 0
         h[1:] = h_prev[seg - 1, : self.lanes - 1]
-        probe.alu(OpClass.VECTOR_ALU, 1)
         f = np.full(self.lanes, _NEG_INF, dtype=np.int64)
 
         for segment in range(seg):
-            probe.load(self._profile_base + segment * self._word_bytes, self._word_bytes)
             h = h + profile[segment]
             np.maximum(h, e_prev_col(e_prev, segment, open_cost, extend_cost, h_prev), out=h)
             np.maximum(h, f, out=h)
             np.maximum(h, 0, out=h)
-            probe.alu(OpClass.VECTOR_ALU, 4, dependent=True)
             h_store[segment] = h
             e[segment] = np.maximum(h_prev[segment] - open_cost, e_prev[segment] - extend_cost)
             f = np.maximum(h - open_cost, f - extend_cost)
-            probe.alu(OpClass.VECTOR_ALU, 6, dependent=True)
             h = h_prev[segment].copy()
+        probe.load_block(self._profile_row, self._word_bytes)
+        # 1 lane shift + 10 dependent vector ops per segment.
+        probe.alu(OpClass.VECTOR_ALU, 10 * seg, dependent=True)
+        probe.alu(OpClass.VECTOR_ALU, 1)
 
         done = False
         for _ in range(self.lanes):
             f = np.concatenate(([np.int64(_NEG_INF)], f[:-1]))
-            probe.alu(OpClass.VECTOR_ALU, 1)
+            lazyf_alu[0] += 1
             for segment in range(seg):
                 np.maximum(h_store[segment], f, out=h_store[segment])
                 threshold = h_store[segment] - open_cost
                 f = f - extend_cost
-                probe.alu(OpClass.VECTOR_ALU, 4)
+                lazyf_alu[0] += 4
                 continuing = bool((f > threshold).any())
-                probe.branch(site=11, taken=continuing)
+                lazyf_branches.append(continuing)
                 if not continuing:
                     done = True
                     break
             if done:
                 break
         return h_store, e
-
-    def _swizzle_store(self, base_address: int, offset: int, node_length: int) -> None:
-        """Scatter the packed column into the row-major node matrix.
-
-        Lane l / segment s holds query position ``l*seg + s``; row-major
-        means consecutive stores stride by the node length — the
-        poor-locality writeback VTune blames for GSSW's memory stalls.
-        """
-        probe = self.probe
-        seg = self.segment_length
-        row_stride = node_length * self.LANE_BYTES
-        for lane in range(self.lanes):
-            for segment in range(seg):
-                query_position = lane * seg + segment
-                if query_position >= len(self.query):
-                    continue
-                probe.store(
-                    base_address + query_position * row_stride + offset * self.LANE_BYTES,
-                    self.LANE_BYTES,
-                )
 
 
 def e_prev_col(

@@ -125,29 +125,45 @@ class _GWFARun:
         return None
 
     def _extend_all(self, frontier: dict[tuple[int, int], int]) -> None:
-        """Greedy match extension, cascading node-end expansions (cost 0)."""
+        """Greedy match extension, cascading node-end expansions (cost 0).
+
+        Per-state events buffer in Python lists and flush as one block
+        per wavefront, matching the kernel's natural batch size.
+        """
         m = len(self.query)
         probe = self.probe
         worklist = list(frontier.items())
+        state_loads: list[int] = []
+        child_loads: list[int] = []
+        child_branches: list[bool] = []
+        match_outcomes: list[bool] = []
+        match_bulk = 0
+        guards = 0
+        alu_total = 0
+        alu_dependent = 0
         while worklist:
             (node_id, k), j = worklist.pop()
             if frontier.get((node_id, k), _NONE) > j:
                 continue
             sequence = self.sequence_of(node_id)
-            probe.load(abs(node_id) * 64, 8)
+            state_loads.append(abs(node_id) * 64)
             i = j - k
             start_j = j
             while i < len(sequence) and j < m and sequence[i] == self.query[j]:
                 i += 1
                 j += 1
-            self.stats.cells_extended += j - start_j
+            advanced = j - start_j
+            self.stats.cells_extended += advanced
             # Wavefront bookkeeping + per-character compare/advance ops.
-            probe.alu(OpClass.SCALAR_ALU, 16 + 8 * (j - start_j))
-            probe.alu(OpClass.SCALAR_ALU, max(1, (j - start_j) // 2), dependent=True)
-            probe.branch_run(site=50, taken_count=j - start_j)
-            # Bounds guards: almost always in-range, well predicted.
-            probe.branch(site=52, taken=False)
-            probe.branch(site=54, taken=False)
+            alu_total += 16 + 8 * advanced + max(1, advanced // 2)
+            alu_dependent += max(1, advanced // 2)
+            # The match loop-back branch: boundary outcomes simulated,
+            # the saturated middle credited in bulk (like branch_run).
+            trained = min(advanced, 3)
+            match_outcomes.extend([True] * trained)
+            match_bulk += advanced - trained
+            match_outcomes.append(False)
+            guards += 1
             if j > frontier.get((node_id, k), _NONE):
                 frontier[(node_id, k)] = j
             if i >= len(sequence) and j < m:
@@ -157,12 +173,22 @@ class _GWFARun:
                 # cross more nodes (the paper's lr-vs-cr contrast).
                 for child in self.successors_of(node_id):
                     self.stats.expansions += 1
-                    probe.load(child * 64, 8)
-                    probe.branch(site=53, taken=((child * 2654435761) >> 13) & 1 == 1)
+                    child_loads.append(child * 64)
+                    child_branches.append(((child * 2654435761) >> 13) & 1 == 1)
                     child_key = (child, j)  # child i' = 0 -> k' = j
                     if j > frontier.get(child_key, _NONE):
                         frontier[child_key] = j
                         worklist.append((child_key, j))
+        probe.load_block(state_loads, 8)
+        probe.alu_bulk(OpClass.SCALAR_ALU, alu_total, alu_dependent)
+        probe.branch_trace(50, match_outcomes)
+        if match_bulk:
+            probe.branch_bulk(50, match_bulk)
+        # Bounds guards: almost always in-range, well predicted.
+        probe.branch_trace(52, [False] * guards)
+        probe.branch_trace(54, [False] * guards)
+        probe.load_block(child_loads, 8)
+        probe.branch_trace(53, child_branches)
 
     def _next_wavefront(
         self, frontier: dict[tuple[int, int], int]
@@ -191,12 +217,12 @@ class _GWFARun:
                 out[key] = j
 
         m = len(self.query)
+        state_loads: list[int] = []
+        range_branches: list[bool] = []
         for (node_id, k), j in frontier.items():
             self.stats.states_processed += 1
-            probe.load(abs(node_id) * 64 + (k % 64), 8)
-            probe.alu(OpClass.SCALAR_ALU, 20)  # three offers' bound checks
-            probe.alu(OpClass.SCALAR_ALU, 4, dependent=True)  # FR max chain
-            probe.branch(site=51, taken=j < m)  # in-range check, predictable
+            state_loads.append(abs(node_id) * 64 + (k % 64))
+            range_branches.append(j < m)  # in-range check, predictable
             length = len(self.sequence_of(node_id))
             i = j - k
             offer(node_id, k, j + 1)      # mismatch
@@ -209,6 +235,12 @@ class _GWFARun:
                     offer(child, j, j + 1)      # mismatch
                     offer(child, j + 1, j + 1)  # insertion at child entry
                     offer(child, j - 1, j)      # deletion of child's first base
+        probe.load_block(state_loads, 8)
+        # 20 bound-check ops for the three offers + the 4-deep FR max chain.
+        probe.alu_bulk(
+            OpClass.SCALAR_ALU, 24 * len(state_loads), 4 * len(state_loads)
+        )
+        probe.branch_trace(51, range_branches)
         return out
 
 

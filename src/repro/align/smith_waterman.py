@@ -140,6 +140,7 @@ class StripedSmithWaterman:
     def _run(self, target: str) -> tuple[int, int, int]:
         seg = self.segment_length
         probe = self.probe
+        word_bytes = self._word_bytes
         open_cost = self.scoring.gap_open + self.scoring.gap_extend
         extend_cost = self.scoring.gap_extend
 
@@ -151,9 +152,22 @@ class StripedSmithWaterman:
         best_t = 0
         # Each target window is a fresh reference region: streaming reads.
         target_base = _TARGET_SPACE.alloc(len(target))
+        probe.load_block(target_base + np.arange(len(target), dtype=np.int64), 1)
+
+        # The per-column memory walk is the same every column: striped
+        # rows of the profile, H and E arrays.  Emit whole-row address
+        # arrays once per column instead of per-segment events.
+        segment_offsets = word_bytes * np.arange(seg, dtype=np.int64)
+        profile_row = self._profile_base + segment_offsets
+        h_store_row = self._h_base + segment_offsets
+        e_row = self._e_base + segment_offsets
+        h_load_row = self._h_base + seg * word_bytes + segment_offsets
+        improved_flags: list[bool] = []
+        lazyf_stores: list[int] = []
+        lazyf_branches: list[bool] = []
+        lazyf_alu = 0
 
         for j, base in enumerate(target):
-            probe.load(target_base + j, 1)
             if base not in self._profile:
                 base = "A"  # Ns score as mismatches against the profile of A
             profile = self._profile[base]
@@ -161,45 +175,44 @@ class StripedSmithWaterman:
             h = np.empty(self.lanes, dtype=np.int64)
             h[0] = 0
             h[1:] = h_store[seg - 1, : self.lanes - 1]
-            probe.alu(OpClass.VECTOR_ALU, 1)  # lane shift
             h_store, h_load = h_load, h_store
             f = np.full(self.lanes, _NEG_INF, dtype=np.int64)
 
             for segment in range(seg):
-                probe.load(self._profile_base + segment * self._word_bytes, self._word_bytes)
                 h = h + profile[segment]
                 np.maximum(h, e[segment], out=h)
                 np.maximum(h, f, out=h)
                 np.maximum(h, 0, out=h)
-                probe.alu(OpClass.VECTOR_ALU, 4, dependent=True)
                 h_store[segment] = h
-                probe.store(self._h_base + segment * self._word_bytes, self._word_bytes)
                 e[segment] = np.maximum(h - open_cost, e[segment] - extend_cost)
                 f = np.maximum(h - open_cost, f - extend_cost)
-                probe.alu(OpClass.VECTOR_ALU, 6, dependent=True)
-                probe.load(self._e_base + segment * self._word_bytes, self._word_bytes)
-                probe.store(self._e_base + segment * self._word_bytes, self._word_bytes)
                 h = h_load[segment].copy()
-                probe.load(
-                    self._h_base + seg * self._word_bytes + segment * self._word_bytes,
-                    self._word_bytes,
-                )
+            probe.load_block(profile_row, word_bytes)
+            probe.store_block(h_store_row, word_bytes)
+            probe.load_block(e_row, word_bytes)
+            probe.store_block(e_row, word_bytes)
+            probe.load_block(h_load_row, word_bytes)
+            # 1 lane shift + 10 dependent vector ops per segment (4 for
+            # the H recurrence, 6 for the E/F updates).
+            probe.alu(OpClass.VECTOR_ALU, 10 * seg, dependent=True)
+            probe.alu(OpClass.VECTOR_ALU, 1)
 
             # Lazy-F: propagate F across stripes until no lane can improve
-            # (the vertical dependency Farrar speculates away).
+            # (the vertical dependency Farrar speculates away).  The
+            # stores and data-dependent exit branches are accumulated and
+            # flushed as blocks after the column sweep.
             done = False
             for _ in range(self.lanes):
                 f = np.concatenate(([np.int64(_NEG_INF)], f[:-1]))
-                probe.alu(OpClass.VECTOR_ALU, 1)
+                lazyf_alu += 1
                 for segment in range(seg):
                     np.maximum(h_store[segment], f, out=h_store[segment])
-                    probe.alu(OpClass.VECTOR_ALU, 1)
-                    probe.store(self._h_base + segment * self._word_bytes, self._word_bytes)
+                    lazyf_stores.append(self._h_base + segment * word_bytes)
                     threshold = h_store[segment] - open_cost
                     f = f - extend_cost
-                    probe.alu(OpClass.VECTOR_ALU, 3)
+                    lazyf_alu += 4
                     continuing = bool((f > threshold).any())
-                    probe.branch(site=2, taken=continuing)
+                    lazyf_branches.append(continuing)
                     if not continuing:
                         done = True
                         break
@@ -208,12 +221,17 @@ class StripedSmithWaterman:
 
             column_best = int(h_store.max())
             improved = column_best > best
-            probe.branch(site=1, taken=improved)
+            improved_flags.append(improved)
             if improved:
                 best = column_best
                 best_t = j + 1
                 segment, lane = np.unravel_index(int(h_store.argmax()), h_store.shape)
                 best_q = int(lane) * seg + int(segment) + 1
+
+        probe.store_block(lazyf_stores, word_bytes)
+        probe.branch_trace(2, lazyf_branches)
+        probe.alu_bulk(OpClass.VECTOR_ALU, lazyf_alu)
+        probe.branch_trace(1, improved_flags)
         return best, best_q, best_t
 
 

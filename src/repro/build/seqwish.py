@@ -90,8 +90,15 @@ class ImplicitIntervalTree:
         self.base = space.alloc(16 * (2 * self._leaf_base))
 
     def stab(self, position: int, probe: MachineProbe,
-             stats: TranscloseStats) -> list[tuple[int, int, int]]:
-        """All intervals containing *position*."""
+             stats: TranscloseStats,
+             acc: "tuple[list[int], list[bool]] | None" = None,
+             ) -> list[tuple[int, int, int]]:
+        """All intervals containing *position*.
+
+        With *acc* — a ``(load_addresses, prune_outcomes)`` pair — the
+        per-node events accumulate there for the caller to flush as one
+        block across many stabs; otherwise they flush per call.
+        """
         stats.tree_queries += 1
         hits: list[tuple[int, int, int]] = []
         if self.size == 0:
@@ -99,11 +106,13 @@ class ImplicitIntervalTree:
         intervals = self.intervals
         max_end = self._max_end
         leaf_base = self._leaf_base
+        loads, prunes = acc if acc is not None else ([], [])
+        visited = 0
         stack = [1]
         while stack:
             node = stack.pop()
-            stats.tree_nodes_visited += 1
-            probe.load(self.base + 16 * node, 16)
+            visited += 1
+            loads.append(self.base + 16 * node)
             # Per-node arithmetic: heap index math (2n, 2n+1), the
             # max-end and start comparisons, the leaf test, and the
             # explicit-stack bookkeeping.  The compiled loop falls
@@ -111,9 +120,8 @@ class ImplicitIntervalTree:
             # prune is the rare taken edge, so the branch is strongly
             # biased and the predictor tracks it almost perfectly —
             # this is why seqwish retires instead of speculating.
-            probe.alu(OpClass.SCALAR_ALU, 8)
             pruned = max_end[node] <= position
-            probe.branch(site=1201, taken=pruned)
+            prunes.append(pruned)
             if pruned:
                 continue
             if node >= leaf_base:
@@ -132,6 +140,11 @@ class ImplicitIntervalTree:
             if right_first < self.size and \
                     intervals[right_first][0] <= position:
                 stack.append(right)
+        stats.tree_nodes_visited += visited
+        if acc is None:
+            probe.load_block(loads, 16)
+            probe.alu_bulk(OpClass.SCALAR_ALU, 8 * visited)
+            probe.branch_trace(1201, prunes)
         return hits
 
     def _first_leaf(self, node: int) -> int:
@@ -191,52 +204,69 @@ def transclose(
     # time, the way seqwish's sdsl bitvector is actually consumed: one
     # load and a tzcnt-style scan per word, with a single skip branch
     # when every bit in the word is already set.
+    # Events buffer in flat lists over the whole sweep and flush as
+    # blocks before the closure span closes, so per-phase attribution
+    # still sees them inside ``seqwish/closure``.
     with trace.span("seqwish/closure"):
+        word_loads: list[int] = []
+        word_skips: list[bool] = []
+        bit_stores: list[int] = []
+        closure_stores: list[int] = []
+        partner_loads: list[int] = []
+        tree_acc: tuple[list[int], list[bool]] = ([], [])
+        alu_total = 0
         for word_start in range(0, total, 64):
             word_end = min(word_start + 64, total)
             stats.bitvector_reads += word_end - word_start
-            probe.load(bitvector_base + word_start // 8, 8)
-            probe.alu(OpClass.SCALAR_ALU, 2)
-            probe.branch(
-                site=1202,
-                taken=all(seen[word_start:word_end]),
-            )
+            word_loads.append(bitvector_base + word_start // 8)
+            alu_total += 2
+            word_skips.append(all(seen[word_start:word_end]))
             for position in range(word_start, word_end):
                 if seen[position]:
                     continue
                 # tzcnt + clearing the found bit + global offset math.
-                probe.alu(OpClass.SCALAR_ALU, 2)
+                alu_total += 2
                 closure_id = len(closure_base)
                 base = text[position]
                 seen[position] = 1
-                probe.store(bitvector_base + position // 8, 1)
+                bit_stores.append(bitvector_base + position // 8)
                 stack = [position]
                 while stack:
                     current = stack.pop()
                     closure_of[current] = closure_id
-                    probe.alu(OpClass.SCALAR_ALU, 2)
-                    probe.store(closure_base_addr + 4 * current, 4)
+                    alu_total += 2
+                    closure_stores.append(closure_base_addr + 4 * current)
                     if text[current] != base:
                         raise GraphError(
                             "non-exact match: closure would merge "
                             f"{base!r} with {text[current]!r}"
                         )
-                    for start, _end, other in tree.stab(current, probe, stats):
+                    for start, _end, other in tree.stab(
+                        current, probe, stats, acc=tree_acc
+                    ):
                         partner = other + (current - start)
                         stats.bitvector_reads += 1
                         stats.unions += 1
-                        probe.load(bitvector_base + partner // 8, 1)
+                        partner_loads.append(bitvector_base + partner // 8)
                         # Branchless union step: bit test, unconditional
                         # OR-write of the mark, and a conditionally-moved
                         # stack cursor bump — no mispredictable branch on
                         # the seen bit (it flips exactly once per
                         # position, the worst case for a predictor).
-                        probe.alu(OpClass.SCALAR_ALU, 6)
+                        alu_total += 6
                         if not seen[partner]:
                             seen[partner] = 1
-                            probe.store(bitvector_base + partner // 8, 1)
+                            bit_stores.append(bitvector_base + partner // 8)
                             stack.append(partner)
                 closure_base.append(base)
+        probe.load_block(word_loads, 8)
+        probe.branch_trace(1202, word_skips)
+        probe.load_block(tree_acc[0], 16)
+        probe.branch_trace(1201, tree_acc[1])
+        probe.load_block(partner_loads, 1)
+        probe.store_block(closure_stores, 4)
+        probe.store_block(bit_stores, 1)
+        probe.alu_bulk(OpClass.SCALAR_ALU, alu_total + 8 * len(tree_acc[0]))
     stats.closures = len(closure_base)
     return TranscloseResult(
         offsets=offsets,
@@ -292,6 +322,7 @@ def _induce_from_closure(
     predecessors: dict[int, set[int]] = {}
     walk_starts: set[int] = set()
     walk_ends: set[int] = set()
+    link_ops = 0
     for record in records:
         offset = closure.offsets[record.name]
         walk = closure_of[offset : offset + len(record.sequence)]
@@ -301,7 +332,8 @@ def _induce_from_closure(
         for source, target in zip(walk, walk[1:]):
             successors.setdefault(source, set()).add(target)
             predecessors.setdefault(target, set()).add(source)
-            probe.alu(OpClass.SCALAR_ALU, 2)
+            link_ops += 2
+    probe.alu_bulk(OpClass.SCALAR_ALU, link_ops)
 
     def merges_with_predecessor(closure_id: int) -> bool:
         """True when this closure extends its unique predecessor's node."""
@@ -319,9 +351,11 @@ def _induce_from_closure(
     chain_of: list[int] = [-1] * n_closures
     chain_index: list[int] = [0] * n_closures
     chains: list[list[int]] = []
+    merge_branches: list[bool] = []
+    member_stores: list[int] = []
     for closure_id in range(n_closures):
         merged = merges_with_predecessor(closure_id)
-        probe.branch(site=1204, taken=merged)
+        merge_branches.append(merged)
         if merged:
             continue
         chain = [closure_id]
@@ -339,8 +373,10 @@ def _induce_from_closure(
         for index, member in enumerate(chain):
             chain_of[member] = chain_id
             chain_index[member] = index
-            probe.store((1 << 24) + 8 * member, 8)
+            member_stores.append((1 << 24) + 8 * member)
         chains.append(chain)
+    probe.branch_trace(1204, merge_branches)
+    probe.store_block(member_stores, 8)
 
     graph = SequenceGraph()
     for chain_id, chain in enumerate(chains):

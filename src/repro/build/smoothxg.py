@@ -67,18 +67,24 @@ def smooth(
     space = AddressSpace()
     bucket_base = space.alloc(8 * max(1, graph.node_count))
 
-    # Bucket each node by the smallest path offset reaching it.
+    # Bucket each node by the smallest path offset reaching it.  The
+    # per-step bucket-table traffic accumulates per span and flushes as
+    # blocks (the probe never steers the partition).
     with trace.span("smoothxg/bucket"):
         min_offset: dict[int, int] = {}
+        bucket_loads: list[int] = []
+        bucket_stores: list[int] = []
         for path in graph.paths():
             offset = 0
             for node_id in path.nodes:
-                probe.load(bucket_base + 8 * (node_id % 4096), 8)
-                probe.alu(OpClass.SCALAR_ALU, 2)
+                bucket_loads.append(bucket_base + 8 * (node_id % 4096))
                 if node_id not in min_offset or offset < min_offset[node_id]:
                     min_offset[node_id] = offset
-                    probe.store(bucket_base + 8 * (node_id % 4096), 8)
+                    bucket_stores.append(bucket_base + 8 * (node_id % 4096))
                 offset += len(graph.node(node_id))
+        probe.load_block(bucket_loads, 8)
+        probe.alu_bulk(OpClass.SCALAR_ALU, 2 * len(bucket_loads))
+        probe.store_block(bucket_stores, 8)
         bucket_of = {
             node_id: offset // block_length
             for node_id, offset in min_offset.items()
@@ -88,6 +94,7 @@ def smooth(
     with trace.span("smoothxg/cut"):
         block_nodes: dict[int, set[int]] = {}
         block_fragments: dict[int, list[str]] = {}
+        cut_branches: list[bool] = []
         for node_id, bucket in bucket_of.items():
             block_nodes.setdefault(bucket, set()).add(node_id)
         for path in graph.paths():
@@ -95,7 +102,7 @@ def smooth(
             fragment_bucket: int | None = None
             for node_id in path.nodes:
                 bucket = bucket_of[node_id]
-                probe.branch(site=1401, taken=bucket != fragment_bucket)
+                cut_branches.append(bucket != fragment_bucket)
                 if bucket != fragment_bucket and fragment:
                     block_fragments.setdefault(fragment_bucket, []).append(
                         "".join(fragment)
@@ -107,6 +114,7 @@ def smooth(
                 block_fragments.setdefault(fragment_bucket, []).append(
                     "".join(fragment)
                 )
+        probe.branch_trace(1401, cut_branches)
 
     stats = SmoothStats()
     blocks: list[SmoothBlock] = []

@@ -30,6 +30,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.align.wfa import wfa_edit_distance
 from repro.errors import AlignmentError
 from repro.index.minimizer import Minimizer, minimizers
@@ -92,12 +94,13 @@ def all_to_all(
         sketches = [_Sketch(record, k, w, space) for record in records]
     matches: list[Match] = []
     with trace.span("wfmash/map"):
+        gate_outcomes: list[bool] = []
         for qi in range(len(records)):
             for ti in range(qi + 1, len(records)):
                 stats.pairs_considered += 1
                 query, target = sketches[qi], sketches[ti]
                 jaccard = query.jaccard(target, probe)
-                probe.branch(site=1101, taken=jaccard >= min_jaccard)
+                gate_outcomes.append(jaccard >= min_jaccard)
                 if jaccard < min_jaccard:
                     continue
                 emitted = _map_pair(
@@ -109,6 +112,7 @@ def all_to_all(
                 if emitted:
                     stats.pairs_mapped += 1
                     matches.extend(emitted)
+        probe.branch_trace(1101, gate_outcomes)
     return matches, stats
 
 
@@ -128,14 +132,13 @@ class _Sketch:
         self.base = space.alloc(16 * max(1, len(self.minimizers)))
 
     def jaccard(self, other: "_Sketch", probe: MachineProbe) -> float:
-        shared = 0
         small, large = (self, other) if len(self.hashes) <= len(other.hashes) \
             else (other, self)
-        for index, hash_value in enumerate(small.hashes):
-            probe.load(small.base + 16 * (index % max(1, len(small.minimizers))), 8)
-            probe.alu(OpClass.SCALAR_ALU, 2)
-            if hash_value in large.hashes:
-                shared += 1
+        n = len(small.hashes)
+        modulus = max(1, len(small.minimizers))
+        probe.load_block(small.base + 16 * (np.arange(n) % modulus), 8)
+        probe.alu_bulk(OpClass.SCALAR_ALU, 2 * n)
+        shared = len(small.hashes & large.hashes)
         union = len(self.hashes) + len(other.hashes) - shared
         if union == 0:
             return 0.0
@@ -161,6 +164,22 @@ def _map_pair(
     covered: dict[int, int] = {}
     minimizer_index = 0
     n_minimizers = len(query.minimizers)
+    # Per-pair event accumulators, flushed as blocks after the segment
+    # loop (the probe never steers the mapping, so batching preserves
+    # the event stream up to ordering against the WFA's own events).
+    table_loads: list[int] = []
+    hit_branches: list[bool] = []
+    anchor_alu = 0
+    vote_alu = 0
+    vote_stores: list[int] = []
+    divergence_branches: list[bool] = []
+    covered_loads: list[int] = []
+    covered_branches: list[bool] = []
+    extend_alu = 0
+    left_outcomes: list[bool] = []
+    left_bulk = 0
+    right_outcomes: list[bool] = []
+    right_bulk = 0
     for start in range(0, len(a), segment_length):
         end = min(start + segment_length, len(a))
         if end - start < query.k:
@@ -174,16 +193,16 @@ def _map_pair(
         while scan < n_minimizers and query.minimizers[scan].position < end:
             minimizer = query.minimizers[scan]
             scan += 1
-            probe.load(target.base + 16 * (minimizer.hash_value %
-                                           max(1, len(target.minimizers))), 8)
+            table_loads.append(target.base + 16 * (minimizer.hash_value %
+                                                   max(1, len(target.minimizers))))
             hits = target.table.get(minimizer.hash_value)
-            probe.branch(site=1102, taken=hits is not None)
+            hit_branches.append(hits is not None)
             if not hits:
                 continue
             for hit in hits:
                 if hit.is_reverse == minimizer.is_reverse:
                     anchors.append((minimizer.position, hit.position))
-                    probe.alu(OpClass.SCALAR_ALU, 2)
+                    anchor_alu += 2
         stats.anchors += len(anchors)
         if not anchors:
             stats.segments_rejected += 1
@@ -193,8 +212,8 @@ def _map_pair(
         for q_pos, t_pos in anchors:
             bucket = (t_pos - q_pos) // _DIAG_BUCKET
             votes[bucket] = votes.get(bucket, 0) + 1
-            probe.alu(OpClass.SCALAR_ALU, 3)
-            probe.store(query.base + 8 * (bucket % max(1, len(votes))), 8)
+            vote_alu += 3
+            vote_stores.append(query.base + 8 * (bucket % max(1, len(votes))))
         best_bucket = max(votes, key=lambda bucket: (votes[bucket], -bucket))
         best_diag = best_bucket * _DIAG_BUCKET + _DIAG_BUCKET // 2
         segment_anchors = [
@@ -218,21 +237,34 @@ def _map_pair(
         stats.wfa_cells += (result.stats.cells_extended
                             + result.stats.diagonals_processed)
         divergence = result.distance / max(end - start, t_hi - t_lo)
-        probe.branch(site=1103, taken=divergence <= max_divergence)
+        divergence_branches.append(divergence <= max_divergence)
         if divergence > max_divergence:
             stats.segments_rejected += 1
             continue
         stats.segments_mapped += 1
         for q_pos, t_pos in sorted(segment_anchors):
             diag = t_pos - q_pos
-            probe.load(query.base + 8 * (diag % 1024), 8)
-            probe.branch(site=1106, taken=covered.get(diag, -1) > q_pos)
+            covered_loads.append(query.base + 8 * (diag % 1024))
+            covered_branches.append(covered.get(diag, -1) > q_pos)
             if covered.get(diag, -1) > q_pos:
                 continue
-            match = _extend_anchor(a, b, q_pos, t_pos, probe)
-            if match is None or match[2] < min_match:
+            match = _extend_anchor(a, b, q_pos, t_pos)
+            if match is None:
                 continue
             q_start, t_start, length = match
+            extend_alu += 2 * length
+            left = q_pos - q_start
+            trained = min(left, 3)
+            left_outcomes.extend([True] * trained)
+            left_bulk += left - trained
+            left_outcomes.append(False)
+            right = length - left
+            trained = min(right, 3)
+            right_outcomes.extend([True] * trained)
+            right_bulk += right - trained
+            right_outcomes.append(False)
+            if length < min_match:
+                continue
             covered[diag] = q_start + length
             stats.matched_bases += length
             emitted.append(Match(
@@ -242,16 +274,31 @@ def _map_pair(
                 target_start=t_start,
                 length=length,
             ))
+    probe.load_block(table_loads, 8)
+    probe.branch_trace(1102, hit_branches)
+    probe.alu_bulk(OpClass.SCALAR_ALU, anchor_alu + vote_alu + extend_alu)
+    probe.store_block(vote_stores, 8)
+    probe.branch_trace(1103, divergence_branches)
+    probe.load_block(covered_loads, 8)
+    probe.branch_trace(1106, covered_branches)
+    probe.branch_trace(1104, left_outcomes)
+    if left_bulk:
+        probe.branch_bulk(1104, left_bulk)
+    probe.branch_trace(1105, right_outcomes)
+    if right_bulk:
+        probe.branch_bulk(1105, right_bulk)
     return emitted
 
 
 def _extend_anchor(
-    a: str, b: str, q_pos: int, t_pos: int, probe: MachineProbe
+    a: str, b: str, q_pos: int, t_pos: int
 ) -> tuple[int, int, int] | None:
     """Extend an anchor to its maximal exact run; verifies every base.
 
     Returns ``(query_start, target_start, length)`` or None when the
-    anchor itself mismatches (a sketch hash collision).
+    anchor itself mismatches (a sketch hash collision).  Extension events
+    (compare ALU work, the two run branches) are credited in bulk by the
+    caller's per-pair flush.
     """
     if a[q_pos] != b[t_pos]:
         return None
@@ -264,7 +311,4 @@ def _extend_anchor(
             a[q_pos + right] == b[t_pos + right]:
         right += 1
     length = left + right
-    probe.alu(OpClass.SCALAR_ALU, 2 * length)
-    probe.branch_run(site=1104, taken_count=left)
-    probe.branch_run(site=1105, taken_count=right)
     return q_pos - left, t_pos - left, length

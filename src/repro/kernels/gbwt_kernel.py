@@ -54,16 +54,28 @@ class GBWTKernel(Kernel):
         extend_steps = 0
         record_base = 1 << 24
         record_bytes = self.RECORD_BYTES
+        # The record walks' loads and data-dependent outcomes buffer per
+        # batch of queries and flush as blocks (the probe never steers
+        # the search, so batching is event-stream equivalent).
+        record_loads: list[int] = []
+        rank_loads: list[int] = []
+        alu_total = 0
+        size_changed: list[bool] = []
+        multi_match: list[bool] = []
+        emptied: list[bool] = []
+        fanout: list[bool] = []
         for query in self.queries:
             state = self.gbwt.full_state(query[0])
-            probe.load(record_base + self.record_offset[query[0]] * record_bytes, 16)
+            record_loads.append(
+                record_base + self.record_offset[query[0]] * record_bytes
+            )
             for node_id in query[1:]:
                 # Record lookup: adjacent haplotype nodes sit in adjacent
                 # records, so these loads stay local.
                 slot = self.record_offset[node_id]
-                probe.load(record_base + slot * record_bytes, 16)
-                probe.load(
-                    record_base + slot * record_bytes + (state.start % 4) * 8, 8
+                record_loads.append(record_base + slot * record_bytes)
+                rank_loads.append(
+                    record_base + slot * record_bytes + (state.start % 4) * 8
                 )
                 previous_size = state.size
                 state = self.gbwt.extend(state, node_id)
@@ -72,18 +84,25 @@ class GBWTKernel(Kernel):
                 # dispatch, and range-collapse checks all depend on the
                 # search state's contents (the front-end / bad-speculation
                 # source in Figure 6).
-                probe.alu(OpClass.SCALAR_ALU, 12)
-                probe.branch(site=90, taken=state.size != previous_size)
-                probe.branch(site=93, taken=state.size > 1)
+                alu_total += 12
+                size_changed.append(state.size != previous_size)
+                multi_match.append(state.size > 1)
                 if state.is_empty:
-                    probe.branch(site=94, taken=True)
+                    emptied.append(True)
                     break
-                probe.branch(site=94, taken=False)
+                emptied.append(False)
             matches += state.size
             successors = self.gbwt.successors(state)
             successor_total += len(successors)
-            probe.alu(OpClass.SCALAR_ALU, 2 * max(1, state.size))
-            probe.branch(site=91, taken=len(successors) > 1)
+            alu_total += 2 * max(1, state.size)
+            fanout.append(len(successors) > 1)
+        probe.load_block(record_loads, 16)
+        probe.load_block(rank_loads, 8)
+        probe.alu_bulk(OpClass.SCALAR_ALU, alu_total)
+        probe.branch_trace(90, size_changed)
+        probe.branch_trace(93, multi_match)
+        probe.branch_trace(94, emptied)
+        probe.branch_trace(91, fanout)
         return KernelResult(
             kernel=self.name,
             wall_seconds=0.0,

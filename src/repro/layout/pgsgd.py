@@ -80,6 +80,19 @@ class PGSGDResult:
         return self.stress_history[-1] if self.stress_history else float("nan")
 
 
+class _UpdateBatch:
+    """One iteration's probe events, flushed as blocks at the barrier."""
+
+    __slots__ = ("terms", "struct_loads", "layout_loads", "layout_stores", "moved")
+
+    def __init__(self) -> None:
+        self.terms = 0
+        self.struct_loads: list[int] = []
+        self.layout_loads: list[int] = []
+        self.layout_stores: list[int] = []
+        self.moved: list[bool] = []
+
+
 class PGSGDLayout:
     """CPU PGSGD with the Hogwild!-style update loop.
 
@@ -148,10 +161,23 @@ class PGSGDLayout:
         schedule = params.schedule(eta_max=float(max_distance) ** 2)
         stress_history = [self._sample_stress()]
         updates = 0
+        probe = self.probe
         for eta in schedule:
+            # One iteration's updates flush as blocks at its barrier: the
+            # uniform-random layout reads/writes batch into address
+            # arrays while the update math itself stays per-sample.
+            batch = _UpdateBatch()
             for _ in range(params.updates_per_iteration):
-                self._update(eta)
+                self._update(eta, batch)
                 updates += 1
+            n = batch.terms
+            probe.alu_bulk(OpClass.SCALAR_ALU, 8 * n)
+            probe.alu_bulk(OpClass.VECTOR_FP, 11 * n)
+            probe.alu_bulk(OpClass.SCALAR_MUL_DIV, 3 * n, dependent_count=3 * n)
+            probe.load_block(batch.struct_loads, 8)
+            probe.load_block(batch.layout_loads, 16)
+            probe.store_block(batch.layout_stores, 16)
+            probe.branch_trace(70, batch.moved)
             # Synchronization barrier between iterations (Section 5.1).
             stress_history.append(self._sample_stress())
         return PGSGDResult(
@@ -169,8 +195,7 @@ class PGSGDLayout:
             return step.position + len(self.graph.node(step.node_id))
         return step.position
 
-    def _update(self, eta: float) -> None:
-        probe = self.probe
+    def _update(self, eta: float, batch: "_UpdateBatch") -> None:
         step_a, step_b = self.index.sample_step_pair(
             self._rng, zipf_theta=self.params.zipf_theta
         )
@@ -187,40 +212,37 @@ class PGSGDLayout:
         ))
         if target == 0.0:
             target = 1.0
-        # Sampling work: RNG state update, zipf inverse transform, two
-        # path-index lookups (sequential-ish structure).
-        probe.alu(OpClass.SCALAR_ALU, 8)
-        probe.alu(OpClass.VECTOR_FP, 2)
-        probe.load(self._layout_base + (anchor_a % 64) * 8, 8)
-        probe.load(self._layout_base + (anchor_b % 64) * 8, 8)
+        # Per term: 8 scalar sampling ops (RNG state update, zipf inverse
+        # transform, path-index lookups), 11 scalar-SSE FP ops, and the
+        # sqrt + two divides on the critical path — credited in bulk at
+        # the iteration barrier by :meth:`run`.
+        batch.terms += 1
+        batch.struct_loads.append(self._layout_base + (anchor_a % 64) * 8)
+        batch.struct_loads.append(self._layout_base + (anchor_b % 64) * 8)
         # The two random layout reads: the memory bottleneck.
         address_a = self._anchor_address(anchor_a)
         address_b = self._anchor_address(anchor_b)
-        probe.load(address_a, 16)
-        probe.load(address_b, 16)
+        batch.layout_loads.append(address_a)
+        batch.layout_loads.append(address_b)
         ax, ay = self.positions[anchor_a]
         bx, by = self.positions[anchor_b]
         dx = ax - bx
         dy = ay - by
         distance = math.sqrt(dx * dx + dy * dy)
-        probe.alu(OpClass.VECTOR_FP, 5)  # subs, muls, adds (scalar SSE)
-        probe.alu(OpClass.SCALAR_MUL_DIV, 1, dependent=True)  # sqrt
         if distance < 1e-9:
             dx, dy = 1.0, 0.0
             distance = 1.0
         mu = min(1.0, eta / (target * target))  # w_ij = 1/d^2 weighting
         magnitude = mu * (distance - target) / 2.0
-        probe.alu(OpClass.SCALAR_MUL_DIV, 2, dependent=True)  # divides
-        probe.alu(OpClass.VECTOR_FP, 4)
         ux = dx / distance * magnitude
         uy = dy / distance * magnitude
         self.positions[anchor_a][0] = ax - ux
         self.positions[anchor_a][1] = ay - uy
         self.positions[anchor_b][0] = bx + ux
         self.positions[anchor_b][1] = by + uy
-        probe.store(address_a, 16)
-        probe.store(address_b, 16)
-        probe.branch(site=70, taken=magnitude > 0)
+        batch.layout_stores.append(address_a)
+        batch.layout_stores.append(address_b)
+        batch.moved.append(magnitude > 0)
 
     def _anchor_address(self, anchor: int) -> int:
         """Probe address of an anchor's coordinates.

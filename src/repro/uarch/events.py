@@ -43,6 +43,17 @@ class MachineProbe:
 
     Subclasses override any subset.  All methods must be cheap: kernels
     call them in inner loops.
+
+    Two granularities coexist.  The *scalar* methods (:meth:`load`,
+    :meth:`store`, :meth:`branch`, :meth:`alu`) report one event per
+    call; the *batched* methods (:meth:`load_block`, :meth:`store_block`,
+    :meth:`branch_trace`, :meth:`alu_bulk`) report a whole array of
+    events in one call, in stream order.  The base-class batch methods
+    fall back to looping over the scalar ones, so a probe that only
+    overrides the scalar interface observes exactly the same event
+    stream either way; :class:`repro.uarch.machine.TraceMachine`
+    overrides the batched methods with vectorized fast paths that are
+    bit-identical to the scalar replay.
     """
 
     __slots__ = ()
@@ -93,14 +104,87 @@ class MachineProbe:
         outcome; the no-op default keeps pure timing runs free.
         """
 
+    def load_block(self, addresses, size: int = 8) -> None:
+        """A batch of data loads, *size* bytes each, in stream order.
+
+        *addresses* is any integer sequence (list or 1-D numpy array).
+        Equivalent to ``for a in addresses: self.load(a, size)`` — the
+        base class literally loops — but lets recording probes ingest
+        the whole array at once.
+        """
+        for address in addresses:
+            self.load(int(address), size)
+
+    def store_block(self, addresses, size: int = 8) -> None:
+        """A batch of data stores, *size* bytes each, in stream order."""
+        for address in addresses:
+            self.store(int(address), size)
+
+    def branch_trace(self, site: int, outcomes) -> None:
+        """A batch of outcomes of the conditional branch at *site*.
+
+        *outcomes* is any boolean sequence (list or 1-D numpy array), in
+        stream order.  Equivalent to ``for t in outcomes:
+        self.branch(site, t)``.
+        """
+        for taken in outcomes:
+            self.branch(site, bool(taken))
+
+    def alu_bulk(
+        self, op_class: OpClass, count: int, dependent_count: int = 0
+    ) -> None:
+        """*count* operations of *op_class*, of which *dependent_count*
+        (<= count) sit on a loop-carried dependency chain.
+
+        Equivalent to one ``alu(..., dependent=True)`` call for the
+        dependent portion plus one plain ``alu`` call for the rest.
+        """
+        if dependent_count:
+            self.alu(op_class, dependent_count, dependent=True)
+        remaining = count - dependent_count
+        if remaining > 0:
+            self.alu(op_class, remaining)
+
     def touch_region(self, address: int, size: int, stride: int = 64) -> None:
         """Sequential loads over [address, address+size) at *stride*."""
         for offset in range(0, size, stride):
             self.load(address + offset, min(stride, size - offset))
 
 
+class NullProbe(MachineProbe):
+    """Do-nothing probe with O(1) batch methods.
+
+    The base class's batch fallbacks loop over the scalar methods so
+    counting probes stay correct; for pure timing runs that loop is
+    itself overhead, so the shared :data:`NULL_PROBE` overrides every
+    entry point with a true no-op.
+    """
+
+    __slots__ = ()
+
+    def load_block(self, addresses, size: int = 8) -> None:
+        """Ignore a load batch."""
+
+    def store_block(self, addresses, size: int = 8) -> None:
+        """Ignore a store batch."""
+
+    def branch_trace(self, site: int, outcomes) -> None:
+        """Ignore a branch-outcome batch."""
+
+    def alu_bulk(
+        self, op_class: OpClass, count: int, dependent_count: int = 0
+    ) -> None:
+        """Ignore an ALU batch."""
+
+    def branch_run(self, site: int, taken_count: int) -> None:
+        """Ignore a loop-back branch run."""
+
+    def touch_region(self, address: int, size: int, stride: int = 64) -> None:
+        """Ignore a region touch."""
+
+
 #: Shared do-nothing probe for pure timing runs.
-NULL_PROBE = MachineProbe()
+NULL_PROBE = NullProbe()
 
 
 class AddressSpace:

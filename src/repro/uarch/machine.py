@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import SimulationError
 from repro.uarch.branch import BranchStats, GsharePredictor
 from repro.uarch.cache import MACHINE_B, CacheConfig, CacheHierarchy
@@ -127,6 +129,53 @@ class TraceMachine(MachineProbe):
     def branch(self, site: int, taken: bool) -> None:
         self.op_counts[OpClass.BRANCH] += 1
         self.predictor.predict_and_update(site, taken)
+
+    def load_block(self, addresses, size: int = 8) -> None:
+        addresses = np.asarray(addresses, dtype=np.int64)
+        n = addresses.shape[0]
+        if n == 0:
+            return
+        self.op_counts[OpClass.LOAD] += n
+        levels = self.cache.access_block(addresses, size)
+        counts = np.bincount(levels, minlength=5)
+        target = self.load_levels
+        for level in (1, 2, 3, 4):
+            target[level] += int(counts[level])
+
+    def store_block(self, addresses, size: int = 8) -> None:
+        addresses = np.asarray(addresses, dtype=np.int64)
+        n = addresses.shape[0]
+        if n == 0:
+            return
+        self.op_counts[OpClass.STORE] += n
+        levels = self.cache.access_block(addresses, size)
+        counts = np.bincount(levels, minlength=5)
+        target = self.store_levels
+        for level in (1, 2, 3, 4):
+            target[level] += int(counts[level])
+
+    def branch_trace(self, site: int, outcomes) -> None:
+        outcomes = np.asarray(outcomes)
+        n = outcomes.shape[0]
+        if n == 0:
+            return
+        self.op_counts[OpClass.BRANCH] += n
+        self.predictor.predict_and_update_block(site, outcomes)
+
+    def alu_bulk(
+        self, op_class: OpClass, count: int, dependent_count: int = 0
+    ) -> None:
+        self.op_counts[op_class] += count
+        if dependent_count:
+            self.dependent_latency_cycles += dependent_count * OP_LATENCY[op_class]
+
+    def touch_region(self, address: int, size: int, stride: int = 64) -> None:
+        full = size // stride
+        if full:
+            self.load_block(address + stride * np.arange(full, dtype=np.int64), stride)
+        tail = size - full * stride
+        if tail > 0:
+            self.load(address + full * stride, tail)
 
     def branch_bulk(self, site: int, taken_count: int) -> None:
         """Credit the saturated iterations of a loop-back branch run: a

@@ -64,6 +64,44 @@ class TestExclusiveAttribution:
         attributor.finish()
         assert attributor.phases["loop"].instructions == 21
 
+    def test_batched_events_across_span_boundaries(self):
+        """Batch calls update counters atomically inside their span, so
+        attribution stays exact when a logical stream is chopped into
+        batches emitted across phase boundaries."""
+        import numpy as np
+
+        machine = TraceMachine(MACHINE_B)
+        tracer = Tracer()
+        attributor = PhaseAttributor(machine)
+        tracer.listeners.append(attributor)
+        addresses = np.arange(0, 400 * 64, 64, dtype=np.int64)
+        outcomes = np.tile([True, True, False], 60)
+        machine.load_block(addresses[:50])  # before any span -> UNTRACED
+        with tracer.span("phase/a"):
+            machine.load_block(addresses[50:300])
+            machine.branch_trace(site=5, outcomes=outcomes[:100])
+            with tracer.span("phase/a/inner"):
+                machine.store_block(addresses[:80])
+                machine.alu_bulk(OpClass.VECTOR_ALU, 500, dependent_count=120)
+            machine.branch_trace(site=5, outcomes=outcomes[100:])
+        with tracer.span("phase/b"):
+            machine.load_block(addresses[300:])
+        attributor.finish()
+
+        summary = machine.summary()
+        phases = attributor.phases.values()
+        assert sum(p.instructions for p in phases) == summary.instructions
+        report = attributor.report(MACHINE_B)
+        assert sum(p["instructions"] for p in report.values()) == (
+            summary.instructions
+        )
+        inner = attributor.phases["phase/a/inner"]
+        assert inner.instructions == 80 + 500  # stores + ALU, exclusive
+        outer = attributor.phases["phase/a"]
+        assert outer.instructions == 250 + len(outcomes)
+        assert attributor.phases[UNTRACED].instructions == 50
+        assert attributor.phases["phase/b"].instructions == 100
+
     def test_report_drops_zero_instruction_phases(self):
         machine = TraceMachine(MACHINE_B)
         tracer = Tracer()

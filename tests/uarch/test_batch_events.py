@@ -1,0 +1,297 @@
+"""Batched event ingestion is bit-identical to scalar ingestion.
+
+The batched probe API (`load_block` / `store_block` / `branch_trace` /
+`alu_bulk`) exists purely for speed: `TraceMachine`'s vectorized fast
+paths must produce exactly the same `MachineSummary` — op counts,
+per-level hit counts, branch statistics, dependent latency — as feeding
+the same event stream through the scalar methods, and leave the cache
+and predictor in exactly the same state.  These differential tests
+enforce that over random streams.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch.cache import MACHINE_B, CacheConfig
+from repro.uarch.events import NULL_PROBE, MachineProbe, NullProbe, OpClass
+from repro.uarch.machine import TraceMachine
+
+#: Tiny hierarchy so random streams actually evict and spill levels.
+TINY = CacheConfig(
+    name="tiny",
+    l1_size=4 * 1024, l1_ways=2,
+    l2_size=16 * 1024, l2_ways=4,
+    l3_size=64 * 1024, l3_ways=4,
+)
+
+
+def _assert_machines_identical(scalar: TraceMachine, batched: TraceMachine):
+    assert scalar.summary() == batched.summary()
+    assert scalar.predictor.history == batched.predictor.history
+    assert scalar.predictor.table == batched.predictor.table
+    for name in ("l1", "l2", "l3"):
+        lhs = getattr(scalar.cache, name)
+        rhs = getattr(batched.cache, name)
+        assert lhs.hits == rhs.hits and lhs.misses == rhs.misses
+        # Absolute LRU timestamps may differ (the batch path keeps its
+        # own clock) but resident lines and their recency *order* — all
+        # future behavior depends on — must match.  materialize() folds
+        # the batch path's array overlay back into the dicts first.
+        lhs.materialize()
+        rhs.materialize()
+        for lset, rset in zip(lhs._sets, rhs._sets):
+            assert sorted(lset, key=lset.get) == sorted(rset, key=rset.get)
+    assert scalar.cache.memory_accesses == batched.cache.memory_accesses
+
+
+addresses_st = st.lists(
+    st.integers(min_value=0, max_value=(1 << 20) - 1), min_size=0, max_size=300
+)
+outcomes_st = st.lists(st.booleans(), min_size=0, max_size=300)
+
+
+class TestLoadStoreBlocks:
+    @given(addrs=addresses_st, size=st.sampled_from([1, 4, 8, 16, 64, 100]))
+    @settings(max_examples=60, deadline=None)
+    def test_load_block_matches_scalar(self, addrs, size):
+        scalar = TraceMachine(TINY)
+        for address in addrs:
+            scalar.load(address, size)
+        batched = TraceMachine(TINY)
+        batched.load_block(np.asarray(addrs, dtype=np.int64), size)
+        _assert_machines_identical(scalar, batched)
+
+    @given(addrs=addresses_st, size=st.sampled_from([1, 8, 48, 200]))
+    @settings(max_examples=40, deadline=None)
+    def test_store_block_matches_scalar(self, addrs, size):
+        scalar = TraceMachine(TINY)
+        for address in addrs:
+            scalar.store(address, size)
+        batched = TraceMachine(TINY)
+        batched.store_block(addrs, size)  # plain list must work too
+        _assert_machines_identical(scalar, batched)
+
+    @given(
+        base=st.integers(min_value=0, max_value=1 << 18),
+        repeats=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_consecutive_duplicates_dedup_exactly(self, base, repeats):
+        """The dedup fast path credits repeats as L1 hits, like scalar."""
+        addrs = [base] * repeats + [base + 64] + [base] * repeats
+        scalar = TraceMachine(TINY)
+        for address in addrs:
+            scalar.load(address)
+        batched = TraceMachine(TINY)
+        batched.load_block(addrs)
+        _assert_machines_identical(scalar, batched)
+
+    def test_empty_block_is_noop(self):
+        machine = TraceMachine(TINY)
+        machine.load_block([])
+        machine.store_block(np.zeros(0, dtype=np.int64))
+        machine.branch_trace(1, [])
+        assert machine.summary().instructions == 0
+
+    def test_interleaved_blocks_and_scalars(self):
+        """Batch boundaries are invisible: any split of the same stream
+        between scalar and block calls gives the same result."""
+        rng = np.random.default_rng(7)
+        addrs = rng.integers(0, 1 << 19, size=500).tolist()
+        scalar = TraceMachine(TINY)
+        for address in addrs:
+            scalar.load(address)
+        batched = TraceMachine(TINY)
+        batched.load_block(addrs[:100])
+        for address in addrs[100:137]:
+            batched.load(address)
+        batched.load_block(addrs[137:499])
+        batched.load(addrs[499])
+        _assert_machines_identical(scalar, batched)
+
+
+class TestBranchTrace:
+    @given(outcomes=outcomes_st, site=st.integers(min_value=0, max_value=9999))
+    @settings(max_examples=60, deadline=None)
+    def test_branch_trace_matches_scalar(self, outcomes, site):
+        scalar = TraceMachine(TINY)
+        for taken in outcomes:
+            scalar.branch(site, taken)
+        batched = TraceMachine(TINY)
+        batched.branch_trace(site, np.asarray(outcomes, dtype=bool))
+        _assert_machines_identical(scalar, batched)
+
+    @given(
+        bias=st.floats(min_value=0.0, max_value=1.0),
+        n=st.integers(min_value=1, max_value=2000),
+        seed=st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_long_biased_streams(self, bias, n, seed):
+        """Long same-direction runs exercise the saturating-counter
+        shortcut; heavily biased streams must still replay exactly."""
+        rng = np.random.default_rng(seed)
+        outcomes = rng.random(n) < bias
+        scalar = TraceMachine(TINY)
+        for taken in outcomes:
+            scalar.branch(42, bool(taken))
+        batched = TraceMachine(TINY)
+        batched.branch_trace(42, outcomes)
+        _assert_machines_identical(scalar, batched)
+
+    def test_history_carries_across_batches(self):
+        outcomes = [True, False, True, True, False, True, False, False] * 40
+        scalar = TraceMachine(TINY)
+        for taken in outcomes:
+            scalar.branch(3, taken)
+        batched = TraceMachine(TINY)
+        batched.branch_trace(3, outcomes[:5])
+        batched.branch(3, outcomes[5])
+        batched.branch_trace(3, outcomes[6:])
+        _assert_machines_identical(scalar, batched)
+
+    def test_multiple_sites_interleaved_with_blocks(self):
+        """Per-site batches between scalar branches of other sites."""
+        scalar = TraceMachine(TINY)
+        batched = TraceMachine(TINY)
+        program = [(1, [True] * 10), (2, [False, True]), (1, [False] * 3)]
+        for site, outcomes in program:
+            for taken in outcomes:
+                scalar.branch(site, taken)
+            batched.branch_trace(site, outcomes)
+        _assert_machines_identical(scalar, batched)
+
+
+class TestAluBulkAndRegions:
+    @given(
+        count=st.integers(min_value=0, max_value=10_000),
+        dependent=st.integers(min_value=0, max_value=10_000),
+        op=st.sampled_from(list(OpClass)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_alu_bulk_matches_scalar(self, count, dependent, op):
+        dependent = min(dependent, count)
+        scalar = TraceMachine(TINY)
+        if dependent:
+            scalar.alu(op, dependent, dependent=True)
+        if count - dependent:
+            scalar.alu(op, count - dependent)
+        batched = TraceMachine(TINY)
+        batched.alu_bulk(op, count, dependent_count=dependent)
+        _assert_machines_identical(scalar, batched)
+
+    @given(
+        size=st.integers(min_value=0, max_value=5000),
+        stride=st.sampled_from([8, 64, 128]),
+        base=st.integers(min_value=0, max_value=1 << 18),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_touch_region_override_matches_base(self, size, stride, base):
+        scalar = TraceMachine(TINY)
+        MachineProbe.touch_region(scalar, base, size, stride)
+        batched = TraceMachine(TINY)
+        batched.touch_region(base, size, stride)
+        _assert_machines_identical(scalar, batched)
+
+
+class TestMixedPrograms:
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_random_event_programs(self, seed):
+        """Whole random programs mixing every event kind."""
+        rng = np.random.default_rng(seed)
+        scalar = TraceMachine(TINY)
+        batched = TraceMachine(TINY)
+        for _ in range(rng.integers(1, 12)):
+            kind = rng.integers(0, 5)
+            if kind == 0:
+                addrs = rng.integers(0, 1 << 19, size=rng.integers(1, 120))
+                size = int(rng.choice([4, 8, 64]))
+                for address in addrs:
+                    scalar.load(int(address), size)
+                batched.load_block(addrs, size)
+            elif kind == 1:
+                addrs = rng.integers(0, 1 << 19, size=rng.integers(1, 120))
+                for address in addrs:
+                    scalar.store(int(address))
+                batched.store_block(addrs)
+            elif kind == 2:
+                site = int(rng.integers(0, 100))
+                outcomes = rng.random(rng.integers(1, 200)) < 0.8
+                for taken in outcomes:
+                    scalar.branch(site, bool(taken))
+                batched.branch_trace(site, outcomes)
+            elif kind == 3:
+                op = list(OpClass)[int(rng.integers(0, len(OpClass)))]
+                count = int(rng.integers(0, 50))
+                dependent = int(rng.integers(0, count + 1))
+                if dependent:
+                    scalar.alu(op, dependent, dependent=True)
+                if count - dependent:
+                    scalar.alu(op, count - dependent)
+                batched.alu_bulk(op, count, dependent_count=dependent)
+            else:
+                taken_count = int(rng.integers(0, 40))
+                scalar.branch_run(9, taken_count)
+                batched.branch_run(9, taken_count)
+        _assert_machines_identical(scalar, batched)
+
+
+class TestProbeFallbacks:
+    def test_base_class_batches_replay_through_scalar_methods(self):
+        """A probe overriding only the scalar interface sees the exact
+        per-event stream whichever granularity the kernel emits."""
+
+        class Recorder(MachineProbe):
+            def __init__(self):
+                self.events = []
+
+            def load(self, address, size=8):
+                self.events.append(("load", address, size))
+
+            def store(self, address, size=8):
+                self.events.append(("store", address, size))
+
+            def branch(self, site, taken):
+                self.events.append(("branch", site, taken))
+
+            def alu(self, op_class, count=1, dependent=False):
+                self.events.append(("alu", op_class, count, dependent))
+
+        probe = Recorder()
+        probe.load_block(np.array([1, 2]), 16)
+        probe.store_block([3], 4)
+        probe.branch_trace(7, np.array([True, False]))
+        probe.alu_bulk(OpClass.SCALAR_ALU, 5, dependent_count=2)
+        assert probe.events == [
+            ("load", 1, 16),
+            ("load", 2, 16),
+            ("store", 3, 4),
+            ("branch", 7, True),
+            ("branch", 7, False),
+            ("alu", OpClass.SCALAR_ALU, 2, True),
+            ("alu", OpClass.SCALAR_ALU, 3, False),
+        ]
+
+    def test_null_probe_swallows_batches(self):
+        assert isinstance(NULL_PROBE, NullProbe)
+        NULL_PROBE.load_block([1, 2, 3])
+        NULL_PROBE.store_block([4])
+        NULL_PROBE.branch_trace(1, [True])
+        NULL_PROBE.alu_bulk(OpClass.VECTOR_ALU, 10, 5)
+        NULL_PROBE.branch_run(1, 100)
+        NULL_PROBE.touch_region(0, 4096)
+
+    def test_null_probe_batches_skip_iteration(self):
+        """NullProbe must not even iterate the payload: emitters may pass
+        generators-shaped junk on the untraced path without cost."""
+
+        class Explosive:
+            def __iter__(self):
+                raise AssertionError("NullProbe iterated a batch payload")
+
+        NULL_PROBE.load_block(Explosive())
+        NULL_PROBE.store_block(Explosive())
+        NULL_PROBE.branch_trace(1, Explosive())

@@ -34,6 +34,26 @@ class TestCacheLevel:
         with pytest.raises(SimulationError):
             CacheLevel("t", size_bytes=0, ways=2)
 
+    def test_set_allocation_matches_index_mask(self):
+        # 1.25 MB 20-way gives 1024 raw sets... but e.g. 6 raw sets
+        # floors to 4: only the floored count is ever indexed by the
+        # mask, so only that many dicts may be allocated.
+        level = CacheLevel("t", size_bytes=6 * 2 * LINE_SIZE, ways=2)
+        assert level.n_sets == 4
+        assert len(level._sets) == level.n_sets
+
+    def test_access_block_matches_scalar_access(self):
+        import numpy as np
+
+        lines = np.array([0, 2, 0, 4, 0, 2, 7, 7, 2], dtype=np.int64)
+        batched = CacheLevel("t", size_bytes=4 * LINE_SIZE, ways=2)
+        hits = batched.access_block(lines)
+        scalar = CacheLevel("t", size_bytes=4 * LINE_SIZE, ways=2)
+        expected = [scalar.access(int(line)) for line in lines]
+        assert hits.tolist() == expected
+        assert batched.hits == scalar.hits
+        assert batched.misses == scalar.misses
+
 
 class TestHierarchy:
     def test_first_touch_misses_everywhere(self):
@@ -68,3 +88,29 @@ class TestHierarchy:
 
     def test_machine_a_config_loads(self):
         CacheHierarchy(MACHINE_A).access(0)
+
+    def test_access_block_matches_scalar_hierarchy(self):
+        import numpy as np
+
+        addresses = np.array(
+            [0x1000, 0x1000, 0x1004, 0x2000, 0x1000, 0x103C, 0x5000],
+            dtype=np.int64,
+        )
+        batched = CacheHierarchy(MACHINE_B)
+        levels = batched.access_block(addresses, size=8)
+        scalar = CacheHierarchy(MACHINE_B)
+        expected = [scalar.access(int(a), size=8) for a in addresses]
+        assert levels.tolist() == expected
+        assert batched.memory_accesses == scalar.memory_accesses
+
+    def test_access_block_multi_line_worst_level(self):
+        import numpy as np
+
+        hierarchy = CacheHierarchy(MACHINE_B)
+        hierarchy.access(0)
+        # spans line 0 (hit) and line 1 (miss) -> worst = memory,
+        # through the block path's line-expansion scatter.
+        levels = hierarchy.access_block(
+            np.array([LINE_SIZE - 4], dtype=np.int64), size=8
+        )
+        assert levels.tolist() == [4]
