@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.data import default_store, scenario_spec
 from repro.harness.runner import run_suite
 from repro.harness.store import ResultStore
 
@@ -23,6 +24,11 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: Dataset scale shared by the benches (keeps each bench under ~1 min).
 BENCH_SCALE = 0.3
 BENCH_SEED = 0
+#: Named dataset scenario the benches run on.  The paper-shape
+#: assertions are calibrated against ``default``; regenerate a figure on
+#: another corpus by flipping this (or calling the helpers below with an
+#: explicit scenario).
+BENCH_SCENARIO = "default"
 
 #: The shared characterization study set: figures 6/7/8 and Table 6 all
 #: read different slices of the same traced execution, so requesting the
@@ -33,12 +39,22 @@ CHAR_STUDIES = ("topdown", "cache", "instmix")
 STORE = ResultStore(RESULTS_DIR / "cache")
 
 
-def engine_reports(kernels, studies):
+def bench_spec(scenario: str = BENCH_SCENARIO):
+    """The benches' shared :class:`~repro.data.DatasetSpec`."""
+    return scenario_spec(scenario, scale=BENCH_SCALE, seed=BENCH_SEED)
+
+
+def bench_data(scenario: str = BENCH_SCENARIO):
+    """The benches' shared corpus, via the dataset artifact store."""
+    return default_store().corpus(bench_spec(scenario))
+
+
+def engine_reports(kernels, studies, scenario: str = BENCH_SCENARIO):
     """Run *kernels* under *studies* through the cached harness engine."""
     return run_suite(
         tuple(kernels), studies=tuple(studies),
         scale=BENCH_SCALE, seed=BENCH_SEED,
-        reuse=True, store=STORE,
+        reuse=True, store=STORE, scenario=scenario,
     )
 
 

@@ -34,8 +34,9 @@ def run_experiment():
     # Ablation: records scattered one-per-page by node id (a per-node
     # heap allocation with no locality-aware ordering).
     kernel = create_kernel("gbwt", scale=BENCH_SCALE, seed=BENCH_SEED)
-    kernel.prepare()
-    kernel._prepared = True
+    # ensure_prepared records the spec digest, so run() below won't
+    # re-prepare and silently undo the scattered layout.
+    kernel.ensure_prepared()
     kernel.record_offset = {
         node_id: node_id * 347 for node_id in kernel.record_offset
     }

@@ -10,10 +10,9 @@ only the working-set size changes.
 
 import dataclasses
 
-from _common import BENCH_SCALE, BENCH_SEED, emit
+from _common import BENCH_SEED, bench_data, emit
 
 from repro.analysis.report import render_table
-from repro.kernels.datasets import suite_data
 from repro.layout.pgsgd import PGSGDLayout, PGSGDParams
 from repro.uarch.machine import TraceMachine
 from repro.uarch.topdown import analyze
@@ -27,7 +26,7 @@ def characterize(graph, params):
 
 
 def run_experiment():
-    data = suite_data(BENCH_SCALE, BENCH_SEED)
+    data = bench_data()
     base = PGSGDParams(iterations=6, updates_per_iteration=4000,
                        seed=BENCH_SEED)
     small = characterize(data.graph, dataclasses.replace(base, virtual_anchor_scale=1))

@@ -22,8 +22,7 @@ def run_experiment():
     # Ablation: GSSW with the full-matrix swizzle writes disabled (the
     # optimization Section 6.1 suggests).
     kernel = create_kernel("gssw", scale=BENCH_SCALE, seed=BENCH_SEED)
-    kernel.prepare()
-    kernel._prepared = True
+    kernel.ensure_prepared()
     machine = TraceMachine()
     for query, subgraph in kernel.items:
         GSSW(query, VG_DEFAULT, probe=machine, store_full_matrix=False).align(subgraph)

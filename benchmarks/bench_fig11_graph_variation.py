@@ -6,14 +6,13 @@ the pre-alignment stages localize better, making GSSW faster despite a
 near-identical microarchitectural profile.
 """
 
-from _common import BENCH_SCALE, BENCH_SEED, emit
+from _common import bench_data, emit
 
 from repro.align.gssw import GSSW
 from repro.align.scoring import VG_DEFAULT
 from repro.analysis.report import render_table
 from repro.graph.model import GraphStats
 from repro.graph.ops import split_nodes
-from repro.kernels.datasets import suite_data
 from repro.kernels.gssw_kernel import extract_gssw_inputs
 from repro.uarch.machine import TraceMachine
 from repro.uarch.topdown import analyze
@@ -31,7 +30,7 @@ def characterize(graph, reads):
 
 
 def run_experiment():
-    data = suite_data(BENCH_SCALE, BENCH_SEED)
+    data = bench_data()
     reads = list(data.short_reads)[:20]
     m_graph = data.graph
     split_graph = split_nodes(m_graph, 8)

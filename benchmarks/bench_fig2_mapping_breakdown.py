@@ -5,16 +5,15 @@ chaining-heavy (GWFA inside chaining); Giraffe resolves most reads in
 seeding+clustering+filtering; vg map is alignment-heavy (GSSW).
 """
 
-from _common import BENCH_SCALE, BENCH_SEED, emit
+from _common import bench_data, emit
 
 from repro.analysis.report import render_stacked_fractions
-from repro.kernels.datasets import suite_data
 from repro.tools import Giraffe, GraphAligner, Minigraph, VgMap
 from repro.tools.base import STAGES
 
 
 def run_experiment():
-    data = suite_data(BENCH_SCALE, BENCH_SEED)
+    data = bench_data()
     short = list(data.short_reads)[:20]
     long = list(data.long_reads)[:5]
     runs = {

@@ -5,16 +5,23 @@ PGGB's alignment is all-to-all (quadratic) while MC is progressive;
 smoothxg's polish stage is POA-dominated.
 """
 
-from _common import emit
+from _common import BENCH_SCALE, BENCH_SCENARIO, BENCH_SEED, emit
 
 from repro.analysis.report import render_stacked_fractions, render_table
 from repro.layout.pgsgd import PGSGDParams
-from repro.sequence.simulate import simulate_pangenome
-from repro.tools.pipelines import BUILD_STAGES, run_minigraph_cactus, run_pggb
+from repro.tools.pipelines import (
+    BUILD_STAGES,
+    pipeline_records,
+    run_minigraph_cactus,
+    run_pggb,
+)
 
 
 def run_experiment():
-    records = simulate_pangenome(genome_length=4000, n_haplotypes=5, seed=0).records
+    # The pipelines build from the same shared corpus the kernels
+    # prepare on (capped: both alignment stages are super-linear).
+    records = pipeline_records(BENCH_SCENARIO, scale=BENCH_SCALE,
+                               seed=BENCH_SEED, limit=5)
     layout = PGSGDParams(iterations=5, updates_per_iteration=2000)
     mc = run_minigraph_cactus(records, layout_params=layout)
     pggb = run_pggb(records, layout_params=layout)

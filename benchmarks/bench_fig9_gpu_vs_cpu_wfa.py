@@ -9,7 +9,7 @@ from _common import emit
 
 from repro.analysis.report import render_table
 from repro.gpu.tsu import cpu_wfa_time_model, tsu_align_batch
-from repro.kernels.datasets import tsu_pairs
+from repro.data import tsu_pairs
 
 LENGTHS = (128, 500, 1000, 2500, 5000, 10000)
 BATCH = 2000  # modelled batch size (pairs)

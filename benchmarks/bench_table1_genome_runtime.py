@@ -5,7 +5,7 @@ Minigraph 20.5, BWA-MEM2 1.3.  The reproducible claim is the ordering
 VgMap >> Minigraph > GraphAligner > Giraffe >> BWA and the rough ratios.
 """
 
-from _common import BENCH_SCALE, BENCH_SEED, emit
+from _common import bench_data, emit
 
 from repro.analysis.estimate import (
     PAPER_TABLE1_HOURS,
@@ -13,12 +13,11 @@ from repro.analysis.estimate import (
     normalize_to_baseline,
 )
 from repro.analysis.report import render_table
-from repro.kernels.datasets import suite_data
 from repro.tools import BwaMem, Giraffe, GraphAligner, Minigraph, VgMap
 
 
 def run_experiment():
-    data = suite_data(BENCH_SCALE, BENCH_SEED)
+    data = bench_data()
     short = list(data.short_reads)[:20]
     long = list(data.long_reads)[:5]
     long_length = round(sum(len(r) for r in long) / len(long))

@@ -6,11 +6,10 @@ comparable (Python vs C++, downscaled data); the per-kernel work
 ordering and the dataset inventory are the reproducible artifacts.
 """
 
-from _common import BENCH_SCALE, BENCH_SEED, emit, engine_reports
+from _common import bench_data, emit, engine_reports
 
 from repro.analysis.report import render_table
 from repro.kernels import SUITE_KERNELS, create_kernel
-from repro.kernels.datasets import suite_data
 
 PAPER_TABLE4_SECONDS = {
     "gbv": 192, "gssw": 35, "gbwt": 23, "gwfa-cr": 16657,
@@ -25,7 +24,7 @@ def run_experiment():
 def test_tables_2_3_4(benchmark):
     reports = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
-    data = suite_data(BENCH_SCALE, BENCH_SEED)
+    data = bench_data()
     inventory = render_table(
         ["item", "value"],
         [
@@ -41,7 +40,7 @@ def test_tables_2_3_4(benchmark):
     )
     kernel_rows = []
     for name in SUITE_KERNELS:
-        kernel = create_kernel(name, BENCH_SCALE, BENCH_SEED)
+        kernel = create_kernel(name)  # metadata only; never prepared
         report = reports[name]
         kernel_rows.append(
             [name, kernel.parent_tool, kernel.input_type,

@@ -7,10 +7,9 @@ PGSGD 53.85% / 88.31% / 41.91%.  Plus the Section 5.3 block-size study:
 
 from types import SimpleNamespace
 
-from _common import BENCH_SCALE, BENCH_SEED, emit, engine_reports
+from _common import BENCH_SEED, bench_data, emit, engine_reports
 
 from repro.analysis.report import render_table
-from repro.kernels.datasets import suite_data
 from repro.layout.pgsgd import PGSGDParams
 from repro.layout.pgsgd_gpu import pgsgd_layout_gpu
 
@@ -21,7 +20,7 @@ PAPER = {
 
 
 def run_experiment():
-    data = suite_data(BENCH_SCALE, BENCH_SEED)
+    data = bench_data()
     # The TSU row is the kernel's own gpu study (cached by the engine);
     # the kernel models the paper's saturated batch via its replicate.
     tsu = SimpleNamespace(**engine_reports(("tsu",), ("gpu",))["tsu"].gpu)

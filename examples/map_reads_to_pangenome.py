@@ -6,12 +6,12 @@ Run:  python examples/map_reads_to_pangenome.py
 """
 
 from repro.analysis.report import render_table
-from repro.kernels.datasets import suite_data
+from repro.data import corpus
 from repro.tools import BwaMem, Giraffe, GraphAligner, Minigraph, VgMap
 
 
 def main() -> None:
-    data = suite_data(scale=0.4, seed=0)
+    data = corpus(scale=0.4, seed=0)
     short = list(data.short_reads)[:20]
     long = list(data.long_reads)[:5]
     print(f"graph: {data.graph}")

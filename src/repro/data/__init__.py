@@ -1,0 +1,71 @@
+"""The workload subsystem: declarative dataset specs, a shared on-disk
+artifact store, and a scenario registry.
+
+Where the suite's datasets come from (DESIGN.md "Workloads"):
+
+* :mod:`repro.data.spec` — :class:`DatasetSpec`, the content-hashable
+  description of one corpus (every parameter that shapes the graph and
+  reads, plus the generator version);
+* :mod:`repro.data.scenarios` — ``SCENARIO_REGISTRY`` of named corpora
+  (``default``, ``dense-pop``, ``divergent``, ``long-read-heavy``,
+  ``sv-rich``) selectable via ``repro run --scenario``;
+* :mod:`repro.data.corpus` — the generators: :func:`build_corpus`
+  (spec -> :class:`SuiteData`) and the shared derived-input generators;
+* :mod:`repro.data.derive` — registry of cacheable corpus -> kernel
+  input transforms (each kernel's "run the tool up until the kernel");
+* :mod:`repro.data.store` — the content-addressed on-disk
+  :class:`ArtifactStore` under ``benchmarks/datasets/`` with file
+  locking (concurrent workers build once) and an evictable in-memory
+  layer.
+
+>>> from repro.data import corpus, scenario_names
+>>> sorted(scenario_names())[:2]
+['default', 'dense-pop']
+"""
+
+from repro.data.corpus import (
+    SUITE_RATES,
+    SuiteData,
+    build_corpus,
+    corpus_fingerprint,
+    gbwt_queries,
+    mutate_sequence,
+    tsu_pairs,
+)
+from repro.data.derive import DERIVATIONS, Derivation, derivation, get_derivation
+from repro.data.scenarios import (
+    SCENARIO_REGISTRY,
+    Scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    scenario_spec,
+)
+from repro.data.spec import GENERATOR_VERSION, DatasetSpec
+from repro.data.store import (
+    ArtifactStore,
+    default_data_dir,
+    default_store,
+    ensure_corpus,
+    set_default_store,
+    use_store,
+)
+
+
+def corpus(scenario: str = "default", scale: float = 1.0,
+           seed: int = 0) -> SuiteData:
+    """The shared corpus for a named scenario, via the default store."""
+    return default_store().corpus(scenario_spec(scenario, scale=scale,
+                                                seed=seed))
+
+
+__all__ = [
+    "GENERATOR_VERSION", "DatasetSpec",
+    "SCENARIO_REGISTRY", "Scenario", "get_scenario", "register_scenario",
+    "scenario_names", "scenario_spec",
+    "SUITE_RATES", "SuiteData", "build_corpus", "corpus",
+    "corpus_fingerprint", "gbwt_queries", "mutate_sequence", "tsu_pairs",
+    "DERIVATIONS", "Derivation", "derivation", "get_derivation",
+    "ArtifactStore", "default_data_dir", "default_store", "ensure_corpus",
+    "set_default_store", "use_store",
+]

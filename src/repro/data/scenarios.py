@@ -1,0 +1,112 @@
+"""The scenario registry: named corpora the suite can run against.
+
+A *scenario* is a named bundle of :class:`~repro.data.spec.DatasetSpec`
+parameter overrides — the graph-variation axes of Figure 11 and of
+*The design and construction of reference pangenome graphs* (sample
+count and divergence shape the graph) made selectable: ``repro run
+--scenario dense-pop`` re-runs any study against a different corpus,
+and the scenario name is threaded through :class:`KernelReport`
+metadata and the result store's cache key so per-scenario figures never
+collide.
+
+Registering a new workload is one :func:`register_scenario` call; the
+registry mirrors ``KERNEL_REGISTRY`` / ``STUDY_REGISTRY``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.data.spec import SUITE_RATES, DatasetSpec
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named corpus: description plus spec parameter overrides."""
+
+    name: str
+    description: str
+    overrides: dict = field(default_factory=dict)
+
+    def spec(self, scale: float = 1.0, seed: int = 0) -> DatasetSpec:
+        """The scenario's :class:`DatasetSpec` at the given run axes."""
+        return DatasetSpec(scenario=self.name, scale=scale, seed=seed,
+                           **self.overrides)
+
+
+#: name -> Scenario, in registration order (display order).
+SCENARIO_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add *scenario* to the registry (unique names enforced)."""
+    if not scenario.name:
+        raise DatasetError("scenario has no name")
+    if scenario.name in SCENARIO_REGISTRY:
+        raise DatasetError(f"duplicate scenario name {scenario.name!r}")
+    scenario.spec()  # validate the overrides eagerly
+    SCENARIO_REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    try:
+        return SCENARIO_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(SCENARIO_REGISTRY)
+        raise DatasetError(
+            f"unknown scenario {name!r}; known: {known}"
+        ) from None
+
+
+def scenario_names() -> tuple[str, ...]:
+    """All registered scenario names, in registration order."""
+    return tuple(SCENARIO_REGISTRY)
+
+
+def scenario_spec(name: str, scale: float = 1.0, seed: int = 0) -> DatasetSpec:
+    """The :class:`DatasetSpec` for a registered scenario."""
+    return get_scenario(name).spec(scale=scale, seed=seed)
+
+
+register_scenario(Scenario(
+    "default",
+    "the paper's shared corpus: 8 haplotypes at human-like divergence",
+))
+
+register_scenario(Scenario(
+    "dense-pop",
+    "high haplotype count (16 samples): denser bubbles, bigger GBWT",
+    {"n_haplotypes": 16},
+))
+
+register_scenario(Scenario(
+    "divergent",
+    "2x SNP/indel rates: more variant sites, shorter graph nodes",
+    {
+        "rates": replace(SUITE_RATES,
+                         snp=SUITE_RATES.snp * 2.0,
+                         insertion=SUITE_RATES.insertion * 2.0,
+                         deletion=SUITE_RATES.deletion * 2.0),
+        "tsu_error_rate": 0.02,
+    },
+))
+
+register_scenario(Scenario(
+    "long-read-heavy",
+    "3x longer and 3x more long reads, fewer short reads (HiFi-shaped)",
+    {"long_reads": 30, "long_read_length": 4500, "short_reads": 30},
+))
+
+register_scenario(Scenario(
+    "sv-rich",
+    "8x inversion/duplication rates with longer SVs: nested bubbles",
+    {
+        "rates": replace(SUITE_RATES,
+                         inversion=SUITE_RATES.inversion * 8.0,
+                         duplication=SUITE_RATES.duplication * 8.0,
+                         sv_mean_length=240.0),
+    },
+))

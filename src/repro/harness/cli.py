@@ -9,8 +9,12 @@ Examples::
     python -m repro run --kernels gssw gbwt --scale 0.5 --out reports.json
     python -m repro run --machine A --reuse
     python -m repro run tc gcsa --trace-out suite.trace.json
+    python -m repro run gssw gbwt --scenario divergent
     python -m repro trace tc --trace-out tc.trace.json
     python -m repro validate
+    python -m repro data build --scenario default divergent
+    python -m repro data list
+    python -m repro data gc
 """
 
 from __future__ import annotations
@@ -21,6 +25,12 @@ from contextlib import nullcontext as _null_context
 from typing import Sequence
 
 from repro.analysis.report import render_table
+from repro.data import (
+    default_store,
+    ensure_corpus,
+    scenario_names,
+    scenario_spec,
+)
 from repro.harness.runner import run_kernel_studies, run_suite, save_reports
 from repro.harness.studies import study_names
 from repro.kernels import SUITE_KERNELS, create_kernel, kernel_names
@@ -78,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="dataset scale factor (default 1.0)")
     run.add_argument("--seed", type=int, default=0, help="dataset seed")
     run.add_argument(
+        "--scenario", choices=scenario_names(), default="default",
+        help="named dataset scenario every kernel prepares on "
+             "(default: default)",
+    )
+    run.add_argument(
         "--machine", choices=sorted(MACHINES), default="B",
         help="cache-hierarchy configuration for the trace studies "
              "(paper Table 5; default: B, the kernel-analysis machine)",
@@ -113,6 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="dataset scale factor (default 1.0)")
     tracecmd.add_argument("--seed", type=int, default=0, help="dataset seed")
     tracecmd.add_argument(
+        "--scenario", choices=scenario_names(), default="default",
+        help="named dataset scenario (default: default)",
+    )
+    tracecmd.add_argument(
         "--machine", choices=sorted(MACHINES), default="B",
         help="cache-hierarchy configuration (default B)",
     )
@@ -127,6 +146,38 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--kernels", nargs="+", default=None)
     validate.add_argument("--scale", type=float, default=0.5)
     validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument(
+        "--scenario", choices=scenario_names(), default="default",
+        help="named dataset scenario (default: default)",
+    )
+
+    data = commands.add_parser(
+        "data", help="inspect and manage the shared dataset store"
+    )
+    data_commands = data.add_subparsers(dest="data_command", required=True)
+    data_list = data_commands.add_parser(
+        "list", help="list corpora in the artifact store"
+    )
+    del data_list  # no options yet
+    data_build = data_commands.add_parser(
+        "build", help="pre-build (or warm-load) scenario corpora"
+    )
+    data_build.add_argument(
+        "--scenario", nargs="+", choices=scenario_names(),
+        default=["default"], metavar="SCENARIO",
+        help="scenarios to build (default: default)",
+    )
+    data_build.add_argument("--scale", type=float, default=1.0,
+                            help="dataset scale factor (default 1.0)")
+    data_build.add_argument("--seed", type=int, default=0,
+                            help="dataset seed")
+    data_gc = data_commands.add_parser(
+        "gc", help="remove stale artifacts (different generator version)"
+    )
+    data_gc.add_argument(
+        "--all", action="store_true",
+        help="remove every artifact, current ones included",
+    )
     return parser
 
 
@@ -152,6 +203,7 @@ def _command_run(args: argparse.Namespace) -> int:
             scale=args.scale, seed=args.seed,
             cache_config=MACHINES[args.machine],
             jobs=args.jobs, timeout=args.timeout, reuse=args.reuse,
+            scenario=args.scenario,
         )
     if tracer is not None:
         # Fold in spans shipped back from worker processes (parallel
@@ -179,7 +231,7 @@ def _command_run(args: argparse.Namespace) -> int:
          "error"],
         rows,
         title=(f"Suite run (scale={args.scale}, machine={args.machine}, "
-               f"studies={studies})"),
+               f"scenario={args.scenario}, studies={studies})"),
     ))
     if args.out:
         save_reports(reports, args.out)
@@ -207,6 +259,7 @@ def _command_trace(args: argparse.Namespace) -> int:
             scale=args.scale,
             seed=args.seed,
             cache_config=MACHINES[args.machine],
+            scenario=args.scenario,
         )
     records = tracer.records()
     print(render_tree(
@@ -246,7 +299,8 @@ def _command_validate(args: argparse.Namespace) -> int:
     names = args.kernels or kernel_names()
     failures = 0
     for name in names:
-        kernel = create_kernel(name, scale=args.scale, seed=args.seed)
+        kernel = create_kernel(name, scale=args.scale, seed=args.seed,
+                               scenario=args.scenario)
         try:
             kernel.validate()
             print(f"{name:10s} ok")
@@ -254,6 +308,43 @@ def _command_validate(args: argparse.Namespace) -> int:
             failures += 1
             print(f"{name:10s} FAILED: {error}")
     return 1 if failures else 0
+
+
+def _command_data(args: argparse.Namespace) -> int:
+    store = default_store()
+    if args.data_command == "list":
+        entries = store.entries()
+        if not entries:
+            print(f"no datasets under {store.root}")
+            return 0
+        rows = []
+        for meta in entries:
+            spec = meta.get("spec", {})
+            rows.append([
+                spec.get("scenario", "?"),
+                spec.get("scale", "?"),
+                spec.get("seed", "?"),
+                meta.get("digest", "?"),
+                meta.get("derived_count", 0),
+                f"{meta.get('disk_bytes', 0) / 1024:.0f} KiB",
+            ])
+        print(render_table(
+            ["scenario", "scale", "seed", "digest", "derived", "size"],
+            rows,
+            title=f"Dataset store: {store.root}",
+        ))
+        return 0
+    if args.data_command == "build":
+        for name in args.scenario:
+            spec = scenario_spec(name, scale=args.scale, seed=args.seed)
+            _data, origin = ensure_corpus(spec, store)
+            print(f"{name:16s} {spec.digest()}  ({origin})")
+        return 0
+    if args.data_command == "gc":
+        removed, freed = store.gc(everything=args.all)
+        print(f"removed {removed} dataset(s), freed {freed / 1024:.0f} KiB")
+        return 0
+    raise AssertionError(f"unhandled data command {args.data_command!r}")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -266,6 +357,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_trace(args)
     if args.command == "validate":
         return _command_validate(args)
+    if args.command == "data":
+        return _command_data(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -39,6 +39,7 @@ from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.data import ensure_corpus, scenario_spec
 from repro.errors import KernelError
 from repro.harness.runner import KernelReport, run_kernel_studies
 from repro.harness.studies import create_study
@@ -59,6 +60,7 @@ class Job:
     scale: float = 1.0
     seed: int = 0
     cache_config: CacheConfig = MACHINE_B
+    scenario: str = "default"
 
 
 @dataclass(frozen=True)
@@ -77,10 +79,12 @@ def compile_plan(
     scale: float = 1.0,
     seed: int = 0,
     cache_config: CacheConfig = MACHINE_B,
+    scenario: str = "default",
 ) -> ExecutionPlan:
     """Compile one job per kernel, validating names before any runs."""
     for study in studies:
         create_study(study)  # raises KernelError on unknown studies
+    scenario_spec(scenario, scale=scale, seed=seed)  # unknown scenario raises
     for name in kernels:
         if name not in KERNEL_REGISTRY:
             known = ", ".join(sorted(KERNEL_REGISTRY))
@@ -93,6 +97,7 @@ def compile_plan(
                 scale=scale,
                 seed=seed,
                 cache_config=cache_config,
+                scenario=scenario,
             )
             for name in kernels
         )
@@ -106,6 +111,7 @@ def _failure_report(job: Job, error: str) -> KernelReport:
         scale=job.scale,
         seed=job.seed,
         machine=job.cache_config.name,
+        scenario=job.scenario,
     )
 
 
@@ -120,6 +126,7 @@ def _execute_job(job: Job) -> KernelReport:
             scale=job.scale,
             seed=job.seed,
             cache_config=job.cache_config,
+            scenario=job.scenario,
         )
     except Exception as error:  # noqa: BLE001 — isolate per-kernel failures
         report = _failure_report(job, f"{type(error).__name__}: {error}")
@@ -240,6 +247,20 @@ def _record_job(entry: _Running, report: KernelReport, elapsed: float) -> None:
         )
 
 
+def _prebuild_datasets(pending: list[Job]) -> None:
+    """Build (or load) each distinct corpus once in the parent before
+    the pool forks: workers inherit the in-memory corpus (and find the
+    disk artifact), so N workers never race one cold build — the store's
+    lock makes such races correct, but serial-build-then-fork is faster
+    and keeps worker wall times comparable."""
+    specs = {}
+    for job in pending:
+        spec = scenario_spec(job.scenario, scale=job.scale, seed=job.seed)
+        specs.setdefault(spec.digest(), spec)
+    for spec in specs.values():
+        ensure_corpus(spec)
+
+
 def _execute_pool(
     jobs: list[Job], workers: int, timeout: float | None
 ) -> list[KernelReport]:
@@ -356,6 +377,8 @@ def execute_plan(
     if jobs == 1:
         executed = [_execute_job(job) for job in pending]
     else:
+        if len(pending) > 1:
+            _prebuild_datasets(pending)
         executed = _execute_pool(pending, workers=jobs, timeout=timeout)
 
     for job, report in zip(pending, executed):

@@ -75,6 +75,10 @@ class KernelReport:
     scale: float = 1.0
     seed: int = 0
     machine: str = ""
+    #: Named dataset scenario the kernel ran on (``repro data`` /
+    #: ``repro run --scenario``); reports predating scenarios read back
+    #: as "default", which is what they ran on.
+    scenario: str = "default"
     #: Span records collected during the run (see repro.obs.spans for
     #: the record schema); populated whenever a real tracer is
     #: installed, including spans shipped back from worker processes.
@@ -105,6 +109,7 @@ def run_kernel_studies(
     scale: float = 1.0,
     seed: int = 0,
     cache_config: CacheConfig = MACHINE_B,
+    scenario: str = "default",
 ) -> KernelReport:
     """Run one kernel under the requested studies (one execution).
 
@@ -124,9 +129,10 @@ def run_kernel_studies(
     """
     plugins = [create_study(study) for study in studies]
     report = KernelReport(
-        kernel=name, scale=scale, seed=seed, machine=cache_config.name
+        kernel=name, scale=scale, seed=seed, machine=cache_config.name,
+        scenario=scenario,
     )
-    kernel = create_kernel(name, scale=scale, seed=seed)
+    kernel = create_kernel(name, scale=scale, seed=seed, scenario=scenario)
 
     machine = (
         TraceMachine(cache_config)
@@ -183,6 +189,7 @@ def run_suite(
     timeout: float | None = None,
     reuse: bool = False,
     store: "object | None" = None,
+    scenario: str = "default",
 ) -> dict[str, KernelReport]:
     """Run the whole suite (or a subset) under the requested studies.
 
@@ -194,12 +201,15 @@ def run_suite(
     * ``reuse`` — serve cache hits from (and write misses to) the result
       ``store`` (default: :class:`repro.harness.store.ResultStore` under
       ``benchmarks/results/cache/``).
+    * ``scenario`` — named dataset scenario from
+      :data:`repro.data.SCENARIO_REGISTRY` every kernel prepares on.
     """
     from repro.harness.executor import compile_plan, execute_plan
 
     names = kernels if kernels is not None else tuple(kernel_names())
     plan = compile_plan(
-        names, studies=studies, scale=scale, seed=seed, cache_config=cache_config
+        names, studies=studies, scale=scale, seed=seed,
+        cache_config=cache_config, scenario=scenario,
     )
     return execute_plan(plan, jobs=jobs, timeout=timeout, reuse=reuse, store=store)
 

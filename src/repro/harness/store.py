@@ -2,8 +2,8 @@
 
 Reports are cached on disk keyed by a content digest of everything that
 determines a job's outcome: kernel name, the (order-normalized) study
-set, scale, seed, the cache-hierarchy configuration, and the package
-version.  ``run_suite(..., reuse=True)`` serves cache hits, so the 14
+set, scale, seed, dataset scenario, the cache-hierarchy configuration,
+and the package version.  ``run_suite(..., reuse=True)`` serves cache hits, so the 14
 benchmark figures stop re-characterizing the same kernels once per
 figure, and a repeated run at identical parameters executes nothing.
 
@@ -49,6 +49,7 @@ def job_key(job: "Job") -> dict:
         "studies": sorted(set(job.studies)),
         "scale": job.scale,
         "seed": job.seed,
+        "scenario": job.scenario,
         "cache_config": asdict(job.cache_config),
         "package_version": repro.__version__,
     }

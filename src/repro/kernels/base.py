@@ -15,6 +15,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.data import DatasetSpec, SuiteData, default_store, scenario_spec
 from repro.errors import KernelError
 from repro.obs import metrics, trace
 from repro.uarch.events import NULL_PROBE, MachineProbe
@@ -49,12 +50,30 @@ class Kernel(ABC):
     #: What the kernel's input items are (Table 3's "Input Type").
     input_type: str = ""
 
-    def __init__(self, scale: float = 1.0, seed: int = 0) -> None:
+    def __init__(self, scale: float = 1.0, seed: int = 0,
+                 scenario: str = "default") -> None:
         if scale <= 0:
             raise KernelError("scale must be positive")
         self.scale = scale
         self.seed = seed
+        self.scenario = scenario
         self._prepared = False
+        self._prepared_key: str | None = None
+
+    @property
+    def spec(self) -> DatasetSpec:
+        """The dataset spec this kernel's inputs derive from."""
+        return scenario_spec(self.scenario, scale=self.scale, seed=self.seed)
+
+    def dataset(self) -> SuiteData:
+        """The shared corpus, via the default artifact store (warm runs
+        deserialize; concurrent cold runs build once under a lock)."""
+        return default_store().corpus(self.spec)
+
+    def derived(self, name: str, **params) -> object:
+        """A registered derivation's output for this kernel's spec,
+        cached in the artifact store next to the corpus."""
+        return default_store().derived(self.spec, name, **params)
 
     @abstractmethod
     def prepare(self) -> None:
@@ -64,6 +83,24 @@ class Kernel(ABC):
     def _execute(self, probe: MachineProbe) -> KernelResult:
         """Run the kernel over the prepared dataset."""
 
+    def ensure_prepared(self) -> None:
+        """Prepare (or re-prepare) when the spec changed since the last
+        preparation.
+
+        The prepared state is keyed by the spec digest, not a boolean:
+        mutating ``scale``/``seed``/``scenario`` after a run used to
+        silently reuse the stale dataset.
+        """
+        key = self.spec.digest()
+        if self._prepared and self._prepared_key == key:
+            return
+        with trace.timed_span(f"kernel/{self.name}/prepare") as prepared:
+            self.prepare()
+        self._prepared = True
+        self._prepared_key = key
+        metrics.gauge("kernel.prepare_seconds",
+                      kernel=self.name).set(prepared.duration)
+
     def run(self, probe: MachineProbe = NULL_PROBE) -> KernelResult:
         """Prepare if needed, execute, and time the kernel.
 
@@ -72,12 +109,7 @@ class Kernel(ABC):
         spans always measure, and show up in trace exports whenever a
         real tracer is installed (``repro trace`` / ``--trace-out``).
         """
-        if not self._prepared:
-            with trace.timed_span(f"kernel/{self.name}/prepare") as prepared:
-                self.prepare()
-            self._prepared = True
-            metrics.gauge("kernel.prepare_seconds",
-                          kernel=self.name).set(prepared.duration)
+        self.ensure_prepared()
         with trace.timed_span(f"kernel/{self.name}/execute") as span:
             result = self._execute(probe)
         metrics.counter("kernel.runs", kernel=self.name).inc()
@@ -94,8 +126,8 @@ class Kernel(ABC):
         """Optional correctness self-check; raises on failure."""
 
 
-#: name -> factory (scale, seed) -> Kernel
-KERNEL_REGISTRY: dict[str, Callable[[float, int], Kernel]] = {}
+#: name -> factory (scale, seed, scenario) -> Kernel
+KERNEL_REGISTRY: dict[str, Callable[..., Kernel]] = {}
 
 
 def register(cls: type[Kernel]) -> type[Kernel]:
@@ -104,18 +136,21 @@ def register(cls: type[Kernel]) -> type[Kernel]:
         raise KernelError(f"{cls.__name__} has no kernel name")
     if cls.name in KERNEL_REGISTRY:
         raise KernelError(f"duplicate kernel name {cls.name!r}")
-    KERNEL_REGISTRY[cls.name] = lambda scale=1.0, seed=0: cls(scale=scale, seed=seed)
+    KERNEL_REGISTRY[cls.name] = lambda scale=1.0, seed=0, scenario="default": (
+        cls(scale=scale, seed=seed, scenario=scenario)
+    )
     return cls
 
 
-def create_kernel(name: str, scale: float = 1.0, seed: int = 0) -> Kernel:
+def create_kernel(name: str, scale: float = 1.0, seed: int = 0,
+                  scenario: str = "default") -> Kernel:
     """Instantiate a registered kernel by name."""
     try:
         factory = KERNEL_REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(KERNEL_REGISTRY))
         raise KernelError(f"unknown kernel {name!r}; known: {known}") from None
-    return factory(scale, seed)
+    return factory(scale, seed, scenario)
 
 
 def kernel_names() -> list[str]:

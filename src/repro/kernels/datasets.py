@@ -1,161 +1,37 @@
-"""Shared suite datasets (the Table 2/3 analog).
+"""Compatibility shim over :mod:`repro.data` (the old dataset module).
 
-The paper derives every kernel dataset from one upstream corpus
-(chromosome-20 reads and assemblies against the HPRC graph) by running
-each tool "up until the kernel" and dumping the kernel's inputs.  This
-module does the same against the synthetic pangenome: one
-:func:`suite_data` corpus per (scale, seed), memoized, from which each
-kernel's ``prepare`` extracts its inputs.
+Dataset preparation is now a first-class subsystem: declarative specs
+(:class:`repro.data.DatasetSpec`), a scenario registry, and a shared
+on-disk artifact store under ``benchmarks/datasets/``.  This module
+keeps the historical import surface alive for existing callers.
 
-At ``scale=1.0`` everything fits interactive runs; the paper's datasets
-are of course vastly larger — see DESIGN.md's substitution table.
+:func:`suite_data` resolves through the default
+:class:`~repro.data.store.ArtifactStore`, whose in-memory layer is a
+bounded ring over weak references — unlike the old
+``lru_cache(maxsize=4)`` it never pins corpora for process lifetime,
+and on a warm store repeated calls deserialize instead of rebuilding.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass
-from functools import lru_cache
+from repro.data import (  # noqa: F401 - re-exported compat surface
+    SUITE_RATES,
+    SuiteData,
+    default_store,
+    gbwt_queries,
+    mutate_sequence,
+    scenario_spec,
+    tsu_pairs,
+)
 
-from repro.graph.builder import GraphPangenome, simulate_graph_pangenome
-from repro.graph.model import SequenceGraph
-from repro.sequence.mutate import VariantRates, apply_variants, sample_variants
-from repro.sequence.records import ReadSet, SequenceRecord
-from repro.sequence.simulate import ILLUMINA, ReadProfile, ReadSimulator
-
-#: Rates tuned so the graph's mean node length lands near the paper's
-#: M-graph (~27 bp/node) for the default population size.
-SUITE_RATES = VariantRates(snp=0.004, insertion=0.0008, deletion=0.0008,
-                           inversion=0.00005, duplication=0.00005)
-
-
-@dataclass(frozen=True)
-class SuiteData:
-    """The shared corpus every kernel dataset derives from.
-
-    ``held_out`` is an assembly diverged from the same ancestor but NOT
-    threaded into the graph — the realistic input for chromosome-to-graph
-    mapping (a new sample being added, as in Minigraph-Cactus).
-    """
-
-    graph_pangenome: GraphPangenome
-    short_reads: ReadSet
-    long_reads: ReadSet
-    assemblies: tuple[SequenceRecord, ...]
-    held_out: SequenceRecord
-    seed: int
-    scale: float
-
-    @property
-    def graph(self) -> SequenceGraph:
-        return self.graph_pangenome.graph
-
-    @property
-    def reference(self) -> SequenceRecord:
-        return self.graph_pangenome.reference
+__all__ = [
+    "SUITE_RATES", "SuiteData", "gbwt_queries", "mutate_sequence",
+    "suite_data", "tsu_pairs",
+]
 
 
-def _long_profile(scale: float) -> ReadProfile:
-    """HiFi-like reads scaled so one read spans a useful graph stretch."""
-    mean = max(400, int(1500 * min(scale, 4.0)))
-    return ReadProfile(
-        "hifi_scaled", mean_length=mean, length_sd=mean // 5,
-        substitution_rate=0.004, insertion_rate=0.003, deletion_rate=0.003,
-    )
-
-
-@lru_cache(maxsize=4)
 def suite_data(scale: float = 1.0, seed: int = 0) -> SuiteData:
-    """Build (and memoize) the shared corpus for one (scale, seed)."""
-    genome_length = int(20_000 * scale)
-    n_haplotypes = 8
-    gp = simulate_graph_pangenome(
-        genome_length=genome_length,
-        n_haplotypes=n_haplotypes,
-        seed=seed,
-        rates=SUITE_RATES,
+    """The default-scenario corpus for ``(scale, seed)``, via the store."""
+    return default_store().corpus(
+        scenario_spec("default", scale=scale, seed=seed)
     )
-    rng = random.Random(f"suite-{seed}")
-    donor_short = gp.haplotypes[rng.randrange(len(gp.haplotypes))]
-    donor_long = gp.haplotypes[rng.randrange(len(gp.haplotypes))]
-    short_reads = ReadSimulator(ILLUMINA, seed=seed + 1).simulate(
-        donor_short, n_reads=max(20, int(60 * scale))
-    )
-    long_reads = ReadSimulator(_long_profile(scale), seed=seed + 2).simulate(
-        donor_long, n_reads=max(4, int(10 * scale))
-    )
-    # Held-out assembly: same ancestor, an independent and more divergent
-    # variant set, never threaded into the graph.
-    held_rng = random.Random(f"held-out-{seed}")
-    held_rates = VariantRates(
-        snp=SUITE_RATES.snp * 2.0,
-        insertion=SUITE_RATES.insertion * 2.0,
-        deletion=SUITE_RATES.deletion * 2.0,
-        inversion=SUITE_RATES.inversion,
-        duplication=SUITE_RATES.duplication,
-        indel_mean_length=6.0,
-        sv_mean_length=SUITE_RATES.sv_mean_length,
-    )
-    held_variants = sample_variants(gp.reference.sequence, rates=held_rates, rng=held_rng)
-    held_out = SequenceRecord(
-        "held_out", apply_variants(gp.reference.sequence, held_variants)
-    )
-    return SuiteData(
-        graph_pangenome=gp,
-        short_reads=short_reads,
-        long_reads=long_reads,
-        assemblies=tuple(gp.pangenome.records),
-        held_out=held_out,
-        seed=seed,
-        scale=scale,
-    )
-
-
-def mutate_sequence(sequence: str, error_rate: float, rng: random.Random) -> str:
-    """Apply uniform substitution/indel noise (used by the TSU generator)."""
-    out: list[str] = []
-    third = error_rate / 3.0
-    for base in sequence:
-        roll = rng.random()
-        if roll < third:
-            continue  # deletion
-        if roll < 2 * third:
-            out.append(rng.choice("ACGT"))
-            out.append(base)
-        elif roll < error_rate:
-            out.append(rng.choice([b for b in "ACGT" if b != base]))
-        else:
-            out.append(base)
-    if not out:
-        out.append(sequence[0] if sequence else "A")
-    return "".join(out)
-
-
-def tsu_pairs(
-    n_pairs: int, length: int, error_rate: float = 0.01, seed: int = 0
-) -> list[tuple[str, str]]:
-    """TSU's dataset: sequence pairs at a given length and error rate
-    (the paper's generator script uses 10 kbp at 1%)."""
-    rng = random.Random(f"tsu-{seed}-{length}")
-    pairs = []
-    for _ in range(n_pairs):
-        a = "".join(rng.choice("ACGT") for _ in range(length))
-        pairs.append((a, mutate_sequence(a, error_rate, rng)))
-    return pairs
-
-
-def gbwt_queries(
-    graph: SequenceGraph, n_queries: int, seed: int = 0,
-    min_length: int = 1, max_length: int = 100,
-) -> list[tuple[int, ...]]:
-    """GBWT's dataset: random haplotype subpaths of length 1..100
-    (exactly the paper's generator, Section 4.2)."""
-    rng = random.Random(f"gbwt-{seed}")
-    names = graph.path_names()
-    queries: list[tuple[int, ...]] = []
-    for _ in range(n_queries):
-        path = graph.path(names[rng.randrange(len(names))])
-        length = rng.randint(min_length, min(max_length, len(path.nodes)))
-        start = rng.randrange(len(path.nodes) - length + 1)
-        queries.append(tuple(path.nodes[start : start + length]))
-    return queries

@@ -9,12 +9,12 @@ from __future__ import annotations
 import random
 
 from repro.align.gbv import GBV, graph_edit_distance_scalar
+from repro.data import derivation
 from repro.errors import KernelError
 from repro.graph.model import SequenceGraph
 from repro.graph.ops import local_subgraph
 from repro.index.minimizer import GraphMinimizerIndex
 from repro.kernels.base import Kernel, KernelResult, register
-from repro.kernels.datasets import suite_data
 from repro.sequence.alphabet import reverse_complement
 from repro.sequence.records import Read
 from repro.uarch.events import MachineProbe
@@ -41,6 +41,12 @@ def extract_gbv_inputs(
     return items
 
 
+@derivation("gbv_inputs")
+def _derive_gbv_inputs(data, spec):
+    """GraphAligner's pre-alignment stages, dumped at the GBV boundary."""
+    return extract_gbv_inputs(data.graph, list(data.long_reads))
+
+
 @register
 class GBVKernel(Kernel):
     """Edit-align long reads against cluster subgraphs bit-parallel-style."""
@@ -50,8 +56,7 @@ class GBVKernel(Kernel):
     input_type = "cluster"
 
     def prepare(self) -> None:
-        data = suite_data(self.scale, self.seed)
-        self.items = extract_gbv_inputs(data.graph, list(data.long_reads))
+        self.items = self.derived("gbv_inputs")
         if not self.items:
             raise KernelError("no GBV inputs extracted")
 
@@ -81,9 +86,7 @@ class GBVKernel(Kernel):
     def validate(self) -> None:
         """GBV distances must equal the scalar label-correcting oracle
         (checked on a truncated sample — the oracle is O(cells) Python)."""
-        if not self._prepared:
-            self.prepare()
-            self._prepared = True
+        self.ensure_prepared()
         rng = random.Random(self.seed)
         query, subgraph = self.items[rng.randrange(len(self.items))]
         short_query = query[:60]

@@ -10,11 +10,20 @@ from __future__ import annotations
 
 import random
 
+from repro.data import derivation, gbwt_queries
 from repro.errors import KernelError
 from repro.index.gbwt import GBWT
 from repro.kernels.base import Kernel, KernelResult, register
-from repro.kernels.datasets import gbwt_queries, suite_data
 from repro.uarch.events import MachineProbe, OpClass
+
+
+@derivation("gbwt_queries")
+def _derive_gbwt_queries(data, spec):
+    """The paper's query generator: random haplotype subpaths of length
+    1-100.  The GBWT index itself stays in ``prepare`` — it builds in
+    linear time from the shared graph, so caching buys nothing."""
+    n_queries = max(200, int(2000 * spec.scale))
+    return gbwt_queries(data.graph, n_queries, seed=spec.seed)
 
 
 @register
@@ -30,11 +39,10 @@ class GBWTKernel(Kernel):
     RECORD_BYTES = 48
 
     def prepare(self) -> None:
-        data = suite_data(self.scale, self.seed)
+        data = self.dataset()
         self.graph = data.graph
         self.gbwt = GBWT.from_graph(data.graph)
-        n_queries = max(200, int(2000 * self.scale))
-        self.queries = gbwt_queries(data.graph, n_queries, seed=self.seed)
+        self.queries = self.derived("gbwt_queries")
         if not self.queries:
             raise KernelError("no GBWT queries generated")
         # Record layout in haplotype-path order: consecutive nodes of a
@@ -116,9 +124,7 @@ class GBWTKernel(Kernel):
 
     def validate(self) -> None:
         """find() must agree with a naive haplotype scan on samples."""
-        if not self._prepared:
-            self.prepare()
-            self._prepared = True
+        self.ensure_prepared()
         rng = random.Random(self.seed)
         paths = [self.graph.path(name).nodes for name in self.graph.path_names()]
 

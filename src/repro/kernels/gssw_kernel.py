@@ -12,12 +12,12 @@ import random
 
 from repro.align.gssw import GSSW, graph_smith_waterman_scalar
 from repro.align.scoring import VG_DEFAULT
+from repro.data import derivation
 from repro.errors import KernelError
 from repro.graph.model import SequenceGraph
 from repro.graph.ops import local_subgraph
 from repro.index.minimizer import GraphMinimizerIndex
 from repro.kernels.base import Kernel, KernelResult, register
-from repro.kernels.datasets import suite_data
 from repro.sequence.alphabet import reverse_complement
 from repro.sequence.records import Read
 from repro.uarch.events import MachineProbe
@@ -47,6 +47,12 @@ def extract_gssw_inputs(
     return items
 
 
+@derivation("gssw_inputs")
+def _derive_gssw_inputs(data, spec):
+    """vg map's pre-alignment stages, dumped at the GSSW boundary."""
+    return extract_gssw_inputs(data.graph, list(data.short_reads))
+
+
 @register
 class GSSWKernel(Kernel):
     """Align short-read fragments to seed-local acyclic subgraphs."""
@@ -56,8 +62,7 @@ class GSSWKernel(Kernel):
     input_type = "read fragment + subgraph"
 
     def prepare(self) -> None:
-        data = suite_data(self.scale, self.seed)
-        self.items = extract_gssw_inputs(data.graph, list(data.short_reads))
+        self.items = self.derived("gssw_inputs")
         if not self.items:
             raise KernelError("no GSSW inputs extracted")
 
@@ -84,9 +89,7 @@ class GSSWKernel(Kernel):
 
     def validate(self) -> None:
         """Striped scores must equal the scalar graph-SW oracle."""
-        if not self._prepared:
-            self.prepare()
-            self._prepared = True
+        self.ensure_prepared()
         rng = random.Random(self.seed)
         sample = rng.sample(self.items, min(3, len(self.items)))
         for query, subgraph in sample:

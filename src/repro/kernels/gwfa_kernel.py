@@ -12,12 +12,12 @@ from __future__ import annotations
 import random
 
 from repro.align.gwfa import gwfa_align, graph_edit_distance_from
+from repro.data import derivation
 from repro.errors import AlignmentError, KernelError
 from repro.graph.model import SequenceGraph
 from repro.index.minimizer import GraphMinimizerIndex
 from repro.align.chain import anchors_from_seeds, chain_anchors
 from repro.kernels.base import Kernel, KernelResult, register
-from repro.kernels.datasets import suite_data
 from repro.sequence.alphabet import reverse_complement
 from repro.sequence.records import Read
 from repro.uarch.events import MachineProbe
@@ -47,6 +47,31 @@ def extract_gwfa_inputs(
             if 0 < len(gap) <= max_gap:
                 items.append((gap, left.node_id))
     return items
+
+
+@derivation("gwfa_lr_inputs")
+def _derive_gwfa_lr_inputs(data, spec):
+    """Minigraph's long-read chaining, dumped at the GWFA boundary."""
+    return extract_gwfa_inputs(data.graph, list(data.long_reads))
+
+
+@derivation("gwfa_cr_inputs")
+def _derive_gwfa_cr_inputs(data, spec):
+    """Chromosome-assembly mapping: the held-out sample mapped as one
+    giant query, so inter-anchor gaps are larger (paper: longer
+    sequences -> more nodes -> more divergence)."""
+    assembly = data.held_out  # a new sample, not yet in the graph
+    fake_read = Read(
+        name=assembly.name + "_as_read",
+        sequence=assembly.sequence,
+        truth_name=assembly.name,
+        truth_start=0,
+        truth_end=len(assembly),
+    )
+    items = extract_gwfa_inputs(data.graph, [fake_read], w=30, max_gap=4000)
+    # Keep only the larger gaps (chromosome mapping's signature).
+    items.sort(key=lambda item: len(item[0]), reverse=True)
+    return [item for item in items if len(item[0]) >= 16] or items
 
 
 class _GWFABase(Kernel):
@@ -86,9 +111,7 @@ class _GWFABase(Kernel):
 
     def validate(self) -> None:
         """GWFA must agree with the scalar oracle on short samples."""
-        if not self._prepared:
-            self.prepare()
-            self._prepared = True
+        self.ensure_prepared()
         rng = random.Random(self.seed)
         sample = rng.sample(self.items, min(3, len(self.items)))
         for gap, start_node in sample:
@@ -111,9 +134,8 @@ class GWFALongReadKernel(_GWFABase):
     input_type = "read gaps"
 
     def prepare(self) -> None:
-        data = suite_data(self.scale, self.seed)
-        self.graph = data.graph
-        self.items = extract_gwfa_inputs(data.graph, list(data.long_reads))
+        self.graph = self.dataset().graph
+        self.items = self.derived("gwfa_lr_inputs")
         if not self.items:
             raise KernelError("no GWFA-lr inputs extracted")
 
@@ -131,21 +153,7 @@ class GWFAChromosomeKernel(_GWFABase):
     input_type = "chrom gaps"
 
     def prepare(self) -> None:
-        data = suite_data(self.scale, self.seed)
-        self.graph = data.graph
-        assembly = data.held_out  # a new sample, not yet in the graph
-        fake_read = Read(
-            name=assembly.name + "_as_read",
-            sequence=assembly.sequence,
-            truth_name=assembly.name,
-            truth_start=0,
-            truth_end=len(assembly),
-        )
-        self.items = extract_gwfa_inputs(
-            data.graph, [fake_read], w=30, max_gap=4000
-        )
-        # Keep only the larger gaps (chromosome mapping's signature).
-        self.items.sort(key=lambda item: len(item[0]), reverse=True)
-        self.items = [item for item in self.items if len(item[0]) >= 16] or self.items
+        self.graph = self.dataset().graph
+        self.items = self.derived("gwfa_cr_inputs")
         if not self.items:
             raise KernelError("no GWFA-cr inputs extracted")

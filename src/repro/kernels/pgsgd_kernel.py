@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from repro.errors import KernelError
 from repro.kernels.base import Kernel, KernelResult, register
-from repro.kernels.datasets import suite_data
 from repro.layout.pgsgd import PGSGDLayout, PGSGDParams
 from repro.uarch.events import MachineProbe
 
@@ -23,8 +22,7 @@ class PGSGDKernel(Kernel):
     input_type = "pangenome"
 
     def prepare(self) -> None:
-        data = suite_data(self.scale, self.seed)
-        self.graph = data.graph
+        self.graph = self.dataset().graph
         # virtual_anchor_scale models the paper's full-size (1.7 GB)
         # layout array: the working set must overflow every cache level.
         self.params = PGSGDParams(
@@ -52,9 +50,7 @@ class PGSGDKernel(Kernel):
     def validate(self) -> None:
         """From a random (twisted) start, the layout must untangle:
         stress has to drop by well over an order of magnitude."""
-        if not self._prepared:
-            self.prepare()
-            self._prepared = True
+        self.ensure_prepared()
         import dataclasses
 
         params = dataclasses.replace(self.params, initialization="random")

@@ -13,10 +13,10 @@ import random
 
 from repro.align.scoring import VG_DEFAULT
 from repro.align.smith_waterman import StripedSmithWaterman, smith_waterman
+from repro.data import derivation
 from repro.errors import KernelError
 from repro.index.minimizer import SequenceMinimizerIndex
 from repro.kernels.base import Kernel, KernelResult, register
-from repro.kernels.datasets import suite_data
 from repro.sequence.alphabet import reverse_complement
 from repro.sequence.records import Read, SequenceRecord
 
@@ -51,6 +51,12 @@ def extract_ssw_inputs(
     return items
 
 
+@derivation("ssw_inputs")
+def _derive_ssw_inputs(data, spec):
+    """BWA's pre-alignment stages, dumped at the SW boundary."""
+    return extract_ssw_inputs(data.reference, list(data.short_reads))
+
+
 @register
 class SSWKernel(Kernel):
     """Align short reads against linear reference windows."""
@@ -60,8 +66,7 @@ class SSWKernel(Kernel):
     input_type = "read fragment + window"
 
     def prepare(self) -> None:
-        data = suite_data(self.scale, self.seed)
-        self.items = extract_ssw_inputs(data.reference, list(data.short_reads))
+        self.items = self.derived("ssw_inputs")
         if not self.items:
             raise KernelError("no SSW inputs extracted")
 
@@ -82,9 +87,7 @@ class SSWKernel(Kernel):
 
     def validate(self) -> None:
         """Striped scores must equal the scalar Gotoh oracle."""
-        if not self._prepared:
-            self.prepare()
-            self._prepared = True
+        self.ensure_prepared()
         rng = random.Random(self.seed)
         for query, window in rng.sample(self.items, min(3, len(self.items))):
             fast = StripedSmithWaterman(query, VG_DEFAULT).align(window).score

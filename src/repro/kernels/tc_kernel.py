@@ -10,10 +10,20 @@ from __future__ import annotations
 
 from repro.build.seqwish import transclose
 from repro.build.wfmash import all_to_all
+from repro.data import derivation
 from repro.errors import KernelError
 from repro.kernels.base import Kernel, KernelResult, register
-from repro.kernels.datasets import suite_data
 from repro.uarch.events import MachineProbe
+
+
+@derivation("tc_inputs")
+def _derive_tc_inputs(data, spec):
+    """wfmash's all-to-all matches over the assembly subset — the
+    quadratic preparation the artifact store amortizes across runs."""
+    n_assemblies = max(3, min(len(data.assemblies), int(3 + 3 * spec.scale)))
+    records = list(data.assemblies[:n_assemblies])
+    matches, _ = all_to_all(records)
+    return records, matches
 
 
 @register
@@ -25,12 +35,9 @@ class TCKernel(Kernel):
     input_type = "alignments"
 
     def prepare(self) -> None:
-        data = suite_data(self.scale, self.seed)
         # The paper runs TC on assemblies; a subset keeps the quadratic
         # all-to-all preparation proportional to scale.
-        n_assemblies = max(3, min(len(data.assemblies), int(3 + 3 * self.scale)))
-        self.records = list(data.assemblies[:n_assemblies])
-        self.matches, _ = all_to_all(self.records)
+        self.records, self.matches = self.derived("tc_inputs")
         if not self.matches:
             raise KernelError("no matches for TC")
 
@@ -53,9 +60,7 @@ class TCKernel(Kernel):
     def validate(self) -> None:
         """Closures must be consistent: every match pair shares a closure,
         and closure members share one character."""
-        if not self._prepared:
-            self.prepare()
-            self._prepared = True
+        self.ensure_prepared()
         result = transclose(self.records, self.matches)
         text = "".join(record.sequence for record in self.records)
         for match in self.matches[:200]:

@@ -8,11 +8,20 @@ like the paper's TSU script.  Runs on the SIMT simulator; the kernel's
 from __future__ import annotations
 
 from repro.align.myers import edit_distance
+from repro.data import derivation, tsu_pairs
 from repro.errors import KernelError
 from repro.gpu.tsu import tsu_align_batch
 from repro.kernels.base import Kernel, KernelResult, register
-from repro.kernels.datasets import tsu_pairs
 from repro.uarch.events import MachineProbe
+
+
+@derivation("tsu_pairs", needs_corpus=False)
+def _derive_tsu_pairs(data, spec, pair_length=2000):
+    """The paper's TSU generator: synthetic pairs at the scenario's
+    error rate, independent of the shared corpus."""
+    n_pairs = max(4, int(12 * spec.scale))
+    return tsu_pairs(n_pairs, pair_length, error_rate=spec.tsu_error_rate,
+                     seed=spec.seed)
 
 
 @register
@@ -32,9 +41,7 @@ class TSUKernel(Kernel):
     replicate = 500
 
     def prepare(self) -> None:
-        n_pairs = max(4, int(12 * self.scale))
-        self.pairs = tsu_pairs(n_pairs, self.pair_length, error_rate=0.01,
-                               seed=self.seed)
+        self.pairs = self.derived("tsu_pairs", pair_length=self.pair_length)
 
     def _execute(self, probe: MachineProbe) -> KernelResult:
         result = tsu_align_batch(self.pairs, replicate=self.replicate)

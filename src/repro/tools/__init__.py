@@ -13,6 +13,7 @@ from repro.tools.minigraph import Minigraph, MinigraphConfig
 from repro.tools.pipelines import (
     BUILD_STAGES,
     PipelineRun,
+    pipeline_records,
     run_minigraph_cactus,
     run_pggb,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "Giraffe", "GiraffeConfig", "HaplotypeExtension",
     "GraphAligner", "GraphAlignerConfig",
     "Minigraph", "MinigraphConfig",
-    "BUILD_STAGES", "PipelineRun", "run_minigraph_cactus", "run_pggb",
+    "BUILD_STAGES", "PipelineRun", "pipeline_records",
+    "run_minigraph_cactus", "run_pggb",
     "VgMap", "VgMapConfig",
 ]

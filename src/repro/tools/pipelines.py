@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.data import default_store, scenario_spec
 from repro.build.cactus import build_progressive
 from repro.build.gfaffix import polish
 from repro.build.seqwish import induce_graph
@@ -22,6 +23,25 @@ from repro.uarch.events import NULL_PROBE, MachineProbe
 
 #: Canonical graph-building stage names, in order (Figure 3).
 BUILD_STAGES = ("alignment", "induction", "polish", "visualization")
+
+
+def pipeline_records(
+    scenario: str = "default",
+    scale: float = 1.0,
+    seed: int = 0,
+    limit: int | None = None,
+) -> list[SequenceRecord]:
+    """Assembly inputs for a pipeline run, declared as a dataset spec.
+
+    Resolves the scenario's corpus through the shared artifact store
+    (built once, shared with the kernels) and returns its assemblies —
+    the pipelines' analog of a kernel's ``prepare``.  ``limit`` caps the
+    assembly count, since both pipelines' alignment stages are
+    super-linear in it.
+    """
+    spec = scenario_spec(scenario, scale=scale, seed=seed)
+    records = list(default_store().corpus(spec).assemblies)
+    return records[:limit] if limit is not None else records
 
 
 @dataclass

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.data import ArtifactStore, set_default_store
 from repro.graph.builder import simulate_graph_pangenome
 from repro.kernels.datasets import suite_data
 
@@ -9,9 +10,23 @@ from repro.kernels.datasets import suite_data
 TEST_SCALE = 0.25
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_dataset_store(tmp_path_factory):
+    """Resolve datasets against a session-private artifact store.
+
+    Keeps the test run from reading (or polluting) the repository's
+    ``benchmarks/datasets/`` cache, and makes the first build of each
+    corpus deterministic — every session starts cold.
+    """
+    store = ArtifactStore(tmp_path_factory.mktemp("datasets"))
+    set_default_store(store)
+    yield store
+    set_default_store(None)
+
+
 @pytest.fixture(scope="session")
-def small_suite():
-    """The shared kernel corpus at test scale (memoized library-side)."""
+def small_suite(_isolated_dataset_store):
+    """The shared kernel corpus at test scale (memoized store-side)."""
     return suite_data(TEST_SCALE, 0)
 
 

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.data import ArtifactStore, use_store
 from repro.harness.cli import build_parser, main
 
 
@@ -83,3 +84,45 @@ class TestCli:
     def test_gpu_is_a_known_study(self):
         args = build_parser().parse_args(["run", "tsu", "--studies", "gpu"])
         assert args.studies[-1] == ["gpu"]
+
+    def test_run_scenario(self, capsys):
+        assert main([
+            "run", "--kernels", "tsu", "--scenario", "divergent",
+            "--scale", "0.25", "--studies", "timing",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scenario=divergent" in out
+
+    def test_bad_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scenario", "nope"])
+
+
+class TestDataCli:
+    def test_build_then_list(self, capsys, tmp_path):
+        with use_store(ArtifactStore(tmp_path)):
+            assert main(["data", "build", "--scenario", "default",
+                         "divergent", "--scale", "0.05"]) == 0
+            out = capsys.readouterr().out
+            assert out.count("(built)") == 2
+            # Second build is a warm no-op served from the store.
+            assert main(["data", "build", "--scenario", "default",
+                         "--scale", "0.05"]) == 0
+            assert "(memory)" in capsys.readouterr().out
+            assert main(["data", "list"]) == 0
+            out = capsys.readouterr().out
+            assert "default" in out and "divergent" in out
+
+    def test_list_empty_store(self, capsys, tmp_path):
+        with use_store(ArtifactStore(tmp_path)):
+            assert main(["data", "list"]) == 0
+            assert "no datasets" in capsys.readouterr().out
+
+    def test_gc_all(self, capsys, tmp_path):
+        with use_store(ArtifactStore(tmp_path)):
+            assert main(["data", "build", "--scale", "0.05"]) == 0
+            capsys.readouterr()
+            assert main(["data", "gc", "--all"]) == 0
+            assert "removed 1 dataset(s)" in capsys.readouterr().out
+            assert main(["data", "list"]) == 0
+            assert "no datasets" in capsys.readouterr().out

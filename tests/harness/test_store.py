@@ -31,6 +31,14 @@ class TestDigest:
         assert job_digest(_job(seed=1)) != base
         assert job_digest(_job(studies=("cache",))) != base
         assert job_digest(_job(cache_config=MACHINE_A)) != base
+        assert job_digest(_job(scenario="divergent")) != base
+
+    def test_default_scenario_in_key(self):
+        """The scenario is always part of the cache key (reports from a
+        non-default corpus never collide with default ones)."""
+        from repro.harness.store import job_key
+
+        assert job_key(_job())["scenario"] == "default"
 
 
 class TestStore:

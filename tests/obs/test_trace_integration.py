@@ -34,13 +34,24 @@ class TestTracedKernelRun:
         assert len(phases) >= 3  # seqwish intervals / tree / closure
         assert report.spans == tracer.records()
 
-    def test_prepare_has_nested_build_spans(self):
-        tracer, _ = _traced_tc_report()
+    def test_prepare_has_nested_build_spans(self, tmp_path):
+        """Cold prepare: the store's derivation-build span sits under the
+        kernel's prepare span, with the wfmash stages nested inside it."""
+        from repro.data import ArtifactStore, use_store
+
+        tracer = Tracer()
+        with use_store(ArtifactStore(tmp_path)), trace.use(tracer), \
+                metrics.use(metrics.MetricsRegistry()):
+            run_kernel_studies("tc", studies=TRACE_STUDIES, scale=0.25)
         records = {r["name"]: r for r in tracer.records()}
         prepare_id = records["kernel/tc/prepare"]["id"]
         children = {r["name"] for r in tracer.records()
                     if r["parent"] == prepare_id}
-        assert {"wfmash/sketch", "wfmash/map"} <= children
+        assert "data/build/derived/tc_inputs" in children
+        build_id = records["data/build/derived/tc_inputs"]["id"]
+        grandchildren = {r["name"] for r in tracer.records()
+                         if r["parent"] == build_id}
+        assert {"wfmash/sketch", "wfmash/map"} <= grandchildren
 
     def test_phase_instructions_sum_to_whole_run(self):
         _, report = _traced_tc_report()
