@@ -12,7 +12,7 @@ The package layers three systems (see DESIGN.md):
   :mod:`repro.gpu` (SIMT simulator), plus :mod:`repro.analysis`.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.errors import (
     AlignmentError,
@@ -23,6 +23,9 @@ from repro.errors import (
     KernelError,
     ReproError,
     SequenceError,
+    ServeError,
+    ServeTimeout,
+    ServiceOverloaded,
     SimulationError,
 )
 
@@ -30,5 +33,6 @@ __all__ = [
     "__version__",
     "AlignmentError", "CyclicGraphError", "DatasetError", "GFAError",
     "GraphError", "KernelError", "ReproError", "SequenceError",
+    "ServeError", "ServeTimeout", "ServiceOverloaded",
     "SimulationError",
 ]

@@ -54,3 +54,20 @@ class KernelError(ReproError):
 
 class SimulationError(ReproError):
     """The microarchitecture or GPU simulator was misconfigured."""
+
+
+class ServeError(ReproError):
+    """The benchmark service was misused or is shutting down."""
+
+
+class ServiceOverloaded(ServeError):
+    """Admission control rejected a submission (queue past its
+    high-water mark); retry after ``retry_after`` seconds."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class ServeTimeout(ServeError):
+    """Waiting on a job handle exceeded the caller's deadline."""

@@ -15,13 +15,19 @@ Examples::
     python -m repro data build --scenario default divergent
     python -m repro data list
     python -m repro data gc
+    python -m repro serve submit tsu tsu gbwt --scale 0.25
+    python -m repro serve bench --requests 500
+    python -m repro cache list
+    python -m repro cache gc --max-bytes 50000000
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from contextlib import nullcontext as _null_context
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.report import render_table
@@ -31,6 +37,7 @@ from repro.data import (
     scenario_names,
     scenario_spec,
 )
+from repro.errors import ReproError
 from repro.harness.runner import run_kernel_studies, run_suite, save_reports
 from repro.harness.studies import study_names
 from repro.kernels import SUITE_KERNELS, create_kernel, kernel_names
@@ -177,6 +184,108 @@ def build_parser() -> argparse.ArgumentParser:
     data_gc.add_argument(
         "--all", action="store_true",
         help="remove every artifact, current ones included",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="benchmark-as-a-service: submit requests / run a load replay",
+    )
+    serve_commands = serve.add_subparsers(dest="serve_command", required=True)
+    submit = serve_commands.add_parser(
+        "submit",
+        help="start a service, submit requests (duplicates coalesce), "
+             "wait, and print per-request origins",
+    )
+    submit.add_argument(
+        "kernels", nargs="+", metavar="KERNEL",
+        help="one request per name; repeat a name to submit duplicates",
+    )
+    submit.add_argument(
+        "--studies", nargs="+", default=[["timing"]], type=_study_list,
+        metavar="STUDY", help="studies per request (default: timing)",
+    )
+    submit.add_argument("--scale", type=float, default=1.0)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--scenario", choices=scenario_names(), default="default",
+    )
+    submit.add_argument("--machine", choices=sorted(MACHINES), default="B")
+    submit.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="service worker threads (default 2)",
+    )
+    submit.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="admission-control high-water mark (default 64)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job limit (enforced under process isolation)",
+    )
+    submit.add_argument(
+        "--isolation", choices=("process", "inline"), default="process",
+        help="run each execution in an executor worker process "
+             "(default) or inline on the service worker thread",
+    )
+    submit.add_argument(
+        "--no-reuse", action="store_true",
+        help="skip the shared result cache (still coalesces in-flight "
+             "duplicates)",
+    )
+    submit.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the service metrics dump as JSON",
+    )
+
+    serve_bench = serve_commands.add_parser(
+        "bench",
+        help="replay a seeded mixed request trace and report p50/p99 "
+             "latency, hit rate and coalesce rate",
+    )
+    serve_bench.add_argument("--requests", type=int, default=500)
+    serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument("--scale", type=float, default=0.05)
+    serve_bench.add_argument("--workers", type=int, default=4)
+    serve_bench.add_argument(
+        "--queue-limit", type=int, default=32,
+        help="admission-control high-water mark (default 32; small "
+             "enough that backpressure is exercised)",
+    )
+    serve_bench.add_argument(
+        "--isolation", choices=("process", "inline"), default="process",
+    )
+    serve_bench.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-store root for the replay (default: a fresh "
+             "temporary directory, so rates are measured from cold)",
+    )
+    serve_bench.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the service metrics dump as JSON",
+    )
+
+    cache = commands.add_parser(
+        "cache", help="inspect and manage the sharded result store"
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+    cache_commands.add_parser(
+        "list", help="list cached reports (most recent first)"
+    )
+    cache_gc = cache_commands.add_parser(
+        "gc",
+        help="drop unservable entries and enforce a byte/entry budget",
+    )
+    cache_gc.add_argument(
+        "--all", action="store_true",
+        help="remove every cached report, current ones included",
+    )
+    cache_gc.add_argument(
+        "--max-bytes", type=int, default=None, metavar="BYTES",
+        help="evict least-recently-used entries past this byte budget",
+    )
+    cache_gc.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="evict least-recently-used entries past this entry count",
     )
     return parser
 
@@ -347,6 +456,175 @@ def _command_data(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled data command {args.data_command!r}")
 
 
+def _service_summary(service) -> list[str]:
+    """Human-readable one-liners from a service's metrics registry."""
+    from repro.obs.metrics import quantile_estimate
+    from repro.serve.service import counter_total
+
+    exported = service.metrics.as_dict()
+    lines = [
+        "submitted={:.0f} executed={:.0f} coalesced={:.0f} "
+        "cache_hits={:.0f} rejected={:.0f}".format(
+            counter_total(exported, "serve.submitted"),
+            counter_total(exported, "serve.executed"),
+            counter_total(exported, "serve.coalesced"),
+            counter_total(exported, "serve.cache_hits"),
+            counter_total(exported, "serve.rejected"),
+        )
+    ]
+    for key, payload in exported.get("histograms", {}).items():
+        if key.startswith("serve.latency_seconds") and payload["count"]:
+            lines.append(
+                f"{key}: n={payload['count']} "
+                f"p50<={quantile_estimate(payload, 0.5):g}s "
+                f"p99<={quantile_estimate(payload, 0.99):g}s"
+            )
+    return lines
+
+
+def _command_serve_submit(args: argparse.Namespace) -> int:
+    from repro.serve import BenchService
+
+    studies = tuple(study for token in args.studies for study in token)
+    service = BenchService(
+        workers=args.workers, max_queue=args.queue_limit,
+        timeout=args.timeout, isolation=args.isolation,
+        reuse=not args.no_reuse,
+    )
+    with service:
+        try:
+            handles = [
+                service.submit(
+                    kernel, studies=studies, scale=args.scale,
+                    seed=args.seed, scenario=args.scenario,
+                    cache_config=MACHINES[args.machine],
+                )
+                for kernel in args.kernels
+            ]
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        rows = []
+        failures = 0
+        for handle in handles:
+            report = handle.wait(timeout=args.timeout or 600.0)
+            failures += report.error is not None
+            rows.append([
+                handle.job.kernel,
+                handle.origin,
+                f"{handle.latency_seconds:.3f}",
+                f"{report.wall_seconds:.3f}",
+                report.error or "-",
+            ])
+    print(render_table(
+        ["kernel", "origin", "latency s", "kernel s", "error"], rows,
+        title=(f"serve submit (workers={args.workers}, "
+               f"isolation={args.isolation}, scale={args.scale})"),
+    ))
+    for line in _service_summary(service):
+        print(line)
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(
+            json.dumps(service.metrics.as_dict(), indent=2, sort_keys=True)
+        )
+        print(f"metrics written to {args.metrics_out}")
+    return 1 if failures else 0
+
+
+def _command_serve_bench(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.serve import (
+        BenchService,
+        ShardedResultStore,
+        TraceSpec,
+        duplicate_fraction,
+        generate_requests,
+        replay,
+    )
+
+    spec = TraceSpec(requests=args.requests, seed=args.seed,
+                     scale=args.scale)
+    trace_jobs = generate_requests(spec)
+    dup = duplicate_fraction(trace_jobs)
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as scratch:
+        store = ShardedResultStore(args.cache_dir or scratch)
+        with BenchService(workers=args.workers, max_queue=args.queue_limit,
+                          isolation=args.isolation, store=store) as service:
+            result = replay(service, trace_jobs)
+    served = result.cache_hits + result.coalesced
+    print(render_table(
+        ["requests", "unique", "dup frac", "p50 ms", "p99 ms",
+         "hit rate", "coalesce rate", "rejected", "errors"],
+        [[
+            result.completed,
+            result.executed,
+            f"{dup:.3f}",
+            f"{result.percentile(50) * 1e3:.2f}",
+            f"{result.percentile(99) * 1e3:.2f}",
+            f"{result.rate('cached'):.3f}",
+            f"{result.rate('coalesced'):.3f}",
+            result.rejected,
+            result.errors,
+        ]],
+        title=(f"serve bench (seed={args.seed}, workers={args.workers}, "
+               f"wall={result.wall_seconds:.1f}s)"),
+    ))
+    print(f"served without execution: {served}/{result.completed} "
+          f"(theoretical duplicate fraction {dup:.3f})")
+    for line in _service_summary(service):
+        print(line)
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(
+            json.dumps(service.metrics.as_dict(), indent=2, sort_keys=True)
+        )
+        print(f"metrics written to {args.metrics_out}")
+    return 1 if result.errors else 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    if args.serve_command == "submit":
+        return _command_serve_submit(args)
+    if args.serve_command == "bench":
+        return _command_serve_bench(args)
+    raise AssertionError(f"unhandled serve command {args.serve_command!r}")
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    from repro.harness.store import default_result_store
+
+    store = default_result_store()
+    if args.cache_command == "list":
+        entries = store.entries()
+        if not entries:
+            print(f"no cached reports under {store.root}")
+            return 0
+        rows = [[
+            meta["digest"],
+            meta.get("kernel", "?"),
+            meta.get("scenario", "?"),
+            meta.get("scale", "?"),
+            ",".join(meta.get("studies", [])),
+            f"{meta.get('bytes', 0) / 1024:.0f} KiB",
+        ] for meta in entries]
+        print(render_table(
+            ["digest", "kernel", "scenario", "scale", "studies", "size"],
+            rows,
+            title=(f"Result cache: {store.root} "
+                   f"({store.total_bytes() / 1024:.0f} KiB)"),
+        ))
+        return 0
+    if args.cache_command == "gc":
+        if args.max_bytes is not None:
+            store.max_bytes = args.max_bytes
+        if args.max_entries is not None:
+            store.max_entries = args.max_entries
+        removed, freed = store.gc(everything=args.all)
+        print(f"removed {removed} report(s), freed {freed / 1024:.0f} KiB")
+        return 0
+    raise AssertionError(f"unhandled cache command {args.cache_command!r}")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -359,6 +637,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_validate(args)
     if args.command == "data":
         return _command_data(args)
+    if args.command == "serve":
+        return _command_serve(args)
+    if args.command == "cache":
+        return _command_cache(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -43,7 +43,7 @@ from repro.data import ensure_corpus, scenario_spec
 from repro.errors import KernelError
 from repro.harness.runner import KernelReport, run_kernel_studies
 from repro.harness.studies import create_study
-from repro.harness.store import ResultStore
+from repro.harness.store import ResultStore, default_result_store
 from repro.kernels.base import KERNEL_REGISTRY
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace
@@ -363,7 +363,7 @@ def execute_plan(
     if jobs < 1:
         raise KernelError("jobs must be >= 1")
     if reuse and store is None:
-        store = ResultStore()
+        store = default_result_store()
 
     reports: dict[str, KernelReport] = {}
     pending: list[Job] = []

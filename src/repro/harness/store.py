@@ -112,3 +112,13 @@ class ResultStore:
                 entry.unlink()
                 removed += 1
         return removed
+
+
+def default_result_store() -> ResultStore:
+    """The store ``execute_plan(reuse=True)`` and the CLI default to: the
+    digest-prefix-sharded, LRU-bounded store from :mod:`repro.serve`
+    over :func:`default_cache_dir` (lazy import — the serve layer builds
+    on the harness, not the other way around)."""
+    from repro.serve.shards import ShardedResultStore
+
+    return ShardedResultStore()

@@ -18,6 +18,7 @@ Export schema (``MetricsRegistry.as_dict``)::
 from __future__ import annotations
 
 import math
+import threading
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -90,58 +91,75 @@ class Histogram:
 
 class MetricsRegistry:
     """Holds every series created through it; see the module docstring
-    for the export schema."""
+    for the export schema.
+
+    Series creation, export and merge are guarded by an internal lock,
+    so worker threads (the serve layer's pool) may record into one
+    registry concurrently.  The returned metric objects themselves are
+    intentionally lock-free — ``inc``/``set``/``observe`` stay cheap;
+    callers that need exact cross-thread counts serialize their own
+    updates (the service increments its counters under its queue lock).
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str, **labels: object) -> Counter:
         key = series_name(name, labels)
-        metric = self._counters.get(key)
-        if metric is None:
-            metric = self._counters[key] = Counter()
+        with self._lock:
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter()
         return metric
 
     def gauge(self, name: str, **labels: object) -> Gauge:
         key = series_name(name, labels)
-        metric = self._gauges.get(key)
-        if metric is None:
-            metric = self._gauges[key] = Gauge()
+        with self._lock:
+            metric = self._gauges.get(key)
+            if metric is None:
+                metric = self._gauges[key] = Gauge()
         return metric
 
     def histogram(self, name: str,
                   bounds: tuple[float, ...] = DEFAULT_BUCKETS,
                   **labels: object) -> Histogram:
         key = series_name(name, labels)
-        metric = self._histograms.get(key)
-        if metric is None:
-            metric = self._histograms[key] = Histogram(bounds)
+        with self._lock:
+            metric = self._histograms.get(key)
+            if metric is None:
+                metric = self._histograms[key] = Histogram(bounds)
         return metric
 
     def as_dict(self) -> dict:
         """JSON-able export; empty sections are omitted."""
         out: dict = {}
-        if self._counters:
-            out["counters"] = {k: c.value for k, c in self._counters.items()}
-        if self._gauges:
-            out["gauges"] = {k: g.value for k, g in self._gauges.items()}
-        if self._histograms:
-            out["histograms"] = {k: h.as_dict()
-                                 for k, h in self._histograms.items()}
+        with self._lock:
+            if self._counters:
+                out["counters"] = {k: c.value
+                                   for k, c in self._counters.items()}
+            if self._gauges:
+                out["gauges"] = {k: g.value for k, g in self._gauges.items()}
+            if self._histograms:
+                out["histograms"] = {k: h.as_dict()
+                                     for k, h in self._histograms.items()}
         return out
 
     def merge_dict(self, exported: dict) -> None:
         """Fold an :meth:`as_dict` export into this registry (counters
         and histogram buckets add; gauges overwrite)."""
-        merged = merge(self.as_dict(), exported)
-        self._counters = {k: _counter_at(v)
-                          for k, v in merged.get("counters", {}).items()}
-        self._gauges = {k: _gauge_at(v)
-                        for k, v in merged.get("gauges", {}).items()}
-        self._histograms = {k: _histogram_from(v)
-                            for k, v in merged.get("histograms", {}).items()}
+        with self._lock:
+            merged = merge(self.as_dict(), exported)
+            self._counters = {k: _counter_at(v)
+                              for k, v in merged.get("counters", {}).items()}
+            self._gauges = {k: _gauge_at(v)
+                            for k, v in merged.get("gauges", {}).items()}
+            self._histograms = {
+                k: _histogram_from(v)
+                for k, v in merged.get("histograms", {}).items()
+            }
 
 
 def _counter_at(value: float) -> Counter:

@@ -1,0 +1,184 @@
+"""Seeded request distributions and a replay driver for the service.
+
+The "millions of users" axis made measurable: :func:`generate_requests`
+expands a small working set of distinct jobs into a long, seeded request
+trace with a skewed popularity distribution (rank-weighted, so a few
+jobs are hot and the tail is cold — the shape a shared benchmarking
+service actually sees) plus injected duplicate bursts (back-to-back
+identical requests, the pattern that exercises in-flight coalescing
+rather than the result cache).  :func:`replay` pushes a trace through a
+:class:`~repro.serve.service.BenchService`, honouring admission-control
+backpressure (rejected submissions retry after the advertised
+``retry_after``), and reduces the handles to the numbers the load bench
+reports: p50/p99 latency, cache-hit rate, coalesce rate.
+
+Everything is a pure function of its seed — two replays of the same
+spec submit byte-identical job sequences.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServiceOverloaded
+from repro.harness.executor import Job, compile_plan
+from repro.harness.store import job_digest
+from repro.serve.service import CACHED, COALESCED, EXECUTED, BenchService
+
+#: Default kernel pool for generated traces — the cheaper suite kernels,
+#: so a thousand-request replay stays interactive.
+DEFAULT_KERNELS = ("tsu", "gbwt", "gssw", "ssw")
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Parameters of a seeded request trace."""
+
+    requests: int = 1000
+    seed: int = 0
+    kernels: tuple[str, ...] = DEFAULT_KERNELS
+    #: Dataset seeds to cross with the kernels; the working set is
+    #: ``len(kernels) * len(dataset_seeds)`` distinct jobs.
+    dataset_seeds: tuple[int, ...] = (0, 1, 2)
+    scale: float = 0.05
+    scenario: str = "default"
+    studies: tuple[str, ...] = ("timing",)
+    #: Length of each injected duplicate burst (0 disables injection).
+    burst: int = 8
+    #: Approximate fraction of the trace occupied by bursts.
+    burst_fraction: float = 0.2
+
+
+@dataclass
+class ReplayResult:
+    """What one replay measured."""
+
+    submitted: int = 0
+    completed: int = 0
+    errors: int = 0
+    rejected: int = 0
+    retries: int = 0
+    latencies: list[float] = field(default_factory=list)
+    origins: dict[str, int] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def executed(self) -> int:
+        return self.origins.get(EXECUTED, 0)
+
+    @property
+    def coalesced(self) -> int:
+        return self.origins.get(COALESCED, 0)
+
+    @property
+    def cache_hits(self) -> int:
+        return self.origins.get(CACHED, 0)
+
+    def rate(self, origin: str) -> float:
+        return self.origins.get(origin, 0) / max(1, self.completed)
+
+    def percentile(self, q: float) -> float:
+        """Exact latency percentile (seconds) over completed requests."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+
+def working_set(spec: TraceSpec) -> list[Job]:
+    """The distinct jobs a trace draws from (kernels × dataset seeds)."""
+    jobs = []
+    for seed in spec.dataset_seeds:
+        plan = compile_plan(
+            spec.kernels, studies=spec.studies, scale=spec.scale,
+            seed=seed, scenario=spec.scenario,
+        )
+        jobs.extend(plan.jobs)
+    return jobs
+
+
+def generate_requests(spec: TraceSpec) -> list[Job]:
+    """A seeded request trace of ``spec.requests`` jobs.
+
+    Skewed popularity (weight ``1/(rank+1)`` over a seed-shuffled
+    working set) with duplicate bursts spliced in at seeded offsets.
+    """
+    jobs = working_set(spec)
+    rng = np.random.default_rng(spec.seed)
+    order = rng.permutation(len(jobs))
+    weights = 1.0 / (1.0 + np.arange(len(jobs)))
+    popularity = np.empty(len(jobs))
+    popularity[order] = weights / weights.sum()
+
+    picks = rng.choice(len(jobs), size=spec.requests, p=popularity)
+    trace = [jobs[index] for index in picks]
+    if spec.burst > 1 and spec.burst_fraction > 0:
+        n_bursts = max(1, int(spec.requests * spec.burst_fraction
+                              / spec.burst))
+        starts = rng.integers(0, max(1, spec.requests - spec.burst),
+                              size=n_bursts)
+        for start in starts:
+            victim = trace[start]
+            trace[start:start + spec.burst] = [victim] * min(
+                spec.burst, spec.requests - start
+            )
+    return trace
+
+
+def duplicate_fraction(trace: list[Job]) -> float:
+    """The trace's theoretical duplicate fraction: the share of requests
+    whose digest already appeared earlier — exactly the share a perfect
+    dedup layer (result cache + in-flight coalescing) serves without a
+    new execution."""
+    if not trace:
+        return 0.0
+    unique = len({job_digest(job) for job in trace})
+    return 1.0 - unique / len(trace)
+
+
+def replay(service: BenchService, trace: list[Job],
+           wait_timeout: float = 300.0,
+           max_retries: int = 100) -> ReplayResult:
+    """Submit *trace* as fast as admission control allows; wait for
+    every report; reduce to a :class:`ReplayResult`.
+
+    A rejected submission sleeps the advertised ``retry_after`` and
+    retries (bounded by *max_retries*); its latency clock starts at the
+    first attempt, so backpressure shows up in the tail.
+    """
+    result = ReplayResult()
+    handles = []
+    started = time.perf_counter()
+    for job in trace:
+        first_attempt = time.perf_counter()
+        for _ in range(max_retries):
+            try:
+                handle = service.submit_job(job)
+            except ServiceOverloaded as overload:
+                result.rejected += 1
+                result.retries += 1
+                time.sleep(min(overload.retry_after, 0.5))
+                continue
+            handle.submitted = first_attempt
+            break
+        else:
+            raise ServiceOverloaded(
+                f"submission for {job.kernel} rejected {max_retries} times",
+                retry_after=1.0,
+            )
+        handles.append(handle)
+        result.submitted += 1
+    for handle in handles:
+        report = handle.wait(timeout=wait_timeout)
+        result.completed += 1
+        if report.error is not None:
+            result.errors += 1
+        origin = handle.origin or "unknown"
+        result.origins[origin] = result.origins.get(origin, 0) + 1
+        latency = handle.latency_seconds
+        if latency is not None:
+            result.latencies.append(latency)
+    result.wall_seconds = time.perf_counter() - started
+    return result

@@ -1,0 +1,27 @@
+"""Serve-layer fixtures: per-test registration of the fake kernels."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# The disposable fake kernels live next to the harness tests.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "harness"))
+from fakes import FAKES, CrashKernel, OkKernel  # noqa: E402
+
+from repro.kernels.base import KERNEL_REGISTRY, register  # noqa: E402
+
+
+@pytest.fixture
+def fake_kernels():
+    """Register the fake kernels for one test; reset counters."""
+    for cls in FAKES:
+        KERNEL_REGISTRY.pop(cls.name, None)
+        register(cls)
+    OkKernel.executions = 0
+    CrashKernel.executions = 0
+    yield
+    for cls in FAKES:
+        KERNEL_REGISTRY.pop(cls.name, None)

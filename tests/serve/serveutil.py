@@ -1,0 +1,23 @@
+"""Shared serve-test helpers (uniquely named — tests run unpackaged)."""
+
+from __future__ import annotations
+
+from repro.harness.executor import Job
+from repro.harness.runner import KernelReport
+
+
+def make_job(kernel: str = "fake-ok", seed: int = 0,
+             scale: float = 0.05,
+             studies: tuple[str, ...] = ("timing",)) -> Job:
+    """A :class:`Job` built directly (no registry validation), for
+    store/service tests that never execute a real kernel."""
+    return Job(kernel=kernel, studies=studies, scale=scale, seed=seed)
+
+
+def ok_report(job: Job, **extra) -> KernelReport:
+    """A well-formed successful report for *job*."""
+    return KernelReport(
+        kernel=job.kernel, wall_seconds=0.01, inputs_processed=1,
+        scale=job.scale, seed=job.seed, machine=job.cache_config.name,
+        scenario=job.scenario, **extra,
+    )
