@@ -1,5 +1,18 @@
-"""Analyses: thread scaling, runtime extrapolation, report rendering."""
+"""Analyses: thread scaling, runtime extrapolation, report rendering,
+and cross-scenario sweep aggregation (summary tables + leaderboards)."""
 
+from repro.analysis.aggregate import (
+    LEADERBOARD_METRICS,
+    LEADERBOARD_TSV,
+    SUMMARY_TSV,
+    LeaderboardEntry,
+    SummaryRow,
+    aggregate_sweep,
+    leaderboard,
+    render_leaderboard,
+    summary_rows,
+    topdown_drift,
+)
 from repro.analysis.estimate import (
     COVERAGE,
     HUMAN_GENOME_BP,
@@ -21,6 +34,9 @@ from repro.analysis.threads import (
 )
 
 __all__ = [
+    "LEADERBOARD_METRICS", "LEADERBOARD_TSV", "SUMMARY_TSV",
+    "LeaderboardEntry", "SummaryRow", "aggregate_sweep", "leaderboard",
+    "render_leaderboard", "summary_rows", "topdown_drift",
     "COVERAGE", "HUMAN_GENOME_BP", "PAPER_TABLE1_HOURS", "PYTHON_TO_CPP_FACTOR",
     "GenomeEstimate", "estimate_genome_runtime", "normalize_to_baseline",
     "reads_for_coverage",

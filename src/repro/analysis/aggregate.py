@@ -1,0 +1,312 @@
+"""Cross-scenario aggregation: sweep results → tables and leaderboards.
+
+The HYMET harness pattern (``aggregate_metrics.py`` walking a CAMI
+manifest into ``summary_per_tool_per_sample.tsv`` and
+``leaderboard_by_rank.tsv``), re-cut for this suite: a
+:class:`~repro.sweep.SweepResult` — one report per kernel × scenario
+cell — folds into
+
+* ``summary_per_kernel_per_scenario.tsv`` — one row per (kernel,
+  scenario, scale, seed) grid point: wall time, throughput, IPC,
+  dominant top-down slot, origin, gate status;
+* ``leaderboard_by_metric.tsv`` — per metric (throughput, wall time,
+  IPC), kernels ranked by their best cell, with the cross-scenario mean
+  and relative spread, and a *scenario-sensitive* / *scenario-invariant*
+  verdict (the paper's Section V question: which kernels' behaviour is a
+  property of the kernel, and which of the workload);
+
+plus JSON twins of both (``.json`` next to each ``.tsv``).
+:func:`topdown_drift` answers the shape question directly: kernels
+whose *dominant* top-down slot changes across scenarios.
+
+Everything here is pure post-processing — no kernel runs, no file
+reads beyond the sweep result handed in — so it aggregates saved
+``sweep.json`` files from past runs just as well as fresh in-memory
+results (``repro sweep report``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import SweepError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sweep.driver import CellResult, SweepResult
+
+#: Leaderboard metrics: name -> (extractor description, higher_is_better).
+LEADERBOARD_METRICS: dict[str, bool] = {
+    "throughput": True,
+    "wall_seconds": False,
+    "ipc": True,
+}
+
+#: Relative spread past which a kernel's metric is called
+#: scenario-sensitive: (max - min) / mean over per-scenario means.
+SENSITIVITY_THRESHOLD = 0.25
+
+SUMMARY_TSV = "summary_per_kernel_per_scenario.tsv"
+LEADERBOARD_TSV = "leaderboard_by_metric.tsv"
+
+SUMMARY_COLUMNS = (
+    "kernel", "scenario", "scale", "seed", "fidelity", "origin",
+    "wall_seconds", "throughput", "ipc", "top_slot", "gates", "error",
+)
+
+LEADERBOARD_COLUMNS = (
+    "metric", "rank", "kernel", "best", "best_scenario", "mean",
+    "spread", "scenarios", "verdict",
+)
+
+
+@dataclass(frozen=True)
+class SummaryRow:
+    """One grid point of the summary table."""
+
+    kernel: str
+    scenario: str
+    scale: float
+    seed: int
+    fidelity: str
+    origin: str
+    wall_seconds: float
+    throughput: float
+    ipc: float
+    top_slot: str
+    gates: str
+    error: str
+
+    def as_record(self) -> dict:
+        return {column: getattr(self, column) for column in SUMMARY_COLUMNS}
+
+
+@dataclass(frozen=True)
+class LeaderboardEntry:
+    """One kernel's standing under one metric."""
+
+    metric: str
+    rank: int
+    kernel: str
+    best: float
+    best_scenario: str
+    mean: float
+    spread: float
+    scenarios: int
+    verdict: str
+
+    def as_record(self) -> dict:
+        return {column: getattr(self, column)
+                for column in LEADERBOARD_COLUMNS}
+
+
+def _throughput(result: "CellResult") -> float:
+    report = result.report
+    if report.wall_seconds <= 0:
+        return 0.0
+    return report.inputs_processed / report.wall_seconds
+
+
+def _metric_value(result: "CellResult", metric: str) -> "float | None":
+    """The metric's value for one grid point, ``None`` when unmeasured.
+
+    IPC comes from the ``topdown`` study; a grid point that ran without
+    it reports ``ipc == 0.0``, which is *missing*, not a measurement —
+    folding it in would make every partially-instrumented sweep look
+    maximally scenario-sensitive.
+    """
+    if metric == "throughput":
+        return _throughput(result)
+    if metric == "wall_seconds":
+        return result.report.wall_seconds
+    if metric == "ipc":
+        return result.report.ipc if result.report.ipc > 0 else None
+    raise SweepError(
+        f"unknown leaderboard metric {metric!r}; known: "
+        f"{', '.join(sorted(LEADERBOARD_METRICS))}"
+    )
+
+
+def summary_rows(sweep: "SweepResult") -> list[SummaryRow]:
+    """One row per grid point, sorted (kernel, scenario, scale, seed)."""
+    rows = []
+    for result in sweep.results:
+        report = result.report
+        top_slot = (max(report.topdown, key=report.topdown.get)
+                    if report.topdown else "-")
+        gates = ("; ".join(result.gate_violations)
+                 if result.gate_violations else "ok")
+        rows.append(SummaryRow(
+            kernel=result.kernel,
+            scenario=result.scenario,
+            scale=result.scale,
+            seed=result.seed,
+            fidelity=result.fidelity,
+            origin=result.origin,
+            wall_seconds=report.wall_seconds,
+            throughput=_throughput(result),
+            ipc=report.ipc,
+            top_slot=top_slot,
+            gates=gates,
+            error=report.error or "-",
+        ))
+    rows.sort(key=lambda row: (row.kernel, row.scenario, row.scale,
+                               row.seed))
+    return rows
+
+
+def _scenario_means(sweep: "SweepResult",
+                    metric: str) -> dict[str, dict[str, float]]:
+    """kernel -> scenario -> mean metric over that cell's grid points.
+
+    Failed cells (``report.error`` set) and unmeasured values are
+    excluded: a crashed kernel's zero wall time must not win a
+    leaderboard, and a study that never ran is not a data point.
+    """
+    sums: dict[str, dict[str, list[float]]] = {}
+    for result in sweep.results:
+        if result.report.error is not None:
+            continue
+        value = _metric_value(result, metric)
+        if value is None:
+            continue
+        per_kernel = sums.setdefault(result.kernel, {})
+        per_kernel.setdefault(result.scenario, []).append(value)
+    return {
+        kernel: {
+            scenario: sum(values) / len(values)
+            for scenario, values in scenarios.items()
+        }
+        for kernel, scenarios in sums.items()
+    }
+
+
+def leaderboard(sweep: "SweepResult",
+                metrics: "Iterable[str] | None" = None
+                ) -> list[LeaderboardEntry]:
+    """Kernels ranked per metric by their best scenario cell.
+
+    ``spread`` is the relative spread of the per-scenario means,
+    ``(max - min) / |mean|``; past :data:`SENSITIVITY_THRESHOLD` the
+    verdict is ``scenario-sensitive``, otherwise ``scenario-invariant``
+    (``single-scenario`` when only one scenario contributed).
+    """
+    entries = []
+    for metric in (metrics if metrics is not None
+                   else sorted(LEADERBOARD_METRICS)):
+        higher_is_better = LEADERBOARD_METRICS.get(metric)
+        if higher_is_better is None:
+            raise SweepError(
+                f"unknown leaderboard metric {metric!r}; known: "
+                f"{', '.join(sorted(LEADERBOARD_METRICS))}"
+            )
+        standings = []
+        for kernel, per_scenario in _scenario_means(sweep, metric).items():
+            pick = max if higher_is_better else min
+            best_scenario = pick(per_scenario, key=per_scenario.get)
+            values = list(per_scenario.values())
+            mean = sum(values) / len(values)
+            spread = ((max(values) - min(values)) / abs(mean)
+                      if mean else 0.0)
+            if len(values) == 1:
+                verdict = "single-scenario"
+            elif spread > SENSITIVITY_THRESHOLD:
+                verdict = "scenario-sensitive"
+            else:
+                verdict = "scenario-invariant"
+            standings.append((per_scenario[best_scenario], best_scenario,
+                              kernel, mean, spread, len(values), verdict))
+        standings.sort(
+            key=lambda item: (-item[0] if higher_is_better else item[0],
+                              item[2])
+        )
+        for rank, (best, best_scenario, kernel, mean, spread,
+                   scenarios, verdict) in enumerate(standings, start=1):
+            entries.append(LeaderboardEntry(
+                metric=metric, rank=rank, kernel=kernel, best=best,
+                best_scenario=best_scenario, mean=mean, spread=spread,
+                scenarios=scenarios, verdict=verdict,
+            ))
+    return entries
+
+
+def topdown_drift(sweep: "SweepResult") -> dict[str, dict[str, str]]:
+    """Kernels whose *dominant* top-down slot changes across scenarios.
+
+    Returns ``{kernel: {scenario: top_slot}}`` for drifting kernels
+    only — empty means every kernel's bottleneck shape is
+    scenario-invariant (the paper characterizes on one workload; drift
+    here flags where that single-workload shape would mislead).
+    """
+    slots: dict[str, dict[str, str]] = {}
+    for result in sweep.results:
+        report = result.report
+        if report.error is not None or not report.topdown:
+            continue
+        top = max(report.topdown, key=report.topdown.get)
+        slots.setdefault(result.kernel, {})[result.scenario] = top
+    return {
+        kernel: per_scenario
+        for kernel, per_scenario in slots.items()
+        if len(set(per_scenario.values())) > 1
+    }
+
+
+def _format(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _write_tsv(path: Path, columns: tuple[str, ...],
+               records: list[dict]) -> None:
+    lines = ["\t".join(columns)]
+    for record in records:
+        lines.append("\t".join(_format(record[column])
+                               for column in columns))
+    path.write_text("\n".join(lines) + "\n")
+
+
+def _write_json(path: Path, records: list[dict]) -> None:
+    path.write_text(json.dumps(records, indent=2, sort_keys=True))
+
+
+def aggregate_sweep(sweep: "SweepResult",
+                    out_dir: "str | Path") -> dict[str, Path]:
+    """Write the summary table and leaderboard (TSV + JSON) under
+    *out_dir*; returns ``{artifact name: path}``."""
+    if not sweep.results:
+        raise SweepError("cannot aggregate an empty sweep result")
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    summary_records = [row.as_record() for row in summary_rows(sweep)]
+    board_records = [entry.as_record() for entry in leaderboard(sweep)]
+    paths = {
+        SUMMARY_TSV: out / SUMMARY_TSV,
+        LEADERBOARD_TSV: out / LEADERBOARD_TSV,
+        "summary_per_kernel_per_scenario.json":
+            out / "summary_per_kernel_per_scenario.json",
+        "leaderboard_by_metric.json": out / "leaderboard_by_metric.json",
+    }
+    _write_tsv(paths[SUMMARY_TSV], SUMMARY_COLUMNS, summary_records)
+    _write_tsv(paths[LEADERBOARD_TSV], LEADERBOARD_COLUMNS, board_records)
+    _write_json(paths["summary_per_kernel_per_scenario.json"],
+                summary_records)
+    _write_json(paths["leaderboard_by_metric.json"], board_records)
+    return paths
+
+
+def render_leaderboard(entries: list[LeaderboardEntry],
+                       title: "str | None" = None) -> str:
+    """The leaderboard as an aligned text table (the CLI's view)."""
+    from repro.analysis.report import render_table
+
+    rows = [
+        [entry.metric, entry.rank, entry.kernel, f"{entry.best:.4g}",
+         entry.best_scenario, f"{entry.mean:.4g}", f"{entry.spread:.3f}",
+         entry.scenarios, entry.verdict]
+        for entry in entries
+    ]
+    return render_table(list(LEADERBOARD_COLUMNS), rows, title=title)

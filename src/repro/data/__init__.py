@@ -6,9 +6,13 @@ Where the suite's datasets come from (DESIGN.md "Workloads"):
 * :mod:`repro.data.spec` — :class:`DatasetSpec`, the content-hashable
   description of one corpus (every parameter that shapes the graph and
   reads, plus the generator version);
-* :mod:`repro.data.scenarios` — ``SCENARIO_REGISTRY`` of named corpora
-  (``default``, ``dense-pop``, ``divergent``, ``long-read-heavy``,
-  ``sv-rich``) selectable via ``repro run --scenario``;
+* :mod:`repro.data.manifest` — declarative TOML scenario manifests
+  under ``benchmarks/manifests/``: corpus axes whose cross-product
+  expands into content-hashed cells (``repro sweep`` runs the grid);
+* :mod:`repro.data.scenarios` — ``SCENARIO_REGISTRY``, the runtime view
+  over the expanded suite manifest (``default``, ``dense-pop``,
+  ``divergent``, ``long-read-heavy``, ``sv-rich``) selectable via
+  ``repro run --scenario``; sweeps install further manifests on top;
 * :mod:`repro.data.corpus` — the generators: :func:`build_corpus`
   (spec -> :class:`SuiteData`) and the shared derived-input generators;
 * :mod:`repro.data.derive` — registry of cacheable corpus -> kernel
@@ -33,6 +37,17 @@ from repro.data.corpus import (
     tsu_pairs,
 )
 from repro.data.derive import DERIVATIONS, Derivation, derivation, get_derivation
+from repro.data.manifest import (
+    Manifest,
+    ManifestCell,
+    available_manifests,
+    default_manifest_dir,
+    install_manifest,
+    load_manifest,
+    loads_manifest,
+    parse_manifest,
+    resolve_manifest,
+)
 from repro.data.scenarios import (
     SCENARIO_REGISTRY,
     Scenario,
@@ -63,6 +78,9 @@ __all__ = [
     "GENERATOR_VERSION", "DatasetSpec",
     "SCENARIO_REGISTRY", "Scenario", "get_scenario", "register_scenario",
     "scenario_names", "scenario_spec",
+    "Manifest", "ManifestCell", "available_manifests",
+    "default_manifest_dir", "install_manifest", "load_manifest",
+    "loads_manifest", "parse_manifest", "resolve_manifest",
     "SUITE_RATES", "SuiteData", "build_corpus", "corpus",
     "corpus_fingerprint", "gbwt_queries", "mutate_sequence", "tsu_pairs",
     "DERIVATIONS", "Derivation", "derivation", "get_derivation",

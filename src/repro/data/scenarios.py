@@ -9,25 +9,38 @@ and the scenario name is threaded through :class:`KernelReport`
 metadata and the result store's cache key so per-scenario figures never
 collide.
 
-Registering a new workload is one :func:`register_scenario` call; the
-registry mirrors ``KERNEL_REGISTRY`` / ``STUDY_REGISTRY``.
+The registry is a **runtime view over declarative manifests**
+(:mod:`repro.data.manifest`): importing this module expands the
+committed ``benchmarks/manifests/suite.toml`` — the five historical
+scenarios, bit-identical to the old hand-written registrations — and
+``repro sweep`` installs whole manifest grids on top.  Registering a
+one-off workload programmatically is still one
+:func:`register_scenario` call; the registry mirrors
+``KERNEL_REGISTRY`` / ``STUDY_REGISTRY``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
-from repro.data.spec import SUITE_RATES, DatasetSpec
+from repro.data.spec import DatasetSpec
 from repro.errors import DatasetError
 
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named corpus: description plus spec parameter overrides."""
+    """A named corpus: description plus spec parameter overrides.
+
+    ``fidelity`` grades the cell (``"paper"`` cells are asserted against
+    the paper-shape gates during sweeps); ``axes`` records the manifest
+    grid coordinates the scenario expanded from, when it did.
+    """
 
     name: str
     description: str
     overrides: dict = field(default_factory=dict)
+    fidelity: str = "bench"
+    axes: dict = field(default_factory=dict)
 
     def spec(self, scale: float = 1.0, seed: int = 0) -> DatasetSpec:
         """The scenario's :class:`DatasetSpec` at the given run axes."""
@@ -55,7 +68,7 @@ def get_scenario(name: str) -> Scenario:
     try:
         return SCENARIO_REGISTRY[name]
     except KeyError:
-        known = ", ".join(SCENARIO_REGISTRY)
+        known = ", ".join(sorted(SCENARIO_REGISTRY))
         raise DatasetError(
             f"unknown scenario {name!r}; known: {known}"
         ) from None
@@ -67,46 +80,31 @@ def scenario_names() -> tuple[str, ...]:
 
 
 def scenario_spec(name: str, scale: float = 1.0, seed: int = 0) -> DatasetSpec:
-    """The :class:`DatasetSpec` for a registered scenario."""
-    return get_scenario(name).spec(scale=scale, seed=seed)
+    """The :class:`DatasetSpec` for a registered scenario.
+
+    Validates the run axes up front: a non-positive ``scale`` raises a
+    :class:`~repro.errors.DatasetError` naming the scenario instead of
+    surfacing as a bare spec-construction failure downstream.
+    """
+    scenario = get_scenario(name)
+    if not scale > 0:
+        raise DatasetError(
+            f"scenario {name!r} scale must be > 0, got {scale!r}"
+        )
+    return scenario.spec(scale=scale, seed=seed)
 
 
-register_scenario(Scenario(
-    "default",
-    "the paper's shared corpus: 8 haplotypes at human-like divergence",
-))
+def _install_suite_manifest() -> None:
+    """Populate the registry from the committed suite manifest (the
+    compat view: same five scenarios, now declaratively sourced)."""
+    from repro.data import manifest as _manifest
 
-register_scenario(Scenario(
-    "dense-pop",
-    "high haplotype count (16 samples): denser bubbles, bigger GBWT",
-    {"n_haplotypes": 16},
-))
+    _manifest.install_manifest(
+        _manifest.load_manifest(
+            _manifest.default_manifest_dir()
+            / f"{_manifest.SUITE_MANIFEST}.toml"
+        )
+    )
 
-register_scenario(Scenario(
-    "divergent",
-    "2x SNP/indel rates: more variant sites, shorter graph nodes",
-    {
-        "rates": replace(SUITE_RATES,
-                         snp=SUITE_RATES.snp * 2.0,
-                         insertion=SUITE_RATES.insertion * 2.0,
-                         deletion=SUITE_RATES.deletion * 2.0),
-        "tsu_error_rate": 0.02,
-    },
-))
 
-register_scenario(Scenario(
-    "long-read-heavy",
-    "3x longer and 3x more long reads, fewer short reads (HiFi-shaped)",
-    {"long_reads": 30, "long_read_length": 4500, "short_reads": 30},
-))
-
-register_scenario(Scenario(
-    "sv-rich",
-    "8x inversion/duplication rates with longer SVs: nested bubbles",
-    {
-        "rates": replace(SUITE_RATES,
-                         inversion=SUITE_RATES.inversion * 8.0,
-                         duplication=SUITE_RATES.duplication * 8.0,
-                         sv_mean_length=240.0),
-    },
-))
+_install_suite_manifest()

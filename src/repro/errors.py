@@ -48,6 +48,14 @@ class DatasetError(ReproError):
     """Dataset generation or loading failed."""
 
 
+class ManifestError(DatasetError):
+    """A scenario manifest is malformed or expands inconsistently."""
+
+
+class SweepError(ReproError):
+    """A sweep over the scenario matrix was misconfigured or failed."""
+
+
 class KernelError(ReproError):
     """A benchmark kernel was misconfigured or failed to run."""
 

@@ -19,6 +19,9 @@ Examples::
     python -m repro serve bench --requests 500
     python -m repro cache list
     python -m repro cache gc --max-bytes 50000000
+    python -m repro sweep expand --manifest matrix
+    python -m repro sweep run --manifest matrix --kernels tsu,gbwt --scale 0.25
+    python -m repro sweep report --dir benchmarks/results/sweep
 """
 
 from __future__ import annotations
@@ -53,6 +56,11 @@ from repro.uarch.cache import MACHINE_A, MACHINE_B
 
 #: ``--machine`` choices (the paper's Table 5 machines).
 MACHINES = {"A": MACHINE_A, "B": MACHINE_B}
+
+
+def _name_list(value: str) -> list[str]:
+    """One token that may be a comma-joined list of names."""
+    return [item for item in value.split(",") if item]
 
 
 def _study_list(value: str) -> list[str]:
@@ -286,6 +294,82 @@ def build_parser() -> argparse.ArgumentParser:
     cache_gc.add_argument(
         "--max-entries", type=int, default=None, metavar="N",
         help="evict least-recently-used entries past this entry count",
+    )
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="run the scenario matrix: expand a manifest, sweep a "
+             "kernel grid over it, aggregate leaderboards",
+    )
+    sweep_commands = sweep.add_subparsers(dest="sweep_command",
+                                          required=True)
+    sweep_expand = sweep_commands.add_parser(
+        "expand",
+        help="expand a manifest and print its cells (no kernels run)",
+    )
+    sweep_expand.add_argument(
+        "--manifest", default="matrix", metavar="NAME_OR_PATH",
+        help="manifest name under benchmarks/manifests/ or a TOML path "
+             "(default: matrix)",
+    )
+    sweep_run = sweep_commands.add_parser(
+        "run", help="run a kernel × cell × scale grid and save sweep.json"
+    )
+    sweep_run.add_argument(
+        "--manifest", default="matrix", metavar="NAME_OR_PATH",
+        help="manifest to sweep (default: matrix)",
+    )
+    sweep_run.add_argument(
+        "--kernels", nargs="+", required=True, type=_name_list,
+        metavar="KERNEL",
+        help="kernels to grid over, space- or comma-separated",
+    )
+    sweep_run.add_argument(
+        "--cells", nargs="+", default=None, type=_name_list,
+        metavar="CELL", help="restrict to these manifest cells",
+    )
+    sweep_run.add_argument(
+        "--studies", nargs="+", default=[["timing"]], type=_study_list,
+        metavar="STUDY",
+        help="studies per grid point (default: timing; paper-fidelity "
+             "cells get their gate studies added automatically)",
+    )
+    sweep_run.add_argument(
+        "--scales", nargs="+", type=float, default=[1.0], metavar="SCALE",
+        help="dataset scale factors (default: 1.0)",
+    )
+    sweep_run.add_argument(
+        "--seeds", nargs="+", type=int, default=[0], metavar="SEED",
+        help="dataset seeds (default: 0)",
+    )
+    sweep_run.add_argument("--machine", choices=sorted(MACHINES),
+                           default="B")
+    sweep_run.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="executor worker processes (default 1)",
+    )
+    sweep_run.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job time limit (enforced when --jobs > 1)",
+    )
+    sweep_run.add_argument(
+        "--reuse", action="store_true",
+        help="serve grid points from the shared result cache and write "
+             "fresh reports back",
+    )
+    sweep_run.add_argument(
+        "--dir", default="benchmarks/results/sweep", metavar="DIR",
+        help="output directory for sweep.json "
+             "(default: benchmarks/results/sweep)",
+    )
+    sweep_report = sweep_commands.add_parser(
+        "report",
+        help="aggregate a saved sweep into summary + leaderboard tables",
+    )
+    sweep_report.add_argument(
+        "--dir", default="benchmarks/results/sweep", metavar="DIR",
+        help="directory holding sweep.json; tables are written next to "
+             "it (default: benchmarks/results/sweep)",
     )
     return parser
 
@@ -625,6 +709,103 @@ def _command_cache(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled cache command {args.cache_command!r}")
 
 
+def _command_sweep_expand(args: argparse.Namespace) -> int:
+    from repro.data.manifest import resolve_manifest
+
+    manifest = resolve_manifest(args.manifest)
+    rows = []
+    for cell in manifest.cells:
+        axes = ", ".join(f"{axis}={level}" for axis, level in cell.axes)
+        rows.append([
+            cell.name,
+            cell.fidelity,
+            axes or "-",
+            cell.spec().digest(),
+            cell.description or "-",
+        ])
+    print(render_table(
+        ["cell", "fidelity", "axes", "spec digest", "description"], rows,
+        title=f"Manifest {manifest.name!r}: {len(manifest.cells)} cells",
+    ))
+    paper = manifest.paper_cells()
+    print(f"\n{len(paper)} paper-fidelity cell(s): "
+          f"{', '.join(cell.name for cell in paper) or '-'}")
+    return 0
+
+
+def _command_sweep_run(args: argparse.Namespace) -> int:
+    from repro.sweep import compile_sweep, run_sweep, save_sweep
+
+    kernels = tuple(k for token in args.kernels for k in token)
+    cells = (tuple(c for token in args.cells for c in token)
+             if args.cells else None)
+    studies = tuple(study for token in args.studies for study in token)
+    plan = compile_sweep(
+        args.manifest, kernels=kernels, studies=studies,
+        scales=tuple(args.scales), seeds=tuple(args.seeds), cells=cells,
+        cache_config=MACHINES[args.machine],
+    )
+    print(f"sweep: {len(plan)} grid points "
+          f"({len(set(plan.cells))} cells x {len(plan.kernels)} kernels "
+          f"x {len(plan.scales)} scales x {len(plan.seeds)} seeds)")
+    result = run_sweep(plan, workers=args.jobs, timeout=args.timeout,
+                       reuse=args.reuse)
+    path = save_sweep(result, args.dir)
+    origins = result.origin_counts()
+    print(f"completed in {result.wall_seconds:.1f}s "
+          f"(executed={origins.get('executed', 0)} "
+          f"cached={origins.get('cached', 0)}); saved to {path}")
+    for failure in result.errors:
+        print(f"ERROR {failure.kernel} @ {failure.scenario}: "
+              f"{failure.report.error}", file=sys.stderr)
+    for gated in result.gate_failures:
+        for violation in gated.gate_violations:
+            print(f"GATE {gated.kernel} @ {gated.scenario}: {violation}",
+                  file=sys.stderr)
+    return 1 if result.errors or result.gate_failures else 0
+
+
+def _command_sweep_report(args: argparse.Namespace) -> int:
+    from repro.analysis.aggregate import (
+        aggregate_sweep,
+        leaderboard,
+        render_leaderboard,
+        topdown_drift,
+    )
+    from repro.sweep import load_sweep
+
+    sweep = load_sweep(args.dir)
+    paths = aggregate_sweep(sweep, args.dir)
+    print(render_leaderboard(
+        leaderboard(sweep),
+        title=(f"Leaderboard: {sweep.manifest_name} "
+               f"({len(sweep)} grid points)"),
+    ))
+    drift = topdown_drift(sweep)
+    if drift:
+        print("\ntop-down shape drift across scenarios:")
+        for kernel, per_scenario in sorted(drift.items()):
+            shifts = ", ".join(f"{scenario}={slot}" for scenario, slot
+                               in sorted(per_scenario.items()))
+            print(f"  {kernel}: {shifts}")
+    else:
+        print("\nno top-down shape drift across scenarios")
+    print()
+    for name, path in sorted(paths.items()):
+        print(f"{name} written to {path}")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    if args.sweep_command == "expand":
+        return _command_sweep_expand(args)
+    if args.sweep_command == "run":
+        return _command_sweep_run(args)
+    if args.sweep_command == "report":
+        return _command_sweep_report(args)
+    raise AssertionError(f"unhandled sweep command {args.sweep_command!r}")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -641,6 +822,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_serve(args)
     if args.command == "cache":
         return _command_cache(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

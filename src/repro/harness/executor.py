@@ -73,6 +73,17 @@ class ExecutionPlan:
         return len(self.jobs)
 
 
+def validate_names(kernels: tuple[str, ...],
+                   studies: tuple[str, ...]) -> None:
+    """Raise :class:`KernelError` on unknown kernel or study names."""
+    for study in studies:
+        create_study(study)  # raises KernelError on unknown studies
+    for name in kernels:
+        if name not in KERNEL_REGISTRY:
+            known = ", ".join(sorted(KERNEL_REGISTRY))
+            raise KernelError(f"unknown kernel {name!r}; known: {known}")
+
+
 def compile_plan(
     kernels: tuple[str, ...],
     studies: tuple[str, ...] = ("timing",),
@@ -82,13 +93,8 @@ def compile_plan(
     scenario: str = "default",
 ) -> ExecutionPlan:
     """Compile one job per kernel, validating names before any runs."""
-    for study in studies:
-        create_study(study)  # raises KernelError on unknown studies
+    validate_names(tuple(kernels), tuple(studies))
     scenario_spec(scenario, scale=scale, seed=seed)  # unknown scenario raises
-    for name in kernels:
-        if name not in KERNEL_REGISTRY:
-            known = ", ".join(sorted(KERNEL_REGISTRY))
-            raise KernelError(f"unknown kernel {name!r}; known: {known}")
     return ExecutionPlan(
         jobs=tuple(
             Job(
@@ -346,6 +352,72 @@ def _execute_pool(
     return [report for report in results if report is not None]
 
 
+#: How a :class:`JobOutcome`'s report was produced.
+EXECUTED, CACHED = "executed", "cached"
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's result plus where it came from (fresh run or cache).
+
+    ``execute_jobs`` returns these in submission order, so grids that
+    run the same kernel many times (one per scenario cell — the sweep
+    driver's shape) keep every report; ``execute_plan``'s kernel-keyed
+    dict view is derived from them.
+    """
+
+    job: Job
+    report: KernelReport
+    origin: str = EXECUTED
+
+
+def execute_jobs(
+    jobs: "list[Job] | tuple[Job, ...]",
+    workers: int = 1,
+    timeout: float | None = None,
+    reuse: bool = False,
+    store: ResultStore | None = None,
+) -> list[JobOutcome]:
+    """Execute *jobs* and return one :class:`JobOutcome` per job, in
+    order.
+
+    With ``reuse=True`` cached reports are served without executing the
+    kernel (``origin == "cached"``) and fresh successful reports are
+    written back to *store* (default: the shared
+    ``benchmarks/results/cache/`` store).  Timeouts require process
+    isolation and are enforced only when ``workers > 1``.
+    """
+    if workers < 1:
+        raise KernelError("workers must be >= 1")
+    if reuse and store is None:
+        store = default_result_store()
+
+    outcomes: list[JobOutcome | None] = [None] * len(jobs)
+    pending: list[tuple[int, Job]] = []
+    for index, job in enumerate(jobs):
+        cached = store.load(job) if reuse and store is not None else None
+        if cached is not None:
+            outcomes[index] = JobOutcome(job=job, report=cached,
+                                         origin=CACHED)
+        else:
+            pending.append((index, job))
+
+    pending_jobs = [job for _, job in pending]
+    if workers == 1:
+        executed = [_execute_job(job) for job in pending_jobs]
+    else:
+        if len(pending_jobs) > 1:
+            _prebuild_datasets(pending_jobs)
+        executed = _execute_pool(pending_jobs, workers=workers,
+                                 timeout=timeout)
+
+    for (index, job), report in zip(pending, executed):
+        if reuse and store is not None:
+            store.save(job, report)
+        outcomes[index] = JobOutcome(job=job, report=report, origin=EXECUTED)
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
 def execute_plan(
     plan: ExecutionPlan,
     jobs: int = 1,
@@ -355,34 +427,11 @@ def execute_plan(
 ) -> dict[str, KernelReport]:
     """Execute *plan* and return reports keyed by kernel, in plan order.
 
-    With ``reuse=True`` cached reports are served without executing the
-    kernel and fresh (successful) reports are written back to *store*
-    (default: the shared ``benchmarks/results/cache/`` store).  Timeouts
-    require process isolation and are enforced only when ``jobs > 1``.
+    The kernel-keyed view suits single-scenario suites (one job per
+    kernel); grids with repeated kernels should call
+    :func:`execute_jobs` for the full per-job outcome list.
     """
-    if jobs < 1:
-        raise KernelError("jobs must be >= 1")
-    if reuse and store is None:
-        store = default_result_store()
-
-    reports: dict[str, KernelReport] = {}
-    pending: list[Job] = []
-    for job in plan.jobs:
-        cached = store.load(job) if reuse and store is not None else None
-        if cached is not None:
-            reports[job.kernel] = cached
-        else:
-            pending.append(job)
-
-    if jobs == 1:
-        executed = [_execute_job(job) for job in pending]
-    else:
-        if len(pending) > 1:
-            _prebuild_datasets(pending)
-        executed = _execute_pool(pending, workers=jobs, timeout=timeout)
-
-    for job, report in zip(pending, executed):
-        if reuse and store is not None:
-            store.save(job, report)
-        reports[job.kernel] = report
+    outcomes = execute_jobs(plan.jobs, workers=jobs, timeout=timeout,
+                            reuse=reuse, store=store)
+    reports = {outcome.job.kernel: outcome.report for outcome in outcomes}
     return {job.kernel: reports[job.kernel] for job in plan.jobs}

@@ -43,13 +43,26 @@ def default_cache_dir() -> Path:
 
 
 def job_key(job: "Job") -> dict:
-    """The canonical key payload a job is cached under."""
+    """The canonical key payload a job is cached under.
+
+    ``dataset`` is the :class:`~repro.data.DatasetSpec` content digest
+    the scenario resolves to *now*: scenarios are manifest-defined, so
+    a name alone would go stale the moment a manifest edit (or a
+    same-named cell from a different manifest) changed the corpus
+    behind it.  Keying on the content digest makes such edits cache
+    misses instead of silently-served stale reports.
+    """
+    from repro.data import scenario_spec
+
     return {
         "kernel": job.kernel,
         "studies": sorted(set(job.studies)),
         "scale": job.scale,
         "seed": job.seed,
         "scenario": job.scenario,
+        "dataset": scenario_spec(
+            job.scenario, scale=job.scale, seed=job.seed
+        ).digest(),
         "cache_config": asdict(job.cache_config),
         "package_version": repro.__version__,
     }

@@ -1,18 +1,22 @@
 """Compatibility shim over :mod:`repro.data` (the old dataset module).
 
 Dataset preparation is now a first-class subsystem: declarative specs
-(:class:`repro.data.DatasetSpec`), a scenario registry, and a shared
-on-disk artifact store under ``benchmarks/datasets/``.  This module
-keeps the historical import surface alive for existing callers.
+(:class:`repro.data.DatasetSpec`), a manifest-driven scenario registry,
+and a shared on-disk artifact store under ``benchmarks/datasets/``.
+This module keeps the historical import surface alive for existing
+callers; new code should import from :mod:`repro.data` directly.
 
 :func:`suite_data` resolves through the default
-:class:`~repro.data.store.ArtifactStore`, whose in-memory layer is a
-bounded ring over weak references — unlike the old
-``lru_cache(maxsize=4)`` it never pins corpora for process lifetime,
-and on a warm store repeated calls deserialize instead of rebuilding.
+:class:`~repro.data.store.ArtifactStore` and emits one
+``DeprecationWarning`` per process (not one per call) pointing at the
+replacement; the default scenario it resolves reproduces the historical
+corpus bit-for-bit (test-asserted against golden spec digests and the
+corpus fingerprint).
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.data import (  # noqa: F401 - re-exported compat surface
     SUITE_RATES,
@@ -29,9 +33,27 @@ __all__ = [
     "suite_data", "tsu_pairs",
 ]
 
+#: One warning per process: the shim is called from hot loops (session
+#: fixtures, benches), and a warning per call would drown real ones.
+_warned = False
+
+
+def _warn_once() -> None:
+    global _warned
+    if not _warned:
+        _warned = True
+        warnings.warn(
+            "repro.kernels.datasets.suite_data is deprecated; use "
+            "repro.data.corpus(scenario, scale, seed) or the artifact "
+            "store directly",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
 
 def suite_data(scale: float = 1.0, seed: int = 0) -> SuiteData:
     """The default-scenario corpus for ``(scale, seed)``, via the store."""
+    _warn_once()
     return default_store().corpus(
         scenario_spec("default", scale=scale, seed=seed)
     )

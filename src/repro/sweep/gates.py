@@ -1,0 +1,171 @@
+"""Per-cell paper-shape gates: fidelity assertions for sweep cells.
+
+The characterization benches assert the paper's figure shapes against
+the ``default`` corpus (bench_fig6 and friends) — but a sweep runs
+*hundreds* of cells, and scenario growth must not silently break the
+shapes the reproduction is anchored to.  Cells a manifest flags
+``fidelity = "paper"`` get these gates asserted on every sweep: a
+single-kernel distillation of the paper's Figure 6 / Table 6 / Table 7
+claims, loose enough to hold across run scales, tight enough that a
+broken kernel model (or a corpus that no longer matches the paper's)
+fails loudly.
+
+Each :class:`Gate` declares the study whose data it reads, so the sweep
+compiler can force those studies onto paper-cell jobs even when the
+caller asked for ``timing`` only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.harness.runner import KernelReport
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One named shape assertion over a :class:`KernelReport`.
+
+    ``check`` returns ``None`` when the shape holds, else a violation
+    message; ``studies`` are the study names whose report fields the
+    check reads (the sweep compiler unions them into paper-cell jobs).
+    """
+
+    name: str
+    studies: tuple[str, ...]
+    check: Callable[["KernelReport"], "str | None"]
+
+    def violation(self, report: "KernelReport") -> "str | None":
+        message = self.check(report)
+        return None if message is None else f"{self.name}: {message}"
+
+
+def _completed(report: "KernelReport") -> "str | None":
+    if report.error is not None:
+        return f"kernel failed: {report.error}"
+    if report.inputs_processed <= 0:
+        return "kernel processed no inputs"
+    return None
+
+
+def _topdown(report: "KernelReport", slot: str) -> "float | None":
+    """A top-down slot fraction, or ``None`` when the data is absent."""
+    return report.topdown.get(slot) if report.topdown else None
+
+
+def _topdown_gate(slot_check: Callable[[dict], "str | None"]):
+    def check(report: "KernelReport") -> "str | None":
+        if not report.topdown:
+            return "no top-down data (topdown study missing from report)"
+        return slot_check(report.topdown)
+
+    return check
+
+
+def _tc_retires(topdown: dict) -> "str | None":
+    if topdown["retiring"] < 0.5:
+        return (f"retiring {topdown['retiring']:.3f} < 0.5 — TC should "
+                "retire the most of any kernel (paper Fig. 6)")
+    return None
+
+
+def _gbwt_not_memory_bound(topdown: dict) -> "str | None":
+    if topdown["memory_bound"] >= 0.15:
+        return (f"memory_bound {topdown['memory_bound']:.3f} >= 0.15 — "
+                "GBWT is NOT memory bound (the paper's surprise)")
+    return None
+
+
+def _gssw_core_memory(topdown: dict) -> "str | None":
+    if topdown["core_bound"] <= 0.25:
+        return f"core_bound {topdown['core_bound']:.3f} <= 0.25"
+    if topdown["memory_bound"] <= 0.05:
+        return f"memory_bound {topdown['memory_bound']:.3f} <= 0.05"
+    return None
+
+
+def _gbv_bad_speculation(topdown: dict) -> "str | None":
+    if topdown["bad_speculation"] <= 0.15:
+        return (f"bad_speculation {topdown['bad_speculation']:.3f} <= 0.15 "
+                "— GBV's branchy bit-scan should mispredict heavily")
+    return None
+
+
+def _pgsgd_memory_core(topdown: dict) -> "str | None":
+    bound = topdown["memory_bound"] + topdown["core_bound"]
+    if bound <= 0.6:
+        return f"memory+core bound {bound:.3f} <= 0.6"
+    return None
+
+
+def _gwfa_core_bound(topdown: dict) -> "str | None":
+    if topdown["core_bound"] <= 0.2:
+        return f"core_bound {topdown['core_bound']:.3f} <= 0.2"
+    return None
+
+
+def _tsu_gpu_profile(report: "KernelReport") -> "str | None":
+    gpu = report.gpu
+    if not gpu:
+        return "no GPU counters (gpu study missing from report)"
+    occupancy = gpu.get("theoretical_occupancy", 0.0)
+    if abs(occupancy - 1 / 3) > 0.01:
+        return (f"theoretical occupancy {occupancy:.3f} != 1/3 "
+                "(paper Table 7: TSU's register pressure caps occupancy)")
+    achieved = gpu.get("achieved_occupancy", 0.0)
+    if not 0.0 < achieved <= occupancy + 1e-9:
+        return f"achieved occupancy {achieved:.3f} outside (0, theoretical]"
+    if gpu.get("gpu_time_ms", 0.0) <= 0.0:
+        return "gpu_time_ms is not positive"
+    return None
+
+
+#: The gate every kernel passes through, even ones without a
+#: kernel-specific shape.
+COMPLETION_GATE = Gate("completed", (), _completed)
+
+#: kernel name -> its paper-shape gates (beyond completion).
+GATES: dict[str, tuple[Gate, ...]] = {
+    "tc": (Gate("tc-retiring-dominant", ("topdown",),
+                _topdown_gate(_tc_retires)),),
+    "gbwt": (Gate("gbwt-not-memory-bound", ("topdown",),
+                  _topdown_gate(_gbwt_not_memory_bound)),),
+    "gssw": (Gate("gssw-core-and-memory", ("topdown",),
+                  _topdown_gate(_gssw_core_memory)),),
+    "gbv": (Gate("gbv-bad-speculation", ("topdown",),
+                 _topdown_gate(_gbv_bad_speculation)),),
+    "pgsgd": (Gate("pgsgd-memory-core-bound", ("topdown",),
+                   _topdown_gate(_pgsgd_memory_core)),),
+    "gwfa-lr": (Gate("gwfa-lr-core-bound", ("topdown",),
+                     _topdown_gate(_gwfa_core_bound)),),
+    "gwfa-cr": (Gate("gwfa-cr-core-bound", ("topdown",),
+                     _topdown_gate(_gwfa_core_bound)),),
+    "tsu": (Gate("tsu-gpu-profile", ("gpu",), _tsu_gpu_profile),),
+}
+
+
+def kernel_gates(kernel: str) -> tuple[Gate, ...]:
+    """Every gate a paper cell asserts for *kernel*."""
+    return (COMPLETION_GATE,) + GATES.get(kernel, ())
+
+
+def gate_studies(kernel: str) -> tuple[str, ...]:
+    """Studies the paper gates for *kernel* need, in a stable order."""
+    studies: list[str] = []
+    for gate in kernel_gates(kernel):
+        for study in gate.studies:
+            if study not in studies:
+                studies.append(study)
+    return tuple(studies)
+
+
+def check_paper_gates(report: "KernelReport") -> tuple[str, ...]:
+    """All gate violations for *report* (empty means the shapes hold)."""
+    violations = []
+    for gate in kernel_gates(report.kernel):
+        message = gate.violation(report)
+        if message is not None:
+            violations.append(message)
+    return tuple(violations)

@@ -1,0 +1,217 @@
+"""Cross-scenario aggregation: summary tables, leaderboards, drift."""
+
+import json
+
+import pytest
+
+from repro.analysis.aggregate import (
+    LEADERBOARD_COLUMNS,
+    LEADERBOARD_TSV,
+    SUMMARY_COLUMNS,
+    SUMMARY_TSV,
+    aggregate_sweep,
+    leaderboard,
+    render_leaderboard,
+    summary_rows,
+    topdown_drift,
+)
+from repro.errors import SweepError
+from repro.harness.runner import KernelReport
+from repro.sweep import CellResult, SweepResult
+
+
+def cell(kernel, scenario, wall=1.0, inputs=10, ipc=0.0, topdown=None,
+         error=None, fidelity="bench", origin="executed", violations=()):
+    report = KernelReport(kernel=kernel, scenario=scenario,
+                          wall_seconds=wall, inputs_processed=inputs,
+                          ipc=ipc, topdown=topdown or {}, error=error)
+    return CellResult(scenario=scenario, kernel=kernel, scale=1.0, seed=0,
+                      fidelity=fidelity, origin=origin, report=report,
+                      gate_violations=tuple(violations))
+
+
+def sweep_of(*cells):
+    return SweepResult(manifest_name="test", results=list(cells))
+
+
+class TestSummaryRows:
+    def test_sorted_and_derived_columns(self):
+        sweep = sweep_of(
+            cell("zz", "b", wall=2.0, inputs=10),
+            cell("aa", "b", wall=4.0, inputs=8,
+                 topdown={"retiring": 0.6, "memory_bound": 0.2}),
+            cell("aa", "a", wall=1.0, inputs=10),
+        )
+        rows = summary_rows(sweep)
+        assert [(r.kernel, r.scenario) for r in rows] == \
+            [("aa", "a"), ("aa", "b"), ("zz", "b")]
+        assert rows[0].throughput == pytest.approx(10.0)
+        assert rows[1].throughput == pytest.approx(2.0)
+        assert rows[1].top_slot == "retiring"
+        assert rows[0].top_slot == "-"
+        assert rows[0].gates == "ok"
+        assert rows[0].error == "-"
+
+    def test_gate_violations_and_errors_render(self):
+        sweep = sweep_of(
+            cell("aa", "a", violations=("g1: bad", "g2: worse")),
+            cell("bb", "a", error="KernelError: boom", wall=0.0),
+        )
+        rows = summary_rows(sweep)
+        assert rows[0].gates == "g1: bad; g2: worse"
+        assert rows[1].error == "KernelError: boom"
+        assert rows[1].throughput == 0.0  # zero wall time, not inf
+
+
+class TestLeaderboard:
+    def test_throughput_ranks_higher_is_better(self):
+        sweep = sweep_of(
+            cell("slow", "a", wall=2.0, inputs=10),   # 5/s
+            cell("fast", "a", wall=1.0, inputs=30),   # 30/s
+        )
+        entries = leaderboard(sweep, metrics=("throughput",))
+        assert [(e.rank, e.kernel) for e in entries] == \
+            [(1, "fast"), (2, "slow")]
+        assert entries[0].best == pytest.approx(30.0)
+        assert entries[0].verdict == "single-scenario"
+
+    def test_wall_seconds_ranks_lower_is_better(self):
+        sweep = sweep_of(
+            cell("slow", "a", wall=2.0),
+            cell("fast", "a", wall=0.5),
+        )
+        entries = leaderboard(sweep, metrics=("wall_seconds",))
+        assert [e.kernel for e in entries] == ["fast", "slow"]
+        assert entries[0].best == pytest.approx(0.5)
+
+    def test_sensitivity_verdicts(self):
+        sweep = sweep_of(
+            # invariant: 10/s and 11/s -> spread ~0.095
+            cell("steady", "a", wall=1.0, inputs=10),
+            cell("steady", "b", wall=1.0, inputs=11),
+            # sensitive: 10/s and 30/s -> spread 1.0
+            cell("touchy", "a", wall=1.0, inputs=10),
+            cell("touchy", "b", wall=1.0, inputs=30),
+        )
+        verdicts = {e.kernel: e.verdict
+                    for e in leaderboard(sweep, metrics=("throughput",))}
+        assert verdicts == {"steady": "scenario-invariant",
+                            "touchy": "scenario-sensitive"}
+
+    def test_best_scenario_and_mean(self):
+        sweep = sweep_of(
+            cell("k", "a", wall=1.0, inputs=10),
+            cell("k", "b", wall=1.0, inputs=30),
+        )
+        (entry,) = leaderboard(sweep, metrics=("throughput",))
+        assert entry.best_scenario == "b"
+        assert entry.mean == pytest.approx(20.0)
+        assert entry.scenarios == 2
+
+    def test_seeds_average_within_a_scenario(self):
+        sweep = sweep_of(
+            cell("k", "a", wall=1.0, inputs=10),
+            cell("k", "a", wall=1.0, inputs=20),
+        )
+        (entry,) = leaderboard(sweep, metrics=("throughput",))
+        assert entry.best == pytest.approx(15.0)
+        assert entry.verdict == "single-scenario"
+
+    def test_zero_ipc_is_unmeasured_not_a_value(self):
+        """A grid point that never ran the topdown study must not drag
+        a kernel's IPC to zero — and a kernel with no measured IPC at
+        all drops off the board entirely."""
+        sweep = sweep_of(
+            cell("cpu", "a", ipc=2.0),
+            cell("cpu", "b", ipc=0.0),   # timing-only point
+            cell("gpu", "a", ipc=0.0),   # never measures CPU IPC
+        )
+        entries = leaderboard(sweep, metrics=("ipc",))
+        assert [e.kernel for e in entries] == ["cpu"]
+        assert entries[0].best == pytest.approx(2.0)
+        assert entries[0].verdict == "single-scenario"
+
+    def test_error_cells_excluded(self):
+        sweep = sweep_of(
+            cell("ok", "a", wall=2.0, inputs=10),
+            cell("crashy", "a", wall=0.0, error="KernelError: boom"),
+        )
+        entries = leaderboard(sweep, metrics=("wall_seconds",))
+        assert [e.kernel for e in entries] == ["ok"]
+
+    def test_tie_breaks_by_kernel_name(self):
+        sweep = sweep_of(
+            cell("bbb", "a", wall=1.0, inputs=10),
+            cell("aaa", "a", wall=1.0, inputs=10),
+        )
+        entries = leaderboard(sweep, metrics=("throughput",))
+        assert [e.kernel for e in entries] == ["aaa", "bbb"]
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(SweepError, match="unknown leaderboard metric"):
+            leaderboard(sweep_of(cell("k", "a")), metrics=("bogus",))
+
+    def test_default_covers_all_metrics(self):
+        sweep = sweep_of(cell("k", "a", ipc=1.0))
+        metrics = {e.metric for e in leaderboard(sweep)}
+        assert metrics == {"throughput", "wall_seconds", "ipc"}
+
+
+class TestTopdownDrift:
+    def test_flags_only_drifting_kernels(self):
+        sweep = sweep_of(
+            cell("steady", "a", topdown={"retiring": 0.6, "core_bound": 0.2}),
+            cell("steady", "b", topdown={"retiring": 0.7, "core_bound": 0.1}),
+            cell("drifty", "a", topdown={"retiring": 0.6, "core_bound": 0.2}),
+            cell("drifty", "b", topdown={"retiring": 0.2, "core_bound": 0.6}),
+        )
+        drift = topdown_drift(sweep)
+        assert set(drift) == {"drifty"}
+        assert drift["drifty"] == {"a": "retiring", "b": "core_bound"}
+
+    def test_errors_and_missing_topdown_ignored(self):
+        sweep = sweep_of(
+            cell("k", "a", topdown={"retiring": 0.6}),
+            cell("k", "b", error="boom",
+                 topdown={"core_bound": 0.9}),
+            cell("k", "c"),
+        )
+        assert topdown_drift(sweep) == {}
+
+
+class TestAggregateSweep:
+    def test_writes_all_four_artifacts(self, tmp_path):
+        sweep = sweep_of(
+            cell("aa", "a", wall=1.0, inputs=10, ipc=1.5),
+            cell("bb", "a", wall=2.0, inputs=10, ipc=2.5),
+        )
+        paths = aggregate_sweep(sweep, tmp_path)
+        assert len(paths) == 4
+        for path in paths.values():
+            assert path.exists()
+        summary = (tmp_path / SUMMARY_TSV).read_text().splitlines()
+        assert summary[0] == "\t".join(SUMMARY_COLUMNS)
+        assert len(summary) == 3
+        board = (tmp_path / LEADERBOARD_TSV).read_text().splitlines()
+        assert board[0] == "\t".join(LEADERBOARD_COLUMNS)
+        assert len(board) == 1 + 3 * 2  # 3 metrics x 2 kernels
+        records = json.loads(
+            (tmp_path / "leaderboard_by_metric.json").read_text())
+        assert {r["metric"] for r in records} == \
+            {"throughput", "wall_seconds", "ipc"}
+
+    def test_empty_sweep_raises(self, tmp_path):
+        with pytest.raises(SweepError, match="empty sweep"):
+            aggregate_sweep(sweep_of(), tmp_path)
+
+
+class TestRenderLeaderboard:
+    def test_renders_every_entry(self):
+        sweep = sweep_of(
+            cell("aa", "a", wall=1.0, inputs=10),
+            cell("bb", "a", wall=2.0, inputs=10),
+        )
+        text = render_leaderboard(leaderboard(sweep), title="board")
+        assert "board" in text
+        assert "aa" in text and "bb" in text
+        assert "verdict" in text

@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.data import ArtifactStore, set_default_store
+from repro.data import ArtifactStore, corpus, set_default_store
 from repro.graph.builder import simulate_graph_pangenome
-from repro.kernels.datasets import suite_data
 
 
 TEST_SCALE = 0.25
@@ -27,7 +26,7 @@ def _isolated_dataset_store(tmp_path_factory):
 @pytest.fixture(scope="session")
 def small_suite(_isolated_dataset_store):
     """The shared kernel corpus at test scale (memoized store-side)."""
-    return suite_data(TEST_SCALE, 0)
+    return corpus("default", TEST_SCALE, 0)
 
 
 @pytest.fixture(scope="session")

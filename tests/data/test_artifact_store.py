@@ -190,6 +190,7 @@ class TestMaintenance:
         assert origin == BUILT
 
 
+@pytest.mark.filterwarnings("ignore::DeprecationWarning")
 class TestCompatShim:
     def test_suite_data_resolves_through_store(self, tmp_path):
         from repro.kernels.datasets import suite_data

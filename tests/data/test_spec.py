@@ -84,6 +84,19 @@ class TestScenarios:
         with pytest.raises(DatasetError):
             get_scenario("nope")
 
+    def test_unknown_scenario_message_lists_sorted_names(self):
+        with pytest.raises(DatasetError, match="unknown scenario") as info:
+            scenario_spec("nope")
+        message = str(info.value)
+        listed = message.split("known: ", 1)[1].split(", ")
+        assert listed == sorted(listed)
+        assert "default" in listed
+
+    @pytest.mark.parametrize("scale", [0, -1, -0.5])
+    def test_non_positive_scale_rejected_naming_scenario(self, scale):
+        with pytest.raises(DatasetError, match="'default' scale must be"):
+            scenario_spec("default", scale=scale)
+
     def test_duplicate_registration_rejected(self):
         with pytest.raises(DatasetError):
             register_scenario(Scenario("default", "again"))

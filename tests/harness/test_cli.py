@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.data import ArtifactStore, use_store
+from repro.errors import SweepError
 from repro.harness.cli import build_parser, main
 
 
@@ -126,3 +127,60 @@ class TestDataCli:
             assert "removed 1 dataset(s)" in capsys.readouterr().out
             assert main(["data", "list"]) == 0
             assert "no datasets" in capsys.readouterr().out
+
+
+class TestSweepCli:
+    def test_expand_suite(self, capsys):
+        assert main(["sweep", "expand", "--manifest", "suite"]) == 0
+        out = capsys.readouterr().out
+        assert "Manifest 'suite': 5 cells" in out
+        assert "33190fcb6023c929" in out  # default cell's golden digest
+        assert "1 paper-fidelity cell(s): default" in out
+
+    def test_expand_matrix_grid(self, capsys):
+        assert main(["sweep", "expand", "--manifest", "matrix"]) == 0
+        out = capsys.readouterr().out
+        assert "Manifest 'matrix': 54 cells" in out
+        assert "pop8-div1x-sv1x-short" in out
+
+    def test_run_then_report(self, capsys, tmp_path):
+        out_dir = tmp_path / "sweep"
+        code = main([
+            "sweep", "run", "--manifest", "suite", "--kernels", "tsu",
+            "--cells", "default", "--scales", "0.25",
+            "--dir", str(out_dir),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep: 1 grid points" in out
+        assert "executed=1" in out
+        assert (out_dir / "sweep.json").exists()
+        assert main(["sweep", "report", "--dir", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Leaderboard: suite (1 grid points)" in out
+        assert "tsu" in out
+        assert (out_dir / "summary_per_kernel_per_scenario.tsv").exists()
+        assert (out_dir / "leaderboard_by_metric.tsv").exists()
+        summary = (out_dir /
+                   "summary_per_kernel_per_scenario.tsv").read_text()
+        lines = summary.splitlines()
+        assert len(lines) == 2
+        assert "\tpaper\t" in lines[1]  # suite default is a paper cell
+        assert "\tok\t" in lines[1]     # ... whose gates pass for real
+
+    def test_run_unknown_cell_fails_fast(self, tmp_path):
+        with pytest.raises(SweepError, match="no cell"):
+            main([
+                "sweep", "run", "--manifest", "suite", "--kernels", "tsu",
+                "--cells", "nope", "--dir", str(tmp_path),
+            ])
+
+    def test_comma_separated_kernel_lists(self, capsys, tmp_path):
+        out_dir = tmp_path / "sweep"
+        code = main([
+            "sweep", "run", "--manifest", "suite", "--kernels", "tsu,gbwt",
+            "--cells", "dense-pop", "--scales", "0.25",
+            "--dir", str(out_dir),
+        ])
+        assert code == 0
+        assert "2 kernels" in capsys.readouterr().out

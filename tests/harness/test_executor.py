@@ -6,7 +6,14 @@ import pytest
 from fakes import CrashKernel, OkKernel
 
 from repro.errors import KernelError
-from repro.harness.executor import Job, compile_plan, execute_plan
+from repro.harness.executor import (
+    CACHED,
+    EXECUTED,
+    Job,
+    compile_plan,
+    execute_jobs,
+    execute_plan,
+)
 from repro.harness.runner import run_suite
 from repro.harness.store import ResultStore
 from repro.obs import trace
@@ -191,3 +198,31 @@ class TestReuse:
         run_suite(("fake-ok",), reuse=True, store=store)
         run_suite(("fake-ok",), reuse=False, store=store)
         assert OkKernel.executions == 2
+
+
+class TestExecuteJobs:
+    def job(self, seed=0):
+        return Job(kernel="fake-ok", studies=("timing",), seed=seed,
+                   cache_config=MACHINE_B)
+
+    def test_one_outcome_per_job_preserving_multiplicity(
+        self, fake_kernels
+    ):
+        """Identical jobs in one batch each get their own outcome — the
+        sweep driver relies on positional alignment with its grid."""
+        jobs = (self.job(), self.job(), self.job(seed=1))
+        outcomes = execute_jobs(jobs, reuse=False)
+        assert len(outcomes) == 3
+        assert [o.job for o in outcomes] == list(jobs)
+        for outcome in outcomes:
+            assert outcome.report.kernel == "fake-ok"
+            assert outcome.report.ok
+
+    def test_origin_tracks_the_result_cache(self, fake_kernels, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = execute_jobs((self.job(),), reuse=True, store=store)
+        assert [o.origin for o in cold] == [EXECUTED]
+        warm = execute_jobs((self.job(),), reuse=True, store=store)
+        assert [o.origin for o in warm] == [CACHED]
+        assert OkKernel.executions == 1
+        assert warm[0].report == cold[0].report

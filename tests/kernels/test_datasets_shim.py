@@ -1,0 +1,52 @@
+"""The repro.kernels.datasets compat shim: warns once, stays bit-for-bit."""
+
+import warnings
+
+import pytest
+
+import repro.kernels.datasets as shim
+from repro.data import corpus, scenario_spec
+from repro.data.corpus import build_corpus, corpus_fingerprint
+
+#: Golden fingerprint of the default corpus at the shim-test scale —
+#: the historical corpus bytes the shim must keep reproducing.
+GOLDEN_FINGERPRINT = "904b83702eaccf38"
+SCALE = 0.05
+
+
+@pytest.fixture
+def _fresh_warning_state(monkeypatch):
+    """The shim warns once per process; rewind so this test sees it."""
+    monkeypatch.setattr(shim, "_warned", False)
+
+
+class TestDeprecationWarning:
+    def test_warns_exactly_once_across_calls(self, _fresh_warning_state):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim.suite_data(SCALE, 0)
+            shim.suite_data(SCALE, 0)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "repro.data.corpus" in str(deprecations[0].message)
+
+    def test_warning_names_the_old_entry_point(self, _fresh_warning_state):
+        with pytest.warns(DeprecationWarning,
+                          match="repro.kernels.datasets.suite_data"):
+            shim.suite_data(SCALE, 0)
+
+
+class TestBitForBit:
+    def test_shim_new_api_and_raw_build_agree(self):
+        """Three routes to the default corpus — the deprecated shim, the
+        store-backed repro.data.corpus, and a raw build_corpus from the
+        spec — produce identical bytes, pinned by a golden fingerprint."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            via_shim = shim.suite_data(SCALE, 0)
+        via_data = corpus("default", SCALE, 0)
+        via_build = build_corpus(scenario_spec("default", scale=SCALE))
+        assert corpus_fingerprint(via_shim) == GOLDEN_FINGERPRINT
+        assert corpus_fingerprint(via_data) == GOLDEN_FINGERPRINT
+        assert corpus_fingerprint(via_build) == GOLDEN_FINGERPRINT

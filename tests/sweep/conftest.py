@@ -1,0 +1,17 @@
+"""Sweep fixtures: keep manifest installs out of the global registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import SCENARIO_REGISTRY
+
+
+@pytest.fixture(autouse=True)
+def _registry_snapshot():
+    """compile_sweep installs manifest cells into the global scenario
+    registry; restore it after each test so nothing leaks."""
+    saved = dict(SCENARIO_REGISTRY)
+    yield
+    SCENARIO_REGISTRY.clear()
+    SCENARIO_REGISTRY.update(saved)

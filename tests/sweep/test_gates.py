@@ -1,0 +1,113 @@
+"""Paper-shape gates: the per-kernel fidelity predicates."""
+
+from repro.harness.runner import KernelReport
+from repro.sweep import check_paper_gates, gate_studies, kernel_gates
+from repro.sweep.gates import COMPLETION_GATE
+
+#: A top-down split that satisfies every CPU gate simultaneously —
+#: handy as a baseline to perturb per test.
+GOOD_TOPDOWN = {
+    "retiring": 0.55, "frontend_bound": 0.05, "bad_speculation": 0.2,
+    "core_bound": 0.55, "memory_bound": 0.1,
+}
+
+
+def report(kernel, **kwargs):
+    kwargs.setdefault("inputs_processed", 10)
+    return KernelReport(kernel=kernel, **kwargs)
+
+
+class TestCompletionGate:
+    def test_error_violates(self):
+        violations = check_paper_gates(report("ssw", error="Boom: x"))
+        assert any("kernel failed" in v for v in violations)
+
+    def test_no_inputs_violates(self):
+        violations = check_paper_gates(report("ssw", inputs_processed=0))
+        assert any("no inputs" in v for v in violations)
+
+    def test_clean_report_passes(self):
+        assert check_paper_gates(report("ssw")) == ()
+
+    def test_every_kernel_gets_the_completion_gate(self):
+        for kernel in ("ssw", "tc", "tsu", "no-such-kernel"):
+            assert kernel_gates(kernel)[0] is COMPLETION_GATE
+
+
+class TestTopdownGates:
+    def test_missing_topdown_data_violates(self):
+        violations = check_paper_gates(report("tc"))
+        assert any("no top-down data" in v for v in violations)
+
+    def test_tc_retiring(self):
+        good = report("tc", topdown=GOOD_TOPDOWN)
+        assert check_paper_gates(good) == ()
+        bad = report("tc", topdown={**GOOD_TOPDOWN, "retiring": 0.3})
+        assert any("tc-retiring-dominant" in v
+                   for v in check_paper_gates(bad))
+
+    def test_gbwt_not_memory_bound(self):
+        good = report("gbwt", topdown=GOOD_TOPDOWN)
+        assert check_paper_gates(good) == ()
+        bad = report("gbwt", topdown={**GOOD_TOPDOWN, "memory_bound": 0.4})
+        assert any("gbwt-not-memory-bound" in v
+                   for v in check_paper_gates(bad))
+
+    def test_gssw_core_and_memory(self):
+        good = report("gssw", topdown=GOOD_TOPDOWN)
+        assert check_paper_gates(good) == ()
+        bad = report("gssw", topdown={**GOOD_TOPDOWN, "core_bound": 0.1})
+        assert any("gssw-core-and-memory" in v
+                   for v in check_paper_gates(bad))
+
+    def test_gbv_bad_speculation(self):
+        good = report("gbv", topdown=GOOD_TOPDOWN)
+        assert check_paper_gates(good) == ()
+        bad = report("gbv", topdown={**GOOD_TOPDOWN, "bad_speculation": 0.05})
+        assert any("gbv-bad-speculation" in v
+                   for v in check_paper_gates(bad))
+
+    def test_pgsgd_memory_core(self):
+        good = report("pgsgd", topdown=GOOD_TOPDOWN)
+        assert check_paper_gates(good) == ()
+        bad = report("pgsgd", topdown={**GOOD_TOPDOWN,
+                                       "memory_bound": 0.1,
+                                       "core_bound": 0.2})
+        assert any("pgsgd-memory-core-bound" in v
+                   for v in check_paper_gates(bad))
+
+
+class TestTsuGate:
+    GOOD_GPU = {
+        "theoretical_occupancy": 1 / 3,
+        "achieved_occupancy": 0.3,
+        "warp_utilization": 0.6,
+        "gpu_time_ms": 4.2,
+    }
+
+    def test_good_profile_passes(self):
+        assert check_paper_gates(report("tsu", gpu=self.GOOD_GPU)) == ()
+
+    def test_missing_counters_violate(self):
+        violations = check_paper_gates(report("tsu"))
+        assert any("no GPU counters" in v for v in violations)
+
+    def test_occupancy_shape_enforced(self):
+        wrong = {**self.GOOD_GPU, "theoretical_occupancy": 0.5}
+        assert any("1/3" in v
+                   for v in check_paper_gates(report("tsu", gpu=wrong)))
+        idle = {**self.GOOD_GPU, "achieved_occupancy": 0.0}
+        assert check_paper_gates(report("tsu", gpu=idle)) != ()
+
+
+class TestGateStudies:
+    def test_cpu_kernels_need_topdown(self):
+        for kernel in ("tc", "gbwt", "gssw", "gbv", "pgsgd",
+                       "gwfa-lr", "gwfa-cr"):
+            assert gate_studies(kernel) == ("topdown",), kernel
+
+    def test_tsu_needs_gpu(self):
+        assert gate_studies("tsu") == ("gpu",)
+
+    def test_ungated_kernel_needs_nothing(self):
+        assert gate_studies("ssw") == ()
