@@ -17,6 +17,11 @@ Examples::
     python -m repro data gc
     python -m repro serve submit tsu tsu gbwt --scale 0.25
     python -m repro serve bench --requests 500
+    python -m repro serve up --kernels tsu --telemetry-port 8123
+    python -m repro serve status --url http://127.0.0.1:8123
+    python -m repro serve trace tsu --scale 0.1 --out tsu.trace.json
+    python -m repro obs export --reports reports.json
+    python -m repro obs check
     python -m repro cache list
     python -m repro cache gc --max-bytes 50000000
     python -m repro sweep expand --manifest matrix
@@ -244,6 +249,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None, metavar="PATH",
         help="write the service metrics dump as JSON",
     )
+    submit.add_argument(
+        "--telemetry-port", type=int, default=None, metavar="PORT",
+        help="expose /metrics,/healthz,/readyz on 127.0.0.1:PORT for "
+             "the duration of the run (0 = ephemeral)",
+    )
 
     serve_bench = serve_commands.add_parser(
         "bench",
@@ -270,6 +280,141 @@ def build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument(
         "--metrics-out", default=None, metavar="PATH",
         help="write the service metrics dump as JSON",
+    )
+    serve_bench.add_argument(
+        "--telemetry-port", type=int, default=None, metavar="PORT",
+        help="expose /metrics,/healthz,/readyz on 127.0.0.1:PORT during "
+             "the replay (0 = ephemeral)",
+    )
+
+    serve_up = serve_commands.add_parser(
+        "up",
+        help="hold a service up (with its telemetry endpoint) for a "
+             "fixed duration — the CI smoke / manual scrape target",
+    )
+    serve_up.add_argument(
+        "--kernels", nargs="*", default=[], metavar="KERNEL",
+        help="requests to submit (and wait for) once the service is up",
+    )
+    serve_up.add_argument("--scale", type=float, default=0.05)
+    serve_up.add_argument("--seed", type=int, default=0)
+    serve_up.add_argument(
+        "--scenario", choices=scenario_names(), default="default",
+    )
+    serve_up.add_argument("--machine", choices=sorted(MACHINES),
+                          default="B")
+    serve_up.add_argument("--workers", type=int, default=2)
+    serve_up.add_argument(
+        "--isolation", choices=("process", "inline"), default="process",
+    )
+    serve_up.add_argument(
+        "--telemetry-port", type=int, default=0, metavar="PORT",
+        help="telemetry endpoint port (default 0: ephemeral, printed)",
+    )
+    serve_up.add_argument(
+        "--duration", type=float, default=60.0, metavar="SECONDS",
+        help="how long to keep serving after submissions complete "
+             "(default 60; Ctrl-C exits early)",
+    )
+    serve_up.add_argument(
+        "--no-reuse", action="store_true",
+        help="skip the shared result cache",
+    )
+
+    serve_status = serve_commands.add_parser(
+        "status",
+        help="query a running service's telemetry endpoint "
+             "(/healthz, /readyz, optionally /metrics)",
+    )
+    serve_status.add_argument(
+        "--url", required=True, metavar="URL",
+        help="telemetry base URL, e.g. http://127.0.0.1:8123",
+    )
+    serve_status.add_argument(
+        "--metrics", action="store_true",
+        help="also print the /metrics text exposition",
+    )
+
+    serve_trace = serve_commands.add_parser(
+        "trace",
+        help="submit one request through a fresh service and emit its "
+             "stitched cross-process Chrome trace",
+    )
+    serve_trace.add_argument("kernel", metavar="KERNEL")
+    serve_trace.add_argument("--scale", type=float, default=0.25)
+    serve_trace.add_argument("--seed", type=int, default=0)
+    serve_trace.add_argument(
+        "--scenario", choices=scenario_names(), default="default",
+    )
+    serve_trace.add_argument("--machine", choices=sorted(MACHINES),
+                             default="B")
+    serve_trace.add_argument(
+        "--studies", nargs="+", default=[["timing"]], type=_study_list,
+        metavar="STUDY", help="studies for the request (default: timing)",
+    )
+    serve_trace.add_argument(
+        "--isolation", choices=("process", "inline"), default="process",
+        help="process (default) demonstrates cross-process stitching",
+    )
+    serve_trace.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+    )
+    serve_trace.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="Chrome trace output path (default: <kernel>.trace.json)",
+    )
+
+    obs = commands.add_parser(
+        "obs",
+        help="telemetry plane: metrics exposition and the "
+             "perf-regression sentinel",
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+    obs_export = obs_commands.add_parser(
+        "export",
+        help="render metrics (from saved reports, or the current "
+             "process) as Prometheus text or a JSON snapshot",
+    )
+    obs_export.add_argument(
+        "--reports", nargs="+", default=[], metavar="PATH",
+        help="saved reports files (repro run --out) whose per-kernel "
+             "metrics are merged into the export",
+    )
+    obs_export.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="Prometheus text exposition (default) or JSON snapshot",
+    )
+    obs_export.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write to this path instead of stdout",
+    )
+    obs_check = obs_commands.add_parser(
+        "check",
+        help="the perf-regression sentinel: classify the newest "
+             "BENCH_*.json entries against median±MAD baselines "
+             "(exit 1 on regression)",
+    )
+    obs_check.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="directory holding the BENCH_*.json trajectories "
+             "(default: the repo root)",
+    )
+    obs_check.add_argument(
+        "--window", type=int, default=None, metavar="N",
+        help="trailing history entries per baseline (default 8)",
+    )
+    obs_check.add_argument(
+        "--candidate", default=None, metavar="REPORTS",
+        help="fresh reports file to compare against --baseline "
+             "(per-kernel wall seconds and IPC)",
+    )
+    obs_check.add_argument(
+        "--baseline", default=None, metavar="REPORTS",
+        help="baseline reports file for --candidate",
+    )
+    obs_check.add_argument(
+        "--out", default="obs_check.json", metavar="PATH",
+        help="machine-readable verdict path (default: obs_check.json)",
     )
 
     cache = commands.add_parser(
@@ -542,6 +687,7 @@ def _command_data(args: argparse.Namespace) -> int:
 
 def _service_summary(service) -> list[str]:
     """Human-readable one-liners from a service's metrics registry."""
+    from repro.obs.exposition import parse_series
     from repro.obs.metrics import quantile_estimate
     from repro.serve.service import counter_total
 
@@ -556,12 +702,16 @@ def _service_summary(service) -> list[str]:
             counter_total(exported, "serve.rejected"),
         )
     ]
-    for key, payload in exported.get("histograms", {}).items():
+    for key, payload in sorted(exported.get("histograms", {}).items()):
         if key.startswith("serve.latency_seconds") and payload["count"]:
+            _, labels = parse_series(key)
+            origin = labels.get("origin", "all")
+            p50, p95, p99 = (quantile_estimate(payload, q)
+                             for q in (0.50, 0.95, 0.99))
             lines.append(
-                f"{key}: n={payload['count']} "
-                f"p50<={quantile_estimate(payload, 0.5):g}s "
-                f"p99<={quantile_estimate(payload, 0.99):g}s"
+                f"latency[{origin}]: n={payload['count']} "
+                f"p50={p50 * 1e3:.2f}ms p95={p95 * 1e3:.2f}ms "
+                f"p99={p99 * 1e3:.2f}ms"
             )
     return lines
 
@@ -574,8 +724,11 @@ def _command_serve_submit(args: argparse.Namespace) -> int:
         workers=args.workers, max_queue=args.queue_limit,
         timeout=args.timeout, isolation=args.isolation,
         reuse=not args.no_reuse,
+        telemetry_port=args.telemetry_port,
     )
     with service:
+        if service.telemetry is not None:
+            print(f"telemetry at {service.telemetry.url}")
         try:
             handles = [
                 service.submit(
@@ -634,7 +787,10 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
     with tempfile.TemporaryDirectory(prefix="repro-serve-") as scratch:
         store = ShardedResultStore(args.cache_dir or scratch)
         with BenchService(workers=args.workers, max_queue=args.queue_limit,
-                          isolation=args.isolation, store=store) as service:
+                          isolation=args.isolation, store=store,
+                          telemetry_port=args.telemetry_port) as service:
+            if service.telemetry is not None:
+                print(f"telemetry at {service.telemetry.url}")
             result = replay(service, trace_jobs)
     served = result.cache_hits + result.coalesced
     print(render_table(
@@ -666,12 +822,160 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
     return 1 if result.errors else 0
 
 
+def _command_serve_up(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.serve import BenchService
+
+    service = BenchService(
+        workers=args.workers, isolation=args.isolation,
+        reuse=not args.no_reuse, telemetry_port=args.telemetry_port,
+    )
+    with service:
+        print(f"telemetry at {service.telemetry.url}", flush=True)
+        handles = [
+            service.submit(kernel, scale=args.scale, seed=args.seed,
+                           scenario=args.scenario,
+                           cache_config=MACHINES[args.machine])
+            for kernel in args.kernels
+        ]
+        failures = 0
+        for handle in handles:
+            report = handle.wait(timeout=600.0)
+            failures += report.error is not None
+            print(f"{handle.job.kernel}: {handle.origin} "
+                  f"({handle.latency_seconds:.3f}s)"
+                  + (f" ERROR {report.error}" if report.error else ""),
+                  flush=True)
+        deadline = _time.monotonic() + args.duration
+        try:
+            while _time.monotonic() < deadline:
+                _time.sleep(0.2)
+        except KeyboardInterrupt:
+            pass
+    return 1 if failures else 0
+
+
+def _command_serve_status(args: argparse.Namespace) -> int:
+    import urllib.error
+    import urllib.request
+
+    base = args.url.rstrip("/")
+    routes = ["/healthz", "/readyz"] + (["/metrics"] if args.metrics else [])
+    healthy = True
+    for route in routes:
+        try:
+            with urllib.request.urlopen(base + route, timeout=5) as response:
+                body = response.read().decode("utf-8", "replace")
+                code = response.status
+        except urllib.error.HTTPError as error:
+            body = error.read().decode("utf-8", "replace")
+            code = error.code
+            healthy = False
+        except OSError as error:
+            print(f"{route}: unreachable ({error})", file=sys.stderr)
+            return 2
+        print(f"{route} [{code}]")
+        print(body.rstrip())
+    return 0 if healthy else 1
+
+
+def _command_serve_trace(args: argparse.Namespace) -> int:
+    from repro.obs.context import stitch_trace
+    from repro.serve import BenchService
+
+    studies = tuple(study for token in args.studies for study in token)
+    tracer = Tracer()
+    with trace.use(tracer):
+        with BenchService(workers=1, isolation=args.isolation,
+                          store=None, reuse=False) as service:
+            handle = service.submit(
+                args.kernel, studies=studies, scale=args.scale,
+                seed=args.seed, scenario=args.scenario,
+                cache_config=MACHINES[args.machine],
+            )
+            report = handle.wait(timeout=args.timeout)
+    stitched = stitch_trace(handle.trace_id, tracer.records(), report.spans)
+    print(render_tree(
+        stitched,
+        title=(f"Stitched trace {handle.trace_id}: {args.kernel} "
+               f"(isolation={args.isolation}, scale={args.scale})"),
+    ))
+    pids = {record.get("pid", 0) for record in stitched}
+    print(f"\n{len(stitched)} spans across {len(pids)} process(es), "
+          f"one trace id: {handle.trace_id}")
+    out = args.out or f"{args.kernel}.trace.json"
+    write_chrome_trace(stitched, out)
+    print(f"trace written to {out} (open in https://ui.perfetto.dev)")
+    return 1 if report.error else 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     if args.serve_command == "submit":
         return _command_serve_submit(args)
     if args.serve_command == "bench":
         return _command_serve_bench(args)
+    if args.serve_command == "up":
+        return _command_serve_up(args)
+    if args.serve_command == "status":
+        return _command_serve_status(args)
+    if args.serve_command == "trace":
+        return _command_serve_trace(args)
     raise AssertionError(f"unhandled serve command {args.serve_command!r}")
+
+
+def _command_obs_export(args: argparse.Namespace) -> int:
+    from repro.harness.runner import load_reports
+    from repro.obs.exposition import exposition, snapshot
+
+    registry = obs_metrics.MetricsRegistry()
+    if args.reports:
+        for path in args.reports:
+            for report in load_reports(path).values():
+                if report.metrics:
+                    registry.merge_dict(report.metrics)
+    else:
+        registry = obs_metrics.current_registry()
+    exported = registry.as_dict()
+    if args.format == "json":
+        rendered = json.dumps(snapshot(exported), indent=2, sort_keys=True)
+    else:
+        rendered = exposition(exported)
+    if args.out:
+        Path(args.out).write_text(rendered)
+        print(f"metrics written to {args.out}")
+    else:
+        print(rendered, end="" if rendered.endswith("\n") else "\n")
+    return 0
+
+
+def _command_obs_check(args: argparse.Namespace) -> int:
+    from repro.harness.runner import load_reports
+    from repro.obs import baseline as obs_baseline
+
+    window = args.window if args.window is not None \
+        else obs_baseline.DEFAULT_WINDOW
+    checks = obs_baseline.check_trajectories(root=args.root, window=window)
+    if (args.candidate is None) != (args.baseline is None):
+        print("error: --candidate and --baseline go together",
+              file=sys.stderr)
+        return 2
+    if args.candidate is not None:
+        checks.extend(obs_baseline.check_reports(
+            load_reports(args.candidate), load_reports(args.baseline)))
+    print(obs_baseline.render_checks(checks))
+    if args.out:
+        path = obs_baseline.write_check(checks, args.out)
+        print(f"verdict written to {path}")
+    return 1 if obs_baseline.overall_status(checks) == "regress" else 0
+
+
+def _command_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "export":
+        return _command_obs_export(args)
+    if args.obs_command == "check":
+        return _command_obs_check(args)
+    raise AssertionError(f"unhandled obs command {args.obs_command!r}")
 
 
 def _command_cache(args: argparse.Namespace) -> int:
@@ -820,6 +1124,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_data(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "obs":
+        return _command_obs(args)
     if args.command == "cache":
         return _command_cache(args)
     if args.command == "sweep":

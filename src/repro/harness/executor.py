@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import multiprocessing.connection
+import os
 import tempfile
 import time
 from collections import deque
@@ -47,13 +48,21 @@ from repro.harness.store import ResultStore, default_result_store
 from repro.kernels.base import KERNEL_REGISTRY
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace
+from repro.obs.context import TraceContext, annotate_records
 from repro.obs.spans import NULL_TRACER, Tracer
 from repro.uarch.cache import MACHINE_B, CacheConfig
 
 
 @dataclass(frozen=True)
 class Job:
-    """One schedulable unit: a kernel under a set of studies."""
+    """One schedulable unit: a kernel under a set of studies.
+
+    ``trace`` is request identity, not configuration: it rides into the
+    worker so child-process spans stitch into the submitting request's
+    trace, and it is deliberately excluded from
+    :func:`~repro.harness.store.job_key` — the same work submitted by
+    two requests still coalesces and cache-hits.
+    """
 
     kernel: str
     studies: tuple[str, ...]
@@ -61,6 +70,7 @@ class Job:
     seed: int = 0
     cache_config: CacheConfig = MACHINE_B
     scenario: str = "default"
+    trace: "TraceContext | None" = None
 
 
 @dataclass(frozen=True)
@@ -126,7 +136,7 @@ def _execute_job(job: Job) -> KernelReport:
     still carries the elapsed wall time up to the failure)."""
     started = time.monotonic()
     try:
-        return run_kernel_studies(
+        report = run_kernel_studies(
             job.kernel,
             studies=job.studies,
             scale=job.scale,
@@ -138,19 +148,50 @@ def _execute_job(job: Job) -> KernelReport:
         report = _failure_report(job, f"{type(error).__name__}: {error}")
         report.wall_seconds = time.monotonic() - started
         return report
+    if job.trace is not None and report.spans:
+        annotate_records(report.spans, job.trace)
+    return report
 
 
-def _spool_writer(path: Path):
+#: Per-worker span spool cap (bytes); REPRO_SPAN_SPOOL_MAX_BYTES overrides.
+DEFAULT_SPOOL_MAX_BYTES = 16 * 1024 * 1024
+
+
+def _spool_max_bytes() -> int:
+    raw = os.environ.get("REPRO_SPAN_SPOOL_MAX_BYTES", "")
+    try:
+        return int(raw) if raw else DEFAULT_SPOOL_MAX_BYTES
+    except ValueError:
+        return DEFAULT_SPOOL_MAX_BYTES
+
+
+def _spool_writer(path: Path, max_bytes: "int | None" = None):
     """An ``on_finish`` hook appending each record as one JSON line.
 
     Opened per record on purpose: the worker may be terminated at any
     moment, and a line-buffered append is the crash-safe spool the
     parent reads partial spans back from.
+
+    The spool is bounded (*max_bytes*, default
+    :data:`DEFAULT_SPOOL_MAX_BYTES` or ``REPRO_SPAN_SPOOL_MAX_BYTES``):
+    a pathological run emitting millions of spans cannot fill the disk.
+    Records past the cap are dropped from the spool only — they stay in
+    the tracer's in-memory list and still ship back with a successful
+    report — and counted in the worker's registry as
+    ``executor.spool_dropped_spans``.
     """
+    limit = _spool_max_bytes() if max_bytes is None else max_bytes
+    written = 0
 
     def on_finish(record: dict) -> None:
+        nonlocal written
+        line = json.dumps(record) + "\n"
+        if written + len(line) > limit:
+            obs_metrics.counter("executor.spool_dropped_spans").inc()
+            return
+        written += len(line)
         with path.open("a") as spool:
-            spool.write(json.dumps(record) + "\n")
+            spool.write(line)
 
     return on_finish
 
@@ -179,7 +220,8 @@ def _job_worker(job: Job, conn, spool_path: str) -> None:
     can recover partial spans when this process is terminated (timeout)
     or dies before reporting.
     """
-    tracer = Tracer(on_finish=_spool_writer(Path(spool_path)))
+    tracer = Tracer(on_finish=_spool_writer(Path(spool_path)),
+                    context=job.trace)
     registry = obs_metrics.MetricsRegistry()
     try:
         with trace.use(tracer), obs_metrics.use(registry):
@@ -239,17 +281,20 @@ def _record_job(entry: _Running, report: KernelReport, elapsed: float) -> None:
 
     tracer = trace.current_tracer()
     if tracer is not NULL_TRACER:
+        trace_id = entry.job.trace.trace_id if entry.job.trace else None
         if entry.queue_wait > 0:
             tracer.add_record(
                 f"executor/queue-wait/{entry.job.kernel}",
                 entry.started_pc - entry.queue_wait,
                 entry.queue_wait,
+                trace=trace_id,
             )
         tracer.add_record(
             f"executor/job/{entry.job.kernel}",
             entry.started_pc,
             elapsed,
             {"outcome": outcome},
+            trace=trace_id,
         )
 
 
@@ -268,9 +313,16 @@ def _prebuild_datasets(pending: list[Job]) -> None:
 
 
 def _execute_pool(
-    jobs: list[Job], workers: int, timeout: float | None
+    jobs: list[Job], workers: int, timeout: float | None,
+    spool_dir: "str | Path | None" = None,
 ) -> list[KernelReport]:
-    """Run *jobs* over *workers* processes with per-job deadlines."""
+    """Run *jobs* over *workers* processes with per-job deadlines.
+
+    *spool_dir* overrides the per-pool temporary span-spool directory
+    (tests point it somewhere inspectable).  Spool files are unlinked
+    as each job finishes — once the spans are shipped back (or
+    recovered for a failed job) the spool has served its purpose.
+    """
     ctx = _mp_context()
     queue: deque[tuple[int, Job]] = deque(enumerate(jobs))
     running: dict[multiprocessing.connection.Connection, _Running] = {}
@@ -293,15 +345,23 @@ def _execute_pool(
             if not report.spans:
                 report.spans = _read_spool(entry.spool_path)
         _record_job(entry, report, elapsed)
+        entry.spool_path.unlink(missing_ok=True)
         results[entry.index] = report
 
-    with tempfile.TemporaryDirectory(prefix="repro-spans-") as spool_dir:
+    owned_dir = None
+    if spool_dir is None:
+        owned_dir = tempfile.TemporaryDirectory(prefix="repro-spans-")
+        spool_root = Path(owned_dir.name)
+    else:
+        spool_root = Path(spool_dir)
+        spool_root.mkdir(parents=True, exist_ok=True)
+    try:
         try:
             while queue or running:
                 while queue and len(running) < workers:
                     index, job = queue.popleft()
                     parent_conn, child_conn = ctx.Pipe(duplex=False)
-                    spool_path = Path(spool_dir) / f"job-{index}.jsonl"
+                    spool_path = spool_root / f"job-{index}.jsonl"
                     process = ctx.Process(
                         target=_job_worker,
                         args=(job, child_conn, str(spool_path)),
@@ -349,6 +409,9 @@ def _execute_pool(
                 entry.process.terminate()
                 entry.process.join(timeout=5)
                 conn.close()
+    finally:
+        if owned_dir is not None:
+            owned_dir.cleanup()
     return [report for report in results if report is not None]
 
 

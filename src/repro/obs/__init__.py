@@ -19,9 +19,32 @@ Three cooperating pieces:
 :mod:`repro.obs.trace` holds the process-current tracer; library code
 calls ``trace.span("seqwish/closure")`` and pays nothing unless a real
 tracer is installed (``repro trace <kernel>`` or ``--trace-out``).
+
+The telemetry plane (PR 8) adds four more pieces:
+
+* :mod:`repro.obs.exposition` — Prometheus-style text exposition and
+  JSON snapshots of any registry export;
+* :mod:`repro.obs.telemetry` — the background HTTP endpoint
+  (``/metrics``, ``/healthz``, ``/readyz``) a
+  :class:`~repro.serve.service.BenchService` serves scrape traffic
+  from (imported lazily — pulling :mod:`http.server` into every kernel
+  run would be waste);
+* :mod:`repro.obs.context` — :class:`TraceContext` request identity
+  propagated across the process pool so one submission's spans stitch
+  into one trace;
+* :mod:`repro.obs.baseline` — the median±MAD perf-regression sentinel
+  over the committed ``BENCH_*.json`` trajectories (``repro obs
+  check``).
 """
 
 from repro.obs.attribution import UNTRACED, PhaseAttributor
+from repro.obs.context import TraceContext, annotate_records, stitch_trace
+from repro.obs.exposition import (
+    exposition,
+    parse_series,
+    registry_from_snapshot,
+    snapshot,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import (
     NULL_TRACER,
@@ -42,8 +65,15 @@ __all__ = [
     "NullTracer",
     "Span",
     "Tracer",
+    "TraceContext",
+    "annotate_records",
+    "stitch_trace",
     "chrome_trace",
+    "exposition",
+    "parse_series",
+    "registry_from_snapshot",
     "render_tree",
+    "snapshot",
     "spans_from_chrome_trace",
     "write_chrome_trace",
 ]

@@ -1,0 +1,88 @@
+"""Request-scoped trace propagation: one trace id across processes.
+
+A :class:`TraceContext` is minted once per service request
+(:meth:`~repro.serve.service.BenchService.submit`) and rides on the
+:class:`~repro.harness.executor.Job` through the service worker pool and
+the process-pool executor into the child process's tracer.  Every span
+record the request produces — the ``serve/*`` lifecycle records in the
+parent, the ``executor/*`` records, and the kernel spans recorded (and
+spooled) inside the worker — carries the request's ``trace`` id, so the
+spans shipped back inside the report stitch into one cross-process trace
+(:func:`stitch_trace`), viewable as a single Chrome trace.
+
+The context is identity, not time: it carries no clocks.  Span
+timestamps stay in each process's ``perf_counter`` timebase; with the
+executor's fork-based workers the timebase is inherited, so stitched
+traces line up without offset arithmetic.
+
+Coalesced and cache-hit requests do not re-execute, so they never own
+kernel spans; the service records an annotated *link* span instead
+(``serve/coalesce/*`` / ``serve/cache-hit/*`` with a ``link`` attr
+naming the executing request's trace id).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.obs.spans import merge_records
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's identity: a trace id plus the parent span id the
+    request's root spans link back to (-1 when no span was recorded at
+    mint time, e.g. tracing disabled)."""
+
+    trace_id: str
+    span_id: int = -1
+
+    @classmethod
+    def mint(cls) -> "TraceContext":
+        """A fresh context with a process-unique 16-hex trace id."""
+        return cls(trace_id=secrets.token_hex(8))
+
+    def child(self, span_id: int) -> "TraceContext":
+        """The same trace with a new parent span id."""
+        return replace(self, span_id=span_id)
+
+
+def annotate_records(records: Iterable[dict],
+                     context: TraceContext) -> list[dict]:
+    """Tag *records* with *context* in place (returns them for
+    chaining).
+
+    Records that already carry a ``trace`` id keep it — a cached
+    report's spans belong to the execution that produced them, and a
+    link span, not a re-tag, is how a later request references them.
+    Root records (``parent == -1``) additionally get a ``parent_span``
+    pointing at the context's minting span, which is what lets a
+    child-process span tree hang off the parent-process submit record.
+    """
+    out = list(records)
+    for record in out:
+        record.setdefault("trace", context.trace_id)
+        if record.get("parent", -1) == -1 and context.span_id >= 0:
+            record.setdefault("parent_span", context.span_id)
+    return out
+
+
+def stitch_trace(trace_id: str,
+                 *record_lists: Iterable[dict]) -> list[dict]:
+    """Merge *record_lists* (parent tracer + report spans) and keep the
+    records belonging to *trace_id* — one request's cross-process
+    trace, ready for :func:`~repro.obs.spans.write_chrome_trace`."""
+    merged = merge_records(*record_lists)
+    return [record for record in merged if record.get("trace") == trace_id]
+
+
+def trace_ids(records: Iterable[dict]) -> list[str]:
+    """Distinct trace ids present in *records*, in first-seen order."""
+    seen: list[str] = []
+    for record in records:
+        trace = record.get("trace")
+        if trace and trace not in seen:
+            seen.append(trace)
+    return seen

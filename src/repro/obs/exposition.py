@@ -1,0 +1,187 @@
+"""Prometheus-style text exposition and JSON snapshots of metrics.
+
+Input is always a :meth:`~repro.obs.metrics.MetricsRegistry.as_dict`
+export — the same associatively-mergeable dict that rides inside
+:class:`~repro.harness.runner.KernelReport` — so anything that can
+produce or merge registry exports (a live service, a saved reports
+file, a worker's shipped-back metrics) can be exposed.
+
+Two formats, both deterministic:
+
+* :func:`exposition` — the Prometheus text format (version 0.0.4):
+  one ``# TYPE`` line per family, counters suffixed ``_total``,
+  histograms expanded to cumulative ``le`` buckets plus ``_sum`` and
+  ``_count``.  Families are sorted by name and series by label string,
+  so byte-identical registries render byte-identical pages regardless
+  of insertion order.
+* :func:`snapshot` / :func:`registry_from_snapshot` — a JSON envelope
+  around the raw export.  ``exposition(registry_from_snapshot(
+  json-round-tripped snapshot).as_dict())`` equals the original text —
+  the property the exposition tests pin down.
+
+Series keys follow :func:`~repro.obs.metrics.series_name`
+(``name{k1=v1,k2=v2}``); :func:`parse_series` inverts it.  Label values
+containing ``,`` or ``=`` are not escaped by ``series_name`` and will
+not survive the round trip — keep label values to plain identifiers.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+
+#: Content type a /metrics endpoint should declare for the text format.
+TEXT_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Schema version stamped on JSON snapshots.
+SNAPSHOT_SCHEMA = 1
+
+_INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def parse_series(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`~repro.obs.metrics.series_name`:
+    ``"a.b{k=v}"`` -> ``("a.b", {"k": "v"})``."""
+    if "{" in key and key.endswith("}"):
+        name, _, inner = key.partition("{")
+        labels: dict[str, str] = {}
+        for part in inner[:-1].split(","):
+            if not part:
+                continue
+            label, _, value = part.partition("=")
+            labels[label] = value
+        return name, labels
+    return key, {}
+
+
+def _prom_name(name: str) -> str:
+    """A metric/label name legal in the exposition format (dots and
+    other invalid characters become underscores)."""
+    out = _INVALID_NAME_CHARS.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def _label_str(labels: dict[str, str], extra: "tuple[str, str] | None" = None
+               ) -> str:
+    pairs = [(_prom_name(k), str(v)) for k, v in sorted(labels.items())]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.10g}"
+
+
+def _scalar_lines(section: dict, suffix: str = "") -> dict[str, list[str]]:
+    """Counter/gauge series grouped by sanitized family name."""
+    families: dict[str, list[str]] = {}
+    for key in sorted(section):
+        name, labels = parse_series(key)
+        family = _prom_name(name) + suffix
+        families.setdefault(family, []).append(
+            f"{family}{_label_str(labels)} {_fmt(section[key])}"
+        )
+    return families
+
+
+def _histogram_lines(section: dict) -> dict[str, list[str]]:
+    families: dict[str, list[str]] = {}
+    for key in sorted(section):
+        name, labels = parse_series(key)
+        family = _prom_name(name)
+        payload = section[key]
+        lines = families.setdefault(family, [])
+        bounds = sorted((b for b in payload["buckets"] if b != "inf"),
+                        key=float)
+        cumulative = 0
+        for bound in bounds:
+            cumulative += payload["buckets"][bound]
+            le = _label_str(labels, ("le", _fmt(float(bound))))
+            lines.append(f"{family}_bucket{le} {cumulative}")
+        le = _label_str(labels, ("le", "+Inf"))
+        lines.append(f"{family}_bucket{le} {payload['count']}")
+        plain = _label_str(labels)
+        lines.append(f"{family}_sum{plain} {_fmt(payload['sum'])}")
+        lines.append(f"{family}_count{plain} {payload['count']}")
+    return families
+
+
+def exposition(exported: dict) -> str:
+    """*exported* (a registry :meth:`as_dict`) as Prometheus text."""
+    typed: list[tuple[str, str, list[str]]] = []
+    for family, lines in _scalar_lines(exported.get("counters", {}),
+                                       suffix="_total").items():
+        typed.append((family, "counter", lines))
+    for family, lines in _scalar_lines(exported.get("gauges", {})).items():
+        typed.append((family, "gauge", lines))
+    for family, lines in _histogram_lines(
+            exported.get("histograms", {})).items():
+        typed.append((family, "histogram", lines))
+
+    # The registry allows one *name* to back metrics of different kinds
+    # (e.g. a last-value gauge next to a histogram).  Prometheus does
+    # not: a family name may carry exactly one TYPE.  Resolve by moving
+    # scalar families that collide with a histogram to ``<name>_<kind>``
+    # — histograms keep the base name since their series are the ones
+    # dashboards aggregate.
+    histogram_names = {family for family, kind, _ in typed
+                       if kind == "histogram"}
+    resolved: list[tuple[str, str, list[str]]] = []
+    for family, kind, lines in typed:
+        if kind != "histogram" and family in histogram_names:
+            renamed = f"{family}_{kind}"
+            lines = [line.replace(family, renamed, 1) for line in lines]
+            family = renamed
+        resolved.append((family, kind, lines))
+
+    out: list[str] = []
+    for family, kind, lines in sorted(resolved):
+        out.append(f"# TYPE {family} {kind}")
+        out.extend(lines)
+    return "\n".join(out) + "\n" if out else ""
+
+
+def snapshot(exported: dict, **meta: object) -> dict:
+    """A JSON-able envelope around a registry export; extra keyword
+    arguments become top-level metadata fields."""
+    return {"schema": SNAPSHOT_SCHEMA, "metrics": exported, **meta}
+
+
+def registry_from_snapshot(payload: dict) -> MetricsRegistry:
+    """Rebuild a registry from a :func:`snapshot` (possibly after a
+    JSON round trip)."""
+    if not isinstance(payload, dict) or "metrics" not in payload:
+        raise ReproError("not a telemetry snapshot (no 'metrics' key)")
+    schema = payload.get("schema", SNAPSHOT_SCHEMA)
+    if isinstance(schema, int) and schema > SNAPSHOT_SCHEMA:
+        raise ReproError(
+            f"unsupported snapshot schema {schema!r} (this build reads "
+            f"<= {SNAPSHOT_SCHEMA})"
+        )
+    registry = MetricsRegistry()
+    registry.merge_dict(payload["metrics"])
+    return registry

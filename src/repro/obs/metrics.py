@@ -222,18 +222,34 @@ def _copy_hist(payload: dict) -> dict:
 
 
 def quantile_estimate(payload: dict, q: float) -> float:
-    """Rough q-quantile from an exported histogram (bucket upper bound
-    containing the q-th observation)."""
+    """q-quantile estimate from an exported histogram.
+
+    Interpolates linearly within the bucket containing the q-th
+    observation (lower edge = previous finite bound, 0.0 for the first
+    bucket), so p50/p95/p99 move smoothly instead of snapping to bucket
+    bounds.  Observations landing in the +Inf overflow bucket clamp to
+    the largest finite bound — an estimate can understate an extreme
+    tail but never reports ``inf``.  An empty histogram estimates 0.0.
+    """
     if not 0.0 <= q <= 1.0:
         raise ReproError("quantile must be in [0, 1]")
-    target = q * payload["count"]
+    count = payload["count"]
+    if count == 0:
+        return 0.0
+    bounds = sorted((b for b in payload["buckets"] if b != "inf"), key=float)
+    target = q * count
     cumulative = 0
-    for bound in sorted((b for b in payload["buckets"] if b != "inf"),
-                        key=float):
-        cumulative += payload["buckets"][bound]
-        if cumulative >= target:
-            return float(bound)
-    return math.inf
+    lower = 0.0
+    for bound in bounds:
+        in_bucket = payload["buckets"][bound]
+        if in_bucket > 0 and cumulative + in_bucket >= target:
+            upper = float(bound)
+            fraction = (target - cumulative) / in_bucket
+            return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        cumulative += in_bucket
+        lower = float(bound)
+    # Only overflow observations remain past the finite bounds: clamp.
+    return lower if bounds else math.inf
 
 
 # -- the process-current registry ----------------------------------------

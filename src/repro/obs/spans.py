@@ -18,7 +18,9 @@ Record schema (one dict per finished span)::
     {"name": str, "id": int, "parent": int,  # -1 at the root
      "ts": float, "dur": float,              # seconds from tracer epoch
      "tid": int, "pid": int,
-     "attrs": dict}                          # only when non-empty
+     "attrs": dict,                          # only when non-empty
+     "trace": str, "parent_span": int}       # only when a TraceContext
+                                             # is attached (repro.obs.context)
 """
 
 from __future__ import annotations
@@ -114,12 +116,21 @@ class Tracer:
     callable receiving each finished record) supports incremental
     spooling, which is how the executor recovers partial spans from a
     timed-out worker.
+
+    ``context`` (any object with ``trace_id``/``span_id`` attributes,
+    in practice a :class:`~repro.obs.context.TraceContext`) tags every
+    record this tracer produces with the request's ``trace`` id — and
+    root records with a ``parent_span`` link — at record-creation time,
+    so even spool lines written by a worker that later dies carry the
+    request identity.
     """
 
-    def __init__(self, on_finish: Callable[[dict], None] | None = None) -> None:
+    def __init__(self, on_finish: Callable[[dict], None] | None = None,
+                 context=None) -> None:
         self.epoch = perf_counter()
         self.listeners: list = []
         self.on_finish = on_finish
+        self.context = context
         self._lock = threading.Lock()
         self._records: list[dict] = []
         self._next_id = 0
@@ -177,13 +188,18 @@ class Tracer:
         }
         if span.attrs:
             record["attrs"] = dict(span.attrs)
+        self._contextualize(record)
         self._append(record)
 
     def add_record(self, name: str, start: float, duration: float,
-                   attrs: dict | None = None) -> dict:
+                   attrs: dict | None = None,
+                   trace: str | None = None) -> dict:
         """Record an externally-timed interval (*start* in
         ``perf_counter`` timebase) — used by the executor for job
-        lifecycle and queue-wait events it times itself."""
+        lifecycle and queue-wait events it times itself.  *trace*
+        overrides the tracer-level context's trace id for this record
+        (the service tags each lifecycle record with the owning
+        request's id)."""
         with self._lock:
             span_id = self._next_id
             self._next_id += 1
@@ -198,8 +214,20 @@ class Tracer:
         }
         if attrs:
             record["attrs"] = dict(attrs)
+        if trace is not None:
+            record["trace"] = trace
+        else:
+            self._contextualize(record)
         self._append(record)
         return record
+
+    def _contextualize(self, record: dict) -> None:
+        context = self.context
+        if context is None:
+            return
+        record["trace"] = context.trace_id
+        if record["parent"] == -1 and context.span_id >= 0:
+            record["parent_span"] = context.span_id
 
     def _append(self, record: dict) -> None:
         with self._lock:
@@ -245,8 +273,11 @@ def chrome_trace(records: Iterable[dict]) -> dict:
             "pid": record.get("pid", 0),
             "tid": record.get("tid", 0),
         }
-        if record.get("attrs"):
-            event["args"] = record["attrs"]
+        args = dict(record["attrs"]) if record.get("attrs") else {}
+        if record.get("trace"):
+            args["trace"] = record["trace"]
+        if args:
+            event["args"] = args
         events.append(event)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 

@@ -1,0 +1,213 @@
+"""The live telemetry plane: /metrics, /healthz, /readyz over HTTP.
+
+:class:`TelemetryServer` is a stdlib ``ThreadingHTTPServer`` on a
+daemon thread — no new dependencies, safe to run beside a
+:class:`~repro.serve.service.BenchService`'s worker pool (pass
+``telemetry_port=`` to the service and it manages the lifecycle).  It
+can also front a bare :class:`~repro.obs.metrics.MetricsRegistry` for
+non-serve processes.
+
+Routes:
+
+* ``/metrics`` — Prometheus text exposition
+  (:func:`~repro.obs.exposition.exposition`) of the ambient process
+  registry merged with the service's own registry plus live gauges
+  (queue depth, inflight, worker liveness, cache occupancy, uptime).
+  ``?format=json`` returns the JSON snapshot instead.
+* ``/healthz`` — liveness: 200 with a JSON body while the process and
+  its workers are up, 503 once the service is stopping or its workers
+  have died.
+* ``/readyz`` — readiness to accept work: 503 while the queue is at
+  its admission limit, workers are not yet started, or shutdown has
+  begun.  The body always carries queue depth, inflight count, worker
+  liveness and cache occupancy, so a scrape of a 503 still tells you
+  *why*.
+
+Scrapes never block benchmark work: handlers only read locked
+snapshots (``stats()``-grade accessors), never execute jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ReproError
+from repro.obs import metrics as obs_metrics
+from repro.obs.exposition import TEXT_CONTENT_TYPE, exposition, snapshot
+
+#: Routes the server answers (advertised in 404 bodies).
+ROUTES = ("/metrics", "/healthz", "/readyz")
+
+
+class TelemetryServer:
+    """Serve telemetry for a service (or a bare registry) over HTTP.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port`/:attr:`url`
+    after :meth:`start`.  ``stop()`` is idempotent and joins the
+    serving thread.
+    """
+
+    def __init__(self, service=None,
+                 registry: "obs_metrics.MetricsRegistry | None" = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.registry = registry
+        self.host = host
+        self._requested_port = port
+        self._httpd: "_TelemetryHTTPServer | None" = None
+        self._thread: "threading.Thread | None" = None
+        self._started_at = time.monotonic()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "TelemetryServer":
+        if self._httpd is not None:
+            return self
+        try:
+            httpd = _TelemetryHTTPServer(
+                (self.host, self._requested_port), _TelemetryHandler)
+        except OSError as error:
+            raise ReproError(
+                f"cannot bind telemetry endpoint on "
+                f"{self.host}:{self._requested_port}: {error}"
+            )
+        httpd.telemetry = self
+        self._httpd = httpd
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=httpd.serve_forever, name="repro-telemetry", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        httpd, thread = self._httpd, self._thread
+        self._httpd = self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise ReproError("telemetry server is not running")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- payloads --------------------------------------------------------
+
+    def uptime(self) -> float:
+        return time.monotonic() - self._started_at
+
+    def exported(self) -> dict:
+        """The merged registry export a scrape sees: ambient process
+        registry + service (or explicit) registry + live gauges."""
+        ambient = obs_metrics.current_registry()
+        out = ambient.as_dict()
+        if self.service is not None:
+            out = obs_metrics.merge(out, self.service.metrics.as_dict())
+        if self.registry is not None and self.registry is not ambient:
+            out = obs_metrics.merge(out, self.registry.as_dict())
+        gauges = self._live_gauges()
+        if gauges:
+            out = obs_metrics.merge(out, {"gauges": gauges})
+        return out
+
+    def _live_gauges(self) -> dict[str, float]:
+        gauges = {"telemetry.uptime_seconds": round(self.uptime(), 3)}
+        if self.service is not None:
+            ready = self.service.readiness()
+            gauges["serve.queue_depth"] = float(ready["queue_depth"])
+            gauges["serve.inflight"] = float(ready["inflight"])
+            gauges["serve.workers_alive"] = float(ready["workers_alive"])
+            cache = ready.get("cache") or {}
+            if "entries" in cache:
+                gauges["serve.cache_entries"] = float(cache["entries"])
+            if "bytes" in cache:
+                gauges["serve.cache_bytes"] = float(cache["bytes"])
+        return gauges
+
+    def health(self) -> dict:
+        if self.service is not None:
+            payload = self.service.health()
+        else:
+            payload = {"status": "ok", "workers": None}
+        payload["uptime_seconds"] = round(self.uptime(), 3)
+        return payload
+
+    def readiness(self) -> dict:
+        if self.service is not None:
+            return self.service.readiness()
+        return {"ready": True, "queue_depth": 0, "inflight": 0,
+                "workers_alive": 0, "cache": {}}
+
+
+class _TelemetryHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    #: Back-reference set by :meth:`TelemetryServer.start`.
+    telemetry: TelemetryServer
+
+
+class _TelemetryHandler(BaseHTTPRequestHandler):
+    server_version = "repro-telemetry"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        telemetry = self.server.telemetry
+        parts = urlsplit(self.path)
+        try:
+            if parts.path == "/metrics":
+                fmt = parse_qs(parts.query).get("format", ["text"])[0]
+                exported = telemetry.exported()
+                if fmt == "json":
+                    self._reply(200, _json(snapshot(
+                        exported, uptime_seconds=round(telemetry.uptime(), 3)
+                    )), "application/json")
+                else:
+                    self._reply(200, exposition(exported), TEXT_CONTENT_TYPE)
+            elif parts.path == "/healthz":
+                payload = telemetry.health()
+                code = 200 if payload.get("status") == "ok" else 503
+                self._reply(code, _json(payload), "application/json")
+            elif parts.path == "/readyz":
+                payload = telemetry.readiness()
+                code = 200 if payload.get("ready") else 503
+                self._reply(code, _json(payload), "application/json")
+            else:
+                self._reply(404, _json({"error": "not found",
+                                        "routes": list(ROUTES)}),
+                            "application/json")
+        except Exception as error:  # scrape must never kill the server
+            self._reply(500, _json({"error": str(error)}),
+                        "application/json")
+
+    def _reply(self, code: int, body: str, content_type: str) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def log_message(self, format: str, *args) -> None:
+        """Scrape logging is noise; drop it."""
+
+
+def _json(payload: dict) -> str:
+    return json.dumps(payload, indent=1, sort_keys=True)

@@ -42,7 +42,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.errors import ServeError, ServeTimeout, ServiceOverloaded
 from repro.harness.executor import (
@@ -57,7 +57,8 @@ from repro.harness.runner import KernelReport
 from repro.harness.store import ResultStore, default_result_store, job_digest
 from repro.serve.shards import ShardedResultStore
 from repro.obs import metrics as obs_metrics
-from repro.obs import trace
+from repro.obs import trace as _trace
+from repro.obs.context import TraceContext
 from repro.obs.spans import NULL_TRACER
 from repro.uarch.cache import MACHINE_B, CacheConfig
 
@@ -93,6 +94,7 @@ class JobHandle:
         self.job = job
         self.digest = digest
         self.origin: str | None = None
+        self.trace: TraceContext | None = None
         self.submitted = time.perf_counter()
         self.resolved_at: float | None = None
         self._service = service
@@ -128,6 +130,11 @@ class JobHandle:
         if self.resolved_at is None:
             return None
         return self.resolved_at - self.submitted
+
+    @property
+    def trace_id(self) -> str | None:
+        """This request's trace id (minted at submit)."""
+        return self.trace.trace_id if self.trace is not None else None
 
     def poll(self) -> JobStatus:
         if self._done.is_set():
@@ -193,6 +200,11 @@ class BenchService:
       executes or coalesces).
     * ``runner`` — test hook: a ``Job -> KernelReport`` callable
       replacing the engine execution path.
+    * ``telemetry_port`` — when set, :meth:`start` binds a
+      :class:`~repro.obs.telemetry.TelemetryServer` on
+      ``127.0.0.1:<port>`` (0 = ephemeral) exposing ``/metrics``,
+      ``/healthz`` and ``/readyz`` for this service; ``shutdown`` stops
+      it.  ``None`` (default) serves no HTTP — zero overhead.
     """
 
     def __init__(self, workers: int = 2, max_queue: int = 64,
@@ -201,7 +213,8 @@ class BenchService:
                  store: ResultStore | None = None,
                  reuse: bool = True,
                  runner=None,
-                 autostart: bool = True) -> None:
+                 autostart: bool = True,
+                 telemetry_port: "int | None" = None) -> None:
         if workers < 1:
             raise ServeError("workers must be >= 1")
         if isolation not in ("process", "inline"):
@@ -213,6 +226,8 @@ class BenchService:
         self.store = (store if store is not None
                       else default_result_store() if reuse else None)
         self.runner = runner
+        self.telemetry_port = telemetry_port
+        self.telemetry = None
         self.metrics = obs_metrics.MetricsRegistry()
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
@@ -221,6 +236,7 @@ class BenchService:
         self._threads: list[threading.Thread] = []
         self._started = False
         self._stopping = False
+        self._started_at = time.monotonic()
         self._avg_execute: float | None = None
         if autostart:
             self.start()
@@ -245,6 +261,11 @@ class BenchService:
             )
             thread.start()
             self._threads.append(thread)
+        self._started_at = time.monotonic()
+        if self.telemetry_port is not None and self.telemetry is None:
+            from repro.obs.telemetry import TelemetryServer
+            self.telemetry = TelemetryServer(
+                service=self, port=self.telemetry_port).start()
         return self
 
     def shutdown(self, wait: bool = True, timeout: float | None = 30.0) -> None:
@@ -257,6 +278,9 @@ class BenchService:
             for thread in self._threads:
                 thread.join(timeout=timeout)
         self._threads = []
+        if self.telemetry is not None:
+            self.telemetry.stop()
+            self.telemetry = None
         if isinstance(self.store, ShardedResultStore):
             self.store.join_eviction()
         obs_metrics.current_registry().merge_dict(self.metrics.as_dict())
@@ -285,10 +309,31 @@ class BenchService:
         )
         return self.submit_job(plan.jobs[0])
 
-    def submit_job(self, job: Job) -> JobHandle:
-        """Enqueue a pre-compiled :class:`Job` (no re-validation)."""
+    def submit_job(self, job: Job,
+                   context: "TraceContext | None" = None) -> JobHandle:
+        """Enqueue a pre-compiled :class:`Job` (no re-validation).
+
+        Every submission gets a :class:`TraceContext` (*context* >
+        ``job.trace`` > freshly minted): a ``serve/submit/<kernel>``
+        record is emitted into the ambient tracer when one is
+        installed, and the context — trace id plus that record's span
+        id — rides on the job into the executor so child-process spans
+        stitch into this request's trace.  Coalesced and cache-hit
+        submissions keep their own trace id and get an annotated link
+        span pointing at the execution that serves them.
+        """
+        context = context or job.trace or TraceContext.mint()
+        submit_record = self._record_span(
+            f"serve/submit/{job.kernel}", time.perf_counter(), 0.0,
+            trace=context.trace_id,
+        )
+        if submit_record is not None:
+            context = context.child(submit_record["id"])
+        if job.trace is not context:
+            job = replace(job, trace=context)
         digest = job_digest(job)
         handle = JobHandle(self, job, digest)
+        handle.trace = context
         with self._work:
             if self._stopping:
                 raise ServeError("service is shutting down")
@@ -300,9 +345,12 @@ class BenchService:
                 handle.origin = COALESCED
                 self.metrics.counter("serve.coalesced",
                                      kernel=job.kernel).inc()
+                link_attrs = {"digest": digest}
+                if ticket.job.trace is not None:
+                    link_attrs["link"] = ticket.job.trace.trace_id
                 self._record_span(f"serve/coalesce/{job.kernel}",
                                   time.perf_counter(), 0.0,
-                                  {"digest": digest})
+                                  link_attrs, trace=context.trace_id)
                 return handle
             # Double-check the result store under the same lock: a run
             # that completed between the caller's decision to submit and
@@ -311,6 +359,14 @@ class BenchService:
             if hit is not None:
                 self.metrics.counter("serve.cache_hits",
                                      kernel=job.kernel).inc()
+                link_attrs = {"digest": digest}
+                original = next((r.get("trace") for r in hit.spans
+                                 if r.get("trace")), None)
+                if original is not None:
+                    link_attrs["link"] = original
+                self._record_span(f"serve/cache-hit/{job.kernel}",
+                                  time.perf_counter(), 0.0,
+                                  link_attrs, trace=context.trace_id)
             else:
                 # Admission control: the queue has a high-water mark.
                 if len(self._queue) >= self.max_queue:
@@ -353,10 +409,13 @@ class BenchService:
 
     @staticmethod
     def _record_span(name: str, start: float, duration: float,
-                     attrs: dict | None = None) -> None:
-        tracer = trace.current_tracer()
+                     attrs: dict | None = None,
+                     trace: "str | None" = None) -> "dict | None":
+        tracer = _trace.current_tracer()
         if tracer is not NULL_TRACER:
-            tracer.add_record(name, start, duration, attrs)
+            return tracer.add_record(name, start, duration, attrs,
+                                     trace=trace)
+        return None
 
     # -- execution -----------------------------------------------------
 
@@ -377,6 +436,8 @@ class BenchService:
                 self._record_span(
                     f"serve/queue-wait/{ticket.job.kernel}",
                     ticket.enqueued, queue_wait,
+                    trace=ticket.job.trace.trace_id
+                    if ticket.job.trace else None,
                 )
             self._execute_ticket(ticket, queue_wait)
 
@@ -396,6 +457,7 @@ class BenchService:
             f"serve/execute/{job.kernel}", started, elapsed,
             {"digest": ticket.digest,
              "outcome": "ok" if report.error is None else "error"},
+            trace=job.trace.trace_id if job.trace else None,
         )
         # Cache before unregistering the flight: a concurrent submit
         # sees either the in-flight ticket (coalesce) or the cached
@@ -445,6 +507,56 @@ class BenchService:
                 "workers": self.workers,
                 "metrics": self.metrics.as_dict(),
             }
+
+    def _workers_alive_locked(self) -> int:
+        return sum(1 for thread in self._threads if thread.is_alive())
+
+    def health(self) -> dict:
+        """Liveness snapshot (the ``/healthz`` payload): ``ok`` while
+        the service accepts work and its worker threads are up."""
+        with self._lock:
+            alive = self._workers_alive_locked()
+            healthy = (not self._stopping
+                       and (not self._started or alive > 0))
+            return {
+                "status": "ok" if healthy else "stopping"
+                if self._stopping else "degraded",
+                "started": self._started,
+                "uptime_seconds": round(
+                    time.monotonic() - self._started_at, 3),
+                "workers": {"configured": self.workers, "alive": alive},
+                "isolation": self.isolation,
+            }
+
+    def readiness(self) -> dict:
+        """Readiness snapshot (the ``/readyz`` payload): queue depth,
+        inflight count, worker liveness and cache occupancy; ``ready``
+        is False while the queue sits at its admission high-water mark
+        or the pool is not running."""
+        with self._lock:
+            queued = len(self._queue)
+            inflight = len(self._inflight)
+            alive = self._workers_alive_locked()
+            ready = (self._started and not self._stopping
+                     and alive > 0 and queued < self.max_queue)
+        cache: dict = {}
+        store = self.store
+        if store is not None:
+            try:
+                if hasattr(store, "entries"):
+                    cache["entries"] = len(store.entries())
+                if hasattr(store, "total_bytes"):
+                    cache["bytes"] = store.total_bytes()
+            except OSError:  # a scrape must not fail on store races
+                cache = {}
+        return {
+            "ready": ready,
+            "queue_depth": queued,
+            "max_queue": self.max_queue,
+            "inflight": inflight,
+            "workers_alive": alive,
+            "cache": cache,
+        }
 
 
 def counter_total(exported: dict, name: str) -> float:

@@ -47,6 +47,8 @@ from repro.harness.executor import (
     validate_names,
 )
 from repro.harness.runner import SCHEMA_VERSION, KernelReport, run_metadata
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace
 from repro.sweep.gates import check_paper_gates, gate_studies
 from repro.uarch.cache import MACHINE_B, CacheConfig
 
@@ -241,6 +243,28 @@ def _results_from_outcomes(
     return results
 
 
+def _record_sweep_metrics(plan: SweepPlan, results: "list[CellResult]",
+                          wall_seconds: float) -> None:
+    """Fold a sweep's outcome into the process-current metrics registry
+    so the telemetry plane (and ``repro obs export``) can see sweeps
+    alongside serve traffic: per-origin result counters, error and
+    gate-failure counters, and a wall-seconds gauge, all labeled by
+    manifest."""
+    registry = obs_metrics.current_registry()
+    manifest = plan.manifest.name
+    for result in results:
+        registry.counter("sweep.results", manifest=manifest,
+                         origin=result.origin).inc()
+        if result.report.error is not None:
+            registry.counter("sweep.errors", manifest=manifest,
+                             kernel=result.kernel).inc()
+        if result.gate_violations:
+            registry.counter("sweep.gate_failures", manifest=manifest,
+                             kernel=result.kernel).inc()
+    registry.gauge("sweep.wall_seconds", manifest=manifest).set(wall_seconds)
+    registry.gauge("sweep.grid_points", manifest=manifest).set(len(plan))
+
+
 def run_sweep(
     plan: SweepPlan,
     workers: int = 1,
@@ -258,29 +282,34 @@ def run_sweep(
     (:func:`execute_jobs` with *workers*/*timeout*/*reuse*/*store*).
     """
     started = time.monotonic()
-    if runner is not None:
-        outcomes = [JobOutcome(job=job, report=runner(job), origin=EXECUTED)
-                    for job in plan.jobs]
-        results = _results_from_outcomes(plan, outcomes)
-    elif service is not None:
-        handles = [service.submit_job(job) for job in plan.jobs]
-        results = []
-        for index, handle in enumerate(handles):
-            report = handle.wait(timeout=timeout)
-            results.append(CellResult(
-                scenario=handle.job.scenario,
-                kernel=handle.job.kernel,
-                scale=handle.job.scale,
-                seed=handle.job.seed,
-                fidelity=_fidelity(plan, index),
-                origin=handle.origin or EXECUTED,
-                report=report,
-                gate_violations=_gate_check(plan, index, report),
-            ))
-    else:
-        outcomes = execute_jobs(plan.jobs, workers=workers, timeout=timeout,
-                                reuse=reuse, store=store)
-        results = _results_from_outcomes(plan, outcomes)
+    with trace.timed_span(f"sweep/{plan.manifest.name}",
+                          {"grid_points": len(plan)}):
+        if runner is not None:
+            outcomes = [JobOutcome(job=job, report=runner(job),
+                                   origin=EXECUTED)
+                        for job in plan.jobs]
+            results = _results_from_outcomes(plan, outcomes)
+        elif service is not None:
+            handles = [service.submit_job(job) for job in plan.jobs]
+            results = []
+            for index, handle in enumerate(handles):
+                report = handle.wait(timeout=timeout)
+                results.append(CellResult(
+                    scenario=handle.job.scenario,
+                    kernel=handle.job.kernel,
+                    scale=handle.job.scale,
+                    seed=handle.job.seed,
+                    fidelity=_fidelity(plan, index),
+                    origin=handle.origin or EXECUTED,
+                    report=report,
+                    gate_violations=_gate_check(plan, index, report),
+                ))
+        else:
+            outcomes = execute_jobs(plan.jobs, workers=workers,
+                                    timeout=timeout, reuse=reuse,
+                                    store=store)
+            results = _results_from_outcomes(plan, outcomes)
+    _record_sweep_metrics(plan, results, time.monotonic() - started)
     return SweepResult(
         manifest_name=plan.manifest.name,
         results=results,

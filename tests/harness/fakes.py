@@ -41,6 +41,23 @@ class OkKernel(_FakeKernel):
         )
 
 
+class SpanSpamKernel(_FakeKernel):
+    """Emits a burst of tiny spans — pressure for the span-spool cap."""
+
+    name = "fake-spanspam"
+    spans = 64
+
+    def _execute(self, probe):
+        from repro.obs import trace
+
+        for i in range(type(self).spans):
+            with trace.span(f"spam/{i}"):
+                pass
+        probe.alu(OpClass.SCALAR_ALU, 1)
+        return KernelResult(kernel=self.name, wall_seconds=0.0,
+                            inputs_processed=1)
+
+
 class CrashKernel(_FakeKernel):
     """Raises from its hot loop."""
 
@@ -72,4 +89,4 @@ class DieKernel(_FakeKernel):
         os._exit(3)
 
 
-FAKES = (OkKernel, CrashKernel, HangKernel, DieKernel)
+FAKES = (OkKernel, SpanSpamKernel, CrashKernel, HangKernel, DieKernel)

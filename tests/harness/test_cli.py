@@ -184,3 +184,75 @@ class TestSweepCli:
         ])
         assert code == 0
         assert "2 kernels" in capsys.readouterr().out
+
+
+class TestObsCli:
+    def test_obs_check_passes_on_committed_trajectories(
+            self, capsys, tmp_path):
+        out = tmp_path / "obs_check.json"
+        assert main(["obs", "check", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "overall:" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["status"] in ("ok", "warn")
+
+    def test_obs_check_fails_on_degraded_trajectories(
+            self, capsys, tmp_path):
+        from repro.obs.baseline import repo_root
+
+        for name in ("BENCH_serve_load.json", "BENCH_sweep.json"):
+            payload = json.loads((repo_root() / name).read_text())
+            entry = dict(payload["entries"][-1])
+            for field in ("p50_ms", "p99_ms", "cold_wall_seconds"):
+                if field in entry:
+                    entry[field] *= 2.0
+            for field in ("cold_points_per_sec", "warm_speedup"):
+                if field in entry:
+                    entry[field] /= 4.0
+            payload["entries"].append(entry)
+            (tmp_path / name).write_text(json.dumps(payload))
+        out = tmp_path / "obs_check.json"
+        code = main(["obs", "check", "--root", str(tmp_path),
+                     "--out", str(out)])
+        assert code == 1
+        assert json.loads(out.read_text())["status"] == "regress"
+        assert "regress" in capsys.readouterr().out
+
+    def test_obs_check_compares_report_files(self, capsys, tmp_path):
+        from repro.harness.runner import KernelReport, save_reports
+
+        fast = {"tc": KernelReport(kernel="tc", wall_seconds=1.0)}
+        slow = {"tc": KernelReport(kernel="tc", wall_seconds=3.0)}
+        save_reports(fast, tmp_path / "base.json")
+        save_reports(slow, tmp_path / "cand.json")
+        code = main(["obs", "check",
+                     "--candidate", str(tmp_path / "cand.json"),
+                     "--baseline", str(tmp_path / "base.json")])
+        assert code == 1
+        assert "report.tc.wall_seconds" in capsys.readouterr().out
+
+    def test_obs_export_renders_report_metrics(self, capsys, tmp_path,
+                                               fake_kernels):
+        from repro.harness.runner import run_suite, save_reports
+
+        reports = run_suite(("fake-ok",), studies=("timing",))
+        save_reports(reports, tmp_path / "r.json")
+        code = main(["obs", "export", "--reports", str(tmp_path / "r.json")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '# TYPE kernel_runs_total counter' in out
+        assert 'kernel_runs_total{kernel="fake-ok"} 1' in out
+
+    def test_obs_export_json_snapshot(self, capsys, tmp_path,
+                                      fake_kernels):
+        from repro.harness.runner import run_suite, save_reports
+
+        reports = run_suite(("fake-ok",), studies=("timing",))
+        save_reports(reports, tmp_path / "r.json")
+        out = tmp_path / "snap.json"
+        code = main(["obs", "export", "--reports", str(tmp_path / "r.json"),
+                     "--format", "json", "--out", str(out)])
+        assert code == 0
+        snap = json.loads(out.read_text())
+        assert snap["schema"] == 1
+        assert "kernel.runs{kernel=fake-ok}" in snap["metrics"]["counters"]

@@ -167,6 +167,56 @@ class TestExecutorObservability:
         assert by_name["executor/job/fake-crash"]["attrs"]["outcome"] == "error"
 
 
+class TestSpanSpool:
+    def job(self, kernel="fake-ok"):
+        return Job(kernel=kernel, studies=("timing",),
+                   cache_config=MACHINE_B)
+
+    def test_spool_files_removed_after_success(self, fake_kernels,
+                                               tmp_path):
+        from repro.harness.executor import _execute_pool
+
+        reports = _execute_pool([self.job()], workers=2, timeout=None,
+                                spool_dir=tmp_path)
+        assert reports[0].ok
+        # Spans shipped with the report; the crash-recovery spool has
+        # served its purpose and must not accumulate on disk.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_spool_recovered_then_removed_on_timeout(self, fake_kernels,
+                                                     tmp_path):
+        from repro.harness.executor import _execute_pool
+
+        reports = _execute_pool([self.job("fake-hang")], workers=2,
+                                timeout=1.0, spool_dir=tmp_path)
+        assert "Timeout" in reports[0].error
+        names = {r["name"] for r in reports[0].spans}
+        assert "kernel/fake-hang/prepare" in names
+        assert list(tmp_path.iterdir()) == []
+
+    def test_cap_drops_spool_lines_but_report_keeps_spans(
+        self, fake_kernels, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_SPAN_SPOOL_MAX_BYTES", "512")
+        reports = run_suite(("fake-spanspam",), jobs=2)
+        report = reports["fake-spanspam"]
+        assert report.ok
+        names = {r["name"] for r in report.spans}
+        # In-memory records are unaffected by the spool cap: every
+        # spammed span still ships back with the successful report.
+        assert "spam/0" in names and "spam/63" in names
+        dropped = report.metrics["counters"][
+            "executor.spool_dropped_spans"]
+        assert dropped > 0
+
+    def test_default_cap_drops_nothing_for_normal_runs(
+        self, fake_kernels
+    ):
+        reports = run_suite(("fake-spanspam",), jobs=2)
+        counters = reports["fake-spanspam"].metrics["counters"]
+        assert "executor.spool_dropped_spans" not in counters
+
+
 class TestReuse:
     def test_second_run_executes_no_kernel(self, fake_kernels, tmp_path):
         store = ResultStore(tmp_path)

@@ -1,0 +1,62 @@
+"""TraceContext: minting, child derivation, record annotation."""
+
+from repro.obs.context import (
+    TraceContext,
+    annotate_records,
+    stitch_trace,
+    trace_ids,
+)
+
+
+class TestMint:
+    def test_mint_is_unique_and_hex(self):
+        contexts = {TraceContext.mint().trace_id for _ in range(64)}
+        assert len(contexts) == 64
+        for trace_id in contexts:
+            assert len(trace_id) == 16
+            int(trace_id, 16)  # must parse as hex
+
+    def test_child_keeps_trace_id_sets_span(self):
+        parent = TraceContext.mint()
+        child = parent.child(42)
+        assert child.trace_id == parent.trace_id
+        assert child.span_id == 42
+        assert parent.span_id == -1  # frozen: parent untouched
+
+
+class TestAnnotate:
+    def test_roots_get_parent_span(self):
+        ctx = TraceContext(trace_id="aa" * 8, span_id=7)
+        records = [
+            {"id": 0, "parent": -1, "name": "root"},
+            {"id": 1, "parent": 0, "name": "inner"},
+        ]
+        annotate_records(records, ctx)
+        assert records[0]["trace"] == ctx.trace_id
+        assert records[0]["parent_span"] == 7
+        assert records[1]["trace"] == ctx.trace_id
+        assert "parent_span" not in records[1]
+
+    def test_existing_trace_not_overwritten(self):
+        # Cached reports keep their original trace id — annotation is
+        # link semantics, never a re-tag.
+        original = TraceContext(trace_id="bb" * 8)
+        fresh = TraceContext(trace_id="cc" * 8)
+        records = [{"id": 0, "parent": -1, "trace": original.trace_id}]
+        annotate_records(records, fresh)
+        assert records[0]["trace"] == original.trace_id
+
+
+class TestStitch:
+    def test_stitch_filters_by_trace_id(self):
+        records_a = [{"id": 0, "parent": -1, "trace": "a" * 16,
+                      "start": 0.0}]
+        records_b = [{"id": 0, "parent": -1, "trace": "b" * 16,
+                      "start": 1.0}]
+        stitched = stitch_trace("a" * 16, records_a, records_b)
+        assert [r["trace"] for r in stitched] == ["a" * 16]
+
+    def test_trace_ids_first_seen_order(self):
+        records = [{"trace": "b" * 16}, {"trace": "a" * 16},
+                   {"trace": "b" * 16}, {}]
+        assert trace_ids(records) == ["b" * 16, "a" * 16]

@@ -1,0 +1,163 @@
+"""Exposition format: Prometheus text rendering and snapshot round-trip."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.obs.exposition import (
+    TEXT_CONTENT_TYPE,
+    exposition,
+    parse_series,
+    registry_from_snapshot,
+    snapshot,
+)
+from repro.obs.metrics import MetricsRegistry, merge
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("serve.submitted", kernel="tc").inc(3)
+    registry.counter("serve.submitted", kernel="gbwt").inc()
+    registry.gauge("serve.queue_depth").set(2)
+    h = registry.histogram("serve.latency_seconds", bounds=(0.1, 1.0))
+    for value in (0.05, 0.5, 5.0):
+        h.observe(value)
+    return registry
+
+
+class TestTextFormat:
+    def test_content_type_is_prometheus_004(self):
+        assert "version=0.0.4" in TEXT_CONTENT_TYPE
+
+    def test_counters_get_total_suffix_and_type_line(self):
+        text = exposition(_sample_registry().as_dict())
+        assert "# TYPE serve_submitted_total counter" in text
+        assert 'serve_submitted_total{kernel="tc"} 3' in text
+        assert 'serve_submitted_total{kernel="gbwt"} 1' in text
+
+    def test_dots_become_underscores(self):
+        text = exposition(_sample_registry().as_dict())
+        assert "serve.submitted" not in text
+        assert "# TYPE serve_queue_depth gauge" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = exposition(_sample_registry().as_dict())
+        assert 'serve_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'serve_latency_seconds_bucket{le="1"} 2' in text
+        assert 'serve_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "serve_latency_seconds_count 3" in text
+        assert "serve_latency_seconds_sum 5.55" in text
+
+    def test_empty_registry_renders_empty_page(self):
+        assert exposition(MetricsRegistry().as_dict()) == ""
+
+    def test_ends_with_single_newline(self):
+        text = exposition(_sample_registry().as_dict())
+        assert text.endswith("\n") and not text.endswith("\n\n")
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("runs", note='say "hi"').inc()
+        text = exposition(registry.as_dict())
+        assert 'note="say \\"hi\\""' in text
+
+    def test_scalar_colliding_with_histogram_renamed(self):
+        registry = MetricsRegistry()
+        registry.gauge("executor.queue_wait_seconds", kernel="tc").set(0.5)
+        registry.histogram("executor.queue_wait_seconds").observe(0.5)
+        text = exposition(registry.as_dict())
+        # One TYPE per family name: the last-value gauge moves aside.
+        assert text.count("# TYPE executor_queue_wait_seconds ") == 1
+        assert "# TYPE executor_queue_wait_seconds histogram" in text
+        assert "# TYPE executor_queue_wait_seconds_gauge gauge" in text
+
+
+class TestParseSeries:
+    def test_inverts_series_name(self):
+        assert parse_series("a.b{k=v,x=1}") == ("a.b", {"k": "v", "x": "1"})
+
+    def test_bare_name(self):
+        assert parse_series("a.b") == ("a.b", {})
+
+
+_names = st.sampled_from(
+    ["serve.latency", "executor.jobs", "kernel.runs", "data.bytes"])
+_labels = st.dictionaries(
+    st.sampled_from(["kernel", "origin", "scenario"]),
+    st.sampled_from(["tc", "gbwt", "tsu", "default"]),
+    max_size=2,
+)
+_events = st.lists(
+    st.tuples(st.sampled_from(["counter", "gauge", "histogram"]),
+              _names, _labels,
+              st.floats(min_value=0.0, max_value=1e6,
+                        allow_nan=False, allow_infinity=False)),
+    max_size=30,
+)
+
+
+def _apply(registry: MetricsRegistry, events) -> None:
+    for kind, name, labels, value in events:
+        if kind == "counter":
+            registry.counter(name, **labels).inc(value)
+        elif kind == "gauge":
+            registry.gauge(name, **labels).set(value)
+        else:
+            registry.histogram(name, **labels).observe(value)
+
+
+class TestDeterminism:
+    @settings(max_examples=50, deadline=None)
+    @given(_events)
+    def test_insertion_order_does_not_change_page(self, events):
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        _apply(forward, events)
+        _apply(backward, list(reversed(events)))
+        # Counters accumulate and histograms are order-free; gauges are
+        # last-write-wins, so only compare when both orders agree.
+        gauge_series = {(n, tuple(sorted(l.items())))
+                        for kind, n, l, _ in events if kind == "gauge"}
+        if len(gauge_series) == sum(1 for e in events if e[0] == "gauge"):
+            assert exposition(forward.as_dict()) == \
+                exposition(backward.as_dict())
+
+    @settings(max_examples=50, deadline=None)
+    @given(_events)
+    def test_snapshot_round_trip_preserves_page(self, events):
+        registry = MetricsRegistry()
+        _apply(registry, events)
+        wire = json.dumps(snapshot(registry.as_dict(), source="test"))
+        rebuilt = registry_from_snapshot(json.loads(wire))
+        assert exposition(rebuilt.as_dict()) == \
+            exposition(registry.as_dict())
+
+    @settings(max_examples=25, deadline=None)
+    @given(_events, _events)
+    def test_exposition_of_merge_equals_merged_exposition(self, a, b):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        _apply(left, a)
+        _apply(right, b)
+        merged = merge(left.as_dict(), right.as_dict())
+        folded = MetricsRegistry()
+        folded.merge_dict(left.as_dict())
+        folded.merge_dict(right.as_dict())
+        assert exposition(merged) == exposition(folded.as_dict())
+
+
+class TestSnapshot:
+    def test_snapshot_carries_metadata(self):
+        snap = snapshot({}, source="unit", uptime=1.5)
+        assert snap["source"] == "unit"
+        assert snap["uptime"] == 1.5
+        assert snap["schema"] == 1
+
+    def test_rejects_non_snapshot_payload(self):
+        with pytest.raises(ReproError):
+            registry_from_snapshot({"nope": 1})
+
+    def test_rejects_future_schema(self):
+        with pytest.raises(ReproError):
+            registry_from_snapshot({"schema": 99, "metrics": {}})

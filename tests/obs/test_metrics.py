@@ -139,7 +139,47 @@ class TestQuantiles:
         payload = registry.as_dict()["histograms"]["wait"]
         assert quantile_estimate(payload, 0.5) == 1.0
         assert quantile_estimate(payload, 0.75) == 10.0
-        assert quantile_estimate(payload, 1.0) == math.inf
+        # The overflow bucket clamps to the largest finite bound instead
+        # of reporting +Inf (a useless answer for a latency readout).
+        assert quantile_estimate(payload, 1.0) == 10.0
+
+    def test_quantile_interpolates_within_bucket(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("wait", bounds=(1.0, 10.0))
+        for value in (2.0, 4.0, 6.0, 8.0):
+            h.observe(value)
+        payload = registry.as_dict()["histograms"]["wait"]
+        # All four samples land in (1, 10]; the estimate walks linearly
+        # through the bucket instead of snapping to its upper bound.
+        assert quantile_estimate(payload, 0.25) == pytest.approx(3.25)
+        assert quantile_estimate(payload, 0.5) == pytest.approx(5.5)
+        assert quantile_estimate(payload, 1.0) == pytest.approx(10.0)
+
+    def test_quantile_first_bucket_interpolates_from_zero(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("wait", bounds=(4.0,))
+        h.observe(1.0)
+        h.observe(2.0)
+        payload = registry.as_dict()["histograms"]["wait"]
+        # Lower edge of the first bucket is 0, so the median of two
+        # first-bucket samples is halfway up: 0 + 4 * (1/2) = 2.
+        assert quantile_estimate(payload, 0.5) == pytest.approx(2.0)
+
+    def test_quantile_empty_histogram_is_zero(self):
+        registry = MetricsRegistry()
+        registry.histogram("wait", bounds=(1.0,))
+        payload = registry.as_dict()["histograms"]["wait"]
+        assert quantile_estimate(payload, 0.99) == 0.0
+
+    def test_quantile_monotone_in_q(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("wait", bounds=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.7, 3.0, 20.0):
+            h.observe(value)
+        payload = registry.as_dict()["histograms"]["wait"]
+        estimates = [quantile_estimate(payload, q / 20) for q in range(21)]
+        assert estimates == sorted(estimates)
+        assert all(math.isfinite(e) for e in estimates)
 
     def test_quantile_out_of_range_rejected(self):
         with pytest.raises(ReproError):

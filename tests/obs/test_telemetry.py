@@ -1,0 +1,167 @@
+"""The telemetry endpoint: /metrics, /healthz, /readyz over real HTTP,
+plus the disabled-telemetry overhead bound."""
+
+import json
+import urllib.error
+import urllib.request
+from time import perf_counter
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import metrics, trace
+from repro.obs.exposition import TEXT_CONTENT_TYPE
+from repro.obs.telemetry import TelemetryServer
+
+
+def _get(url: str):
+    """(status, headers, body) — 4xx/5xx included, not raised."""
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+@pytest.fixture
+def server():
+    registry = metrics.MetricsRegistry()
+    registry.counter("unit.requests", kernel="tc").inc(2)
+    registry.histogram("unit.wait", bounds=(1.0,)).observe(0.5)
+    with TelemetryServer(registry=registry) as srv:
+        yield srv
+
+
+class TestEndpoints:
+    def test_metrics_text_exposition(self, server):
+        status, headers, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == TEXT_CONTENT_TYPE
+        text = body.decode()
+        assert 'unit_requests_total{kernel="tc"} 2' in text
+        assert 'unit_wait_bucket{le="+Inf"} 1' in text
+        # Live gauges ride along even without a service attached.
+        assert "telemetry_uptime_seconds" in text
+
+    def test_metrics_json_snapshot(self, server):
+        status, headers, body = _get(server.url + "/metrics?format=json")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        snap = json.loads(body)
+        assert snap["schema"] == 1
+        assert "unit.requests{kernel=tc}" in snap["metrics"]["counters"]
+
+    def test_healthz_ok_without_service(self, server):
+        status, _, body = _get(server.url + "/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["uptime_seconds"] >= 0
+
+    def test_readyz_ok_without_service(self, server):
+        status, _, body = _get(server.url + "/readyz")
+        assert status == 200
+        assert json.loads(body)["ready"] is True
+
+    def test_unknown_route_404_lists_routes(self, server):
+        status, _, body = _get(server.url + "/nope")
+        assert status == 404
+        assert b"/metrics" in body
+
+    def test_scrapes_are_deterministic(self, server):
+        def page(raw: bytes) -> list[str]:
+            # Everything except the live uptime gauge is state, not
+            # time, so back-to-back scrapes must render identically.
+            return [line for line in raw.decode().splitlines()
+                    if "uptime" not in line]
+
+        first = page(_get(server.url + "/metrics")[2])
+        second = page(_get(server.url + "/metrics")[2])
+        assert first == second
+
+
+class TestServiceIntegration:
+    def test_service_health_and_readiness_flow_through(self):
+        from repro.serve.service import BenchService
+
+        from repro.harness.runner import KernelReport
+
+        def runner(job):
+            return KernelReport(kernel=job.kernel, wall_seconds=0.01,
+                                inputs_processed=1)
+
+        service = BenchService(workers=2, isolation="inline",
+                               store=None, runner=runner,
+                               telemetry_port=0)
+        try:
+            url = service.telemetry.url
+            status, _, body = _get(url + "/healthz")
+            assert status == 200
+            health = json.loads(body)
+            assert health["workers"]["alive"] == 2
+            assert health["workers"]["configured"] == 2
+            status, _, body = _get(url + "/readyz")
+            assert status == 200
+            ready = json.loads(body)
+            assert ready["ready"] is True
+            assert ready["queue_depth"] == 0
+            status, _, body = _get(url + "/metrics")
+            assert status == 200
+            assert b"serve_queue_depth" in body
+            assert b"serve_workers_alive 2" in body
+        finally:
+            service.shutdown()
+        # Shutdown also tears the endpoint down.
+        assert service.telemetry is None
+
+    def test_stopping_service_reports_unready(self):
+        from repro.serve.service import BenchService
+
+        service = BenchService(workers=1, isolation="inline",
+                               store=None, runner=lambda job: None,
+                               autostart=False)
+        with TelemetryServer(service=service) as srv:
+            status, _, body = _get(srv.url + "/readyz")
+            assert status == 503
+            assert json.loads(body)["ready"] is False
+
+
+class TestLifecycle:
+    def test_port_before_start_rejected(self):
+        with pytest.raises(ReproError):
+            TelemetryServer().port
+
+    def test_stop_is_idempotent(self):
+        server = TelemetryServer().start()
+        server.stop()
+        server.stop()
+
+    def test_bind_conflict_raises_repro_error(self):
+        with TelemetryServer() as first:
+            with pytest.raises(ReproError):
+                TelemetryServer(port=first.port).start()
+
+
+class TestDisabledTelemetryOverhead:
+    def test_disabled_plane_costs_under_two_percent(self):
+        """With no tracer installed and no endpoint running, the whole
+        telemetry plane — null spans plus the ambient-registry check —
+        prices out below 2% of a real traced kernel run (the PR 3
+        bound, re-asserted over the PR 8 surface)."""
+        from repro.harness.runner import run_kernel_studies
+        from repro.obs.spans import Tracer
+
+        tracer = Tracer()
+        with trace.use(tracer), metrics.use(metrics.MetricsRegistry()):
+            report = run_kernel_studies("tc", studies=("timing",),
+                                        scale=0.25)
+        span_count = len(tracer.records())
+        assert span_count > 0
+
+        iterations = 200_000
+        start = perf_counter()
+        for _ in range(iterations):
+            with trace.span("hot"):
+                pass
+        per_span = (perf_counter() - start) / iterations
+        assert per_span * span_count <= 0.02 * max(report.wall_seconds, 1e-3)

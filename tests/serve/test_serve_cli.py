@@ -85,3 +85,39 @@ class TestCacheCli:
         self._populated(tmp_path)
         assert main(["cache", "gc", "--all"]) == 0
         assert ShardedResultStore(tmp_path).entries() == []
+
+
+class TestServeStatusCli:
+    def test_status_against_a_live_endpoint(self, capsys):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs.telemetry import TelemetryServer
+
+        registry = obs_metrics.MetricsRegistry()
+        registry.counter("serve.submitted", kernel="tc").inc()
+        with TelemetryServer(registry=registry) as server:
+            code = main(["serve", "status", "--url", server.url,
+                         "--metrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "/healthz [200]" in out
+        assert "/readyz [200]" in out
+        assert 'serve_submitted_total{kernel="tc"} 1' in out
+
+    def test_status_unreachable_exits_2(self, capsys):
+        code = main(["serve", "status",
+                     "--url", "http://127.0.0.1:1"])
+        assert code == 2
+
+    def test_submit_with_telemetry_port_prints_url(self, capsys, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main([
+            "serve", "submit", "tsu", "--studies", "timing",
+            "--scale", "0.05", "--workers", "1", "--isolation", "inline",
+            "--telemetry-port", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry at http://127.0.0.1:" in out
+        # The per-origin latency summary (interpolated quantiles).
+        assert "latency[executed]: n=1 p50=" in out
+        assert "p95=" in out and "p99=" in out

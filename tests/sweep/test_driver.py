@@ -131,6 +131,52 @@ class TestRunnerPath:
         assert sweep.manifest_name == "mini-sweep"
         assert sweep.metadata["grid_points"] == 4
 
+    def test_sweep_folds_metrics_into_current_registry(self):
+        from repro.obs import metrics as obs_metrics
+
+        scoped = obs_metrics.MetricsRegistry()
+        plan = compile_sweep(mini(), kernels=("tc",))
+        with obs_metrics.use(scoped):
+            run_sweep(plan, runner=ok_runner)
+        exported = scoped.as_dict()
+        counters = exported["counters"]
+        assert counters[
+            "sweep.results{manifest=mini-sweep,origin=executed}"] == 4.0
+        assert not any(key.startswith("sweep.errors")
+                       for key in counters)
+        gauges = exported["gauges"]
+        assert gauges["sweep.grid_points{manifest=mini-sweep}"] == 4.0
+        assert gauges["sweep.wall_seconds{manifest=mini-sweep}"] >= 0.0
+
+    def test_sweep_errors_and_gate_failures_counted(self):
+        from repro.obs import metrics as obs_metrics
+
+        def flaky(job):
+            if job.scenario == "p4-d1":
+                return KernelReport(kernel=job.kernel, wall_seconds=0.0,
+                                    error="RuntimeError: boom")
+            return ok_runner(job)
+
+        scoped = obs_metrics.MetricsRegistry()
+        plan = compile_sweep(mini(), kernels=("tc",))
+        with obs_metrics.use(scoped):
+            run_sweep(plan, runner=flaky)
+        counters = scoped.as_dict()["counters"]
+        assert counters[
+            "sweep.errors{kernel=tc,manifest=mini-sweep}"] == 1.0
+
+    def test_sweep_emits_a_root_span(self):
+        from repro.obs import trace
+        from repro.obs.spans import Tracer
+
+        tracer = Tracer()
+        plan = compile_sweep(mini(), kernels=("tc",))
+        with trace.use(tracer):
+            run_sweep(plan, runner=ok_runner)
+        root = next(r for r in tracer.records()
+                    if r["name"] == "sweep/mini-sweep")
+        assert root["attrs"]["grid_points"] == 4
+
     def test_gates_checked_only_on_paper_cells(self):
         def no_topdown(job):
             return KernelReport(kernel=job.kernel, scenario=job.scenario,
