@@ -15,6 +15,14 @@ guarantee the hypothesis suite enforces per-operation).  Results land in
 ``benchmarks/results/BENCH_trace_throughput.json`` for the CI perf-smoke
 artifact.
 
+On top of the ingestion microbench, this bench times the *cold* 7-kernel
+characterization run (scale 0.25 under the topdown/cache/instmix
+studies, fresh artifact store) — the end-to-end number the kernel
+vectorization work moves.  Each run appends one entry to
+``BENCH_trace_throughput.json`` at the repo root (the committed
+trajectory the regression sentinel watches via ``repro obs check``) and
+fails only on a catastrophic regression against the best prior entry.
+
 Runs under plain pytest (no pytest-benchmark needed) or standalone:
 ``PYTHONPATH=src python benchmarks/bench_trace_throughput.py``.
 """
@@ -22,16 +30,35 @@ Runs under plain pytest (no pytest-benchmark needed) or standalone:
 from __future__ import annotations
 
 import json
+import tempfile
 import time
 from pathlib import Path
 
 import numpy as np
 
 from repro import __version__
+from repro.data import ArtifactStore, use_store
+from repro.harness.runner import run_suite
 from repro.uarch.events import OpClass
 from repro.uarch.machine import TraceMachine
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Committed trajectory at the repo root (benchmarks/ is one level down).
+TRAJECTORY = Path(__file__).resolve().parent.parent / "BENCH_trace_throughput.json"
+
+#: The paper's seven characterized CPU kernels and the studies the
+#: characterization chapters run them under.
+CHARACTERIZATION_KERNELS = ("gssw", "gbv", "gbwt", "gwfa-cr", "gwfa-lr",
+                            "pgsgd", "tc")
+CHARACTERIZATION_STUDIES = ("topdown", "cache", "instmix")
+CHARACTERIZATION_SCALE = 0.25
+
+#: Catastrophe-only ceiling: fail when the cold characterization run
+#: takes more than this multiple of the best committed entry.  Loose on
+#: purpose — the trajectory is for trend-watching; the sentinel's
+#: tighter median±MAD thresholds do the PR-over-PR gating.
+MAX_WALL_RATIO = 3.0
 
 #: Events per stream.  Large enough that per-call overhead amortizes on
 #: the batched side and the scalar loop dominates timing noise.
@@ -150,6 +177,57 @@ def run_experiment() -> dict:
     }
 
 
+def run_characterization() -> dict:
+    """Time the cold 7-kernel characterization run on a fresh artifact
+    store (dataset build included — the number a user's first
+    ``repro run`` actually costs)."""
+    kernel_seconds: dict[str, float] = {}
+    with tempfile.TemporaryDirectory(prefix="trace-throughput-") as tmp:
+        with use_store(ArtifactStore(tmp)):
+            t0 = time.perf_counter()
+            for kernel in CHARACTERIZATION_KERNELS:
+                k0 = time.perf_counter()
+                reports = run_suite(
+                    (kernel,),
+                    studies=CHARACTERIZATION_STUDIES,
+                    scale=CHARACTERIZATION_SCALE,
+                )
+                kernel_seconds[kernel] = round(time.perf_counter() - k0, 3)
+                error = reports[kernel].error
+                assert error is None, f"{kernel} failed: {error}"
+            wall = time.perf_counter() - t0
+    return {
+        "characterization_wall_seconds": round(wall, 3),
+        "characterization_kernels_per_sec":
+            round(len(CHARACTERIZATION_KERNELS) / wall, 3),
+        "kernel_seconds": dict(sorted(kernel_seconds.items())),
+    }
+
+
+def _load_trajectory() -> list[dict]:
+    if not TRAJECTORY.exists():
+        return []
+    return json.loads(TRAJECTORY.read_text())["entries"]
+
+
+def _append_compare(entry: dict) -> None:
+    """Append *entry* to the committed trajectory; fail only if the
+    characterization run collapsed versus the best prior entry."""
+    entries = _load_trajectory()
+    best = min((e["characterization_wall_seconds"] for e in entries),
+               default=None)
+    entries.append(entry)
+    TRAJECTORY.write_text(json.dumps(
+        {"bench": "trace_throughput", "entries": entries}, indent=2) + "\n")
+    if best is not None:
+        ceiling = MAX_WALL_RATIO * best
+        assert entry["characterization_wall_seconds"] <= ceiling, (
+            f"cold characterization collapsed: "
+            f"{entry['characterization_wall_seconds']:.1f}s vs best "
+            f"committed {best:.1f}s (ceiling {ceiling:.1f}s)"
+        )
+
+
 def _emit(results: dict) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / "BENCH_trace_throughput.json"
@@ -162,16 +240,24 @@ def _emit(results: dict) -> None:
               f"{row['batched_events_per_sec']:>14,}{row['speedup']:>8.1f}x")
     print(f"overall speedup: {results['overall_speedup']:.1f}x "
           f"(required >= {MIN_SPEEDUP:.0f}x)")
+    print(f"cold 7-kernel characterization: "
+          f"{results['characterization_wall_seconds']:.2f}s "
+          f"(scale {CHARACTERIZATION_SCALE})")
+    for kernel, seconds in results["kernel_seconds"].items():
+        print(f"  {kernel:<10}{seconds:>8.3f}s")
     print(f"saved {path}")
 
 
 def test_trace_throughput():
     results = run_experiment()
+    results.update(run_characterization())
     _emit(results)
     assert results["overall_speedup"] >= MIN_SPEEDUP, (
         f"batched ingestion only {results['overall_speedup']:.1f}x faster; "
         f"need >= {MIN_SPEEDUP:.0f}x"
     )
+    _append_compare(results)
+    print(f"trajectory: {TRAJECTORY} ({len(_load_trajectory())} entries)")
 
 
 if __name__ == "__main__":

@@ -116,6 +116,7 @@ class GSSW:
         probe: MachineProbe = NULL_PROBE,
         store_full_matrix: bool = True,
         address_space: AddressSpace | None = None,
+        vectorize: bool = True,
     ) -> None:
         if not query:
             raise AlignmentError("empty query")
@@ -140,6 +141,11 @@ class GSSW:
         # Lane l / segment s holds query position l*seg + s, so walking
         # lanes then segments visits query positions 0..len(query)-1.
         self._swizzle_positions = np.arange(len(query), dtype=np.int64)
+        # The vectorized column needs open >= extend so that the lazy-F
+        # recurrence collapses to a max-plus prefix scan.
+        open_cost = scoring.gap_open + scoring.gap_extend
+        self.vectorize = vectorize and open_cost >= scoring.gap_extend
+        self._scan_steps = np.arange(self.segment_length + 1, dtype=np.int64)[:, None]
 
     def _build_profile(self) -> dict[str, np.ndarray]:
         seg = self.segment_length
@@ -157,7 +163,193 @@ class GSSW:
         return profile
 
     def align(self, graph: SequenceGraph) -> GraphAlignmentResult:
-        """Local-align the query to an acyclic *graph*."""
+        """Local-align the query to an acyclic *graph*.
+
+        The batched path computes every column with a max-plus prefix
+        scan and accumulates probe events per :meth:`align` call so the
+        trace machine sees a few large blocks instead of thousands of
+        tiny ones.  Addresses, op totals, branch streams and results are
+        identical to the scalar reference; only the block interleaving
+        differs (covered by the 1.6.0 result-store version bump).
+        """
+        if self.vectorize:
+            return self._align_batched(graph)
+        return self._align_reference(graph)
+
+    def _align_batched(self, graph: SequenceGraph) -> GraphAlignmentResult:
+        order = topological_sort(graph)
+        seg = self.segment_length
+        probe = self.probe
+        open_cost = self.scoring.gap_open + self.scoring.gap_extend
+        extend_cost = self.scoring.gap_extend
+        word_bytes = self._word_bytes
+        region = seg * word_bytes
+        touch_full = region // 64
+        touch_tail = region - touch_full * 64
+        touch_lines = 64 * np.arange(touch_full, dtype=np.int64)
+
+        final_h: dict[int, np.ndarray] = {}
+        final_e: dict[int, np.ndarray] = {}
+        matrix_base: dict[int, int] = {}
+        best = 0
+        best_node = best_offset = best_q = 0
+        cells = 0
+        columns = 0
+        merge_alu = 0
+        improved_flags: list[bool] = []
+        lazyf_branches: list[bool] = []
+        lazyf_alu = [0]
+        adj_addrs: list[int] = []
+        touch_line_blocks: list[np.ndarray] = []
+        touch_tail_addrs: list[int] = []
+        seq_blocks: list[np.ndarray] = []
+        store_blocks: list[np.ndarray] = []
+
+        for node_id in order:
+            node = graph.node(node_id)
+            parents = graph.predecessors(node_id)
+            if parents:
+                adj_addrs.append(self._graph_base + node_id * 64)
+                h_cols = []
+                e_cols = []
+                for parent in parents:
+                    base = matrix_base[parent]
+                    if touch_full:
+                        touch_line_blocks.append(base + touch_lines)
+                    if touch_tail > 0:
+                        touch_tail_addrs.append(base + touch_full * 64)
+                    h_cols.append(final_h[parent])
+                    e_cols.append(final_e[parent])
+                h_prev = np.maximum.reduce(h_cols)
+                e_prev = np.maximum.reduce(e_cols)
+                merge_alu += 2 * len(parents) * seg
+            else:
+                h_prev = np.zeros((seg, self.lanes), dtype=np.int64)
+                e_prev = np.full((seg, self.lanes), _NEG_INF, dtype=np.int64)
+            base_address = self._space.alloc(len(node) * seg * self._word_bytes)
+            matrix_base[node_id] = base_address
+
+            h_store = h_prev
+            e = e_prev
+            sequence_base = self._space.alloc(len(node))
+            seq_blocks.append(sequence_base + np.arange(len(node), dtype=np.int64))
+            row_stride = len(node) * self.LANE_BYTES
+            swizzle_rows = base_address + self._swizzle_positions * row_stride
+            if self.store_full_matrix and len(node):
+                offsets = self.LANE_BYTES * np.arange(len(node), dtype=np.int64)
+                store_blocks.append(
+                    np.add.outer(offsets, swizzle_rows).ravel()
+                )
+            for offset, base in enumerate(node.sequence):
+                h_store, e = self._column_vec(
+                    h_store, e, self._profile.get(base, self._profile["A"]),
+                    open_cost, extend_cost,
+                    lazyf_branches=lazyf_branches,
+                    lazyf_alu=lazyf_alu,
+                )
+                cells += len(self.query)
+                columns += 1
+                column_best = int(h_store.max())
+                improved = column_best > best
+                improved_flags.append(improved)
+                if improved:
+                    best = column_best
+                    best_node = node_id
+                    best_offset = offset
+                    segment, lane = np.unravel_index(
+                        int(h_store.argmax()), h_store.shape
+                    )
+                    best_q = int(lane) * seg + int(segment) + 1
+            final_h[node_id] = h_store
+            final_e[node_id] = e
+
+        if adj_addrs:
+            probe.load_block(np.asarray(adj_addrs, dtype=np.int64), 16)
+        if touch_line_blocks:
+            probe.load_block(np.concatenate(touch_line_blocks), 64)
+        if touch_tail_addrs:
+            probe.load_block(np.asarray(touch_tail_addrs, dtype=np.int64), touch_tail)
+        if seq_blocks:
+            probe.load_block(np.concatenate(seq_blocks), 1)
+        if columns:
+            probe.load_block(np.tile(self._profile_row, columns), word_bytes)
+        if self.store_full_matrix and store_blocks:
+            probe.store_block(np.concatenate(store_blocks), self.LANE_BYTES)
+        probe.alu_bulk(
+            OpClass.VECTOR_ALU,
+            merge_alu + (10 * seg + 1) * columns + lazyf_alu[0],
+            dependent_count=10 * seg * columns,
+        )
+        probe.branch_trace(11, lazyf_branches)
+        probe.branch_trace(10, improved_flags)
+        return GraphAlignmentResult(
+            score=int(best),
+            end_node=best_node,
+            end_offset=best_offset,
+            query_end=best_q,
+            cells_computed=cells,
+        )
+
+    def _column_vec(
+        self,
+        h_prev: np.ndarray,
+        e_prev: np.ndarray,
+        profile: np.ndarray,
+        open_cost: int,
+        extend_cost: int,
+        lazyf_branches: list[bool],
+        lazyf_alu: list[int],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Striped SW column as whole-matrix ops plus a max-plus F scan.
+
+        With ``open >= extend`` the in-column F recurrence
+        ``f[s+1] = max(h[s] - open, f[s] - extend)`` is equivalent to
+        ``f[s+1] = max(c[s] - open, f[s] - extend)`` where ``c`` is the
+        F-independent part of the cell, so substituting
+        ``g[s] = f[s] + s*extend`` turns it into a running maximum —
+        ``np.maximum.accumulate`` — over exact int64 arithmetic.  The
+        results are bit-identical to the scalar segment loop.
+        """
+        seg = self.segment_length
+        e = np.maximum(h_prev - open_cost, e_prev - extend_cost)
+        h_in = np.empty_like(h_prev)
+        h_in[0, 0] = 0
+        h_in[0, 1:] = h_prev[seg - 1, : self.lanes - 1]
+        if seg > 1:
+            h_in[1:] = h_prev[:-1]
+        c = np.maximum(np.maximum(h_in + profile, e), 0)
+        g = np.empty((seg + 1, self.lanes), dtype=np.int64)
+        g[0] = _NEG_INF
+        np.add(c, extend_cost * self._scan_steps[1:] - open_cost, out=g[1:])
+        np.maximum.accumulate(g, axis=0, out=g)
+        f_all = g - extend_cost * self._scan_steps
+        h_store = np.maximum(c, f_all[:seg])
+        f = f_all[seg]
+
+        done = False
+        for _ in range(self.lanes):
+            f = np.concatenate(([np.int64(_NEG_INF)], f[:-1]))
+            lazyf_alu[0] += 1
+            for segment in range(seg):
+                np.maximum(h_store[segment], f, out=h_store[segment])
+                threshold = h_store[segment] - open_cost
+                f = f - extend_cost
+                lazyf_alu[0] += 4
+                continuing = bool((f > threshold).any())
+                lazyf_branches.append(continuing)
+                if not continuing:
+                    done = True
+                    break
+            if done:
+                break
+        return h_store, e
+
+    def _align_reference(self, graph: SequenceGraph) -> GraphAlignmentResult:
+        """Scalar-loop reference with per-column probe emission.
+
+        Kept verbatim as the differential-test oracle for the batched
+        path: identical results, op totals and branch streams.
+        """
         order = topological_sort(graph)
         seg = self.segment_length
         probe = self.probe

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import AlignmentError
 from repro.uarch.events import NULL_PROBE, MachineProbe, OpClass
 
@@ -53,6 +55,7 @@ class PoaGraph:
         mismatch: int = 4,
         gap: int = 4,
         probe: MachineProbe = NULL_PROBE,
+        vectorize: bool = True,
     ) -> None:
         if match <= 0 or mismatch < 0 or gap <= 0:
             raise AlignmentError("invalid POA scores")
@@ -60,6 +63,7 @@ class PoaGraph:
         self.mismatch = mismatch
         self.gap = gap
         self.probe = probe
+        self.vectorize = vectorize
         self._nodes: list[_PoaNode] = []
         self.sequences_added = 0
         self.cells_computed = 0
@@ -100,9 +104,16 @@ class PoaGraph:
         order = self._topological_order()
         m = len(sequence)
         probe = self.probe
+        vec = self.vectorize
         # scores[node][j]; row -1 is the virtual origin row.
-        origin = [0.0] + [-(self.gap) * j for j in range(1, m + 1)]
-        scores: dict[int, list[float]] = {}
+        origin: list[float] | np.ndarray
+        if vec:
+            origin = -float(self.gap) * np.arange(m + 1, dtype=np.float64)
+            seq_codes = np.frombuffer(sequence.encode("ascii"), dtype=np.uint8)
+            load_blocks: list[np.ndarray] = []
+        else:
+            origin = [0.0] + [-(self.gap) * j for j in range(1, m + 1)]
+        scores: dict[int, list[float] | np.ndarray] = {}
         trace: dict[int, list[tuple[int, int]]] = {}  # (pred_node or -1, move)
         # moves: 0 diag, 1 up (graph gap), 2 left (sequence gap)
         windows: dict[int, tuple[int, int]] = {}
@@ -119,53 +130,136 @@ class PoaGraph:
                     hi = min(m, max(c[1] for c in centers) + 1)
                 else:
                     lo, hi = 1, min(m, 2 * band + 1)
-            row = [_NEG_INF] * (m + 1)
-            row_trace: list[tuple[int, int]] = [(-2, -2)] * (m + 1)
             sources = predecessors or [-1]
             best_first = max(
                 (origin[0] if p == -1 else scores[p][0]) for p in sources
             )
-            row[0] = best_first - self.gap
             best_pred_0 = max(sources, key=lambda p: origin[0] if p == -1 else scores[p][0])
-            row_trace[0] = (best_pred_0, 1)
-            for j in range(lo, hi + 1):
-                cells += 1
-                probe.alu(OpClass.SCALAR_ALU, 6)
-                best = _NEG_INF
-                best_move = (-2, -2)
-                sub = self.match if node.base == sequence[j - 1] else -self.mismatch
-                for p in sources:
-                    p_row = origin if p == -1 else scores[p]
-                    probe.load((p + 2) * 4096 + j * 4, 4)
-                    diag = p_row[j - 1] + sub
-                    if diag > best:
-                        best = diag
-                        best_move = (p, 0)
-                    up = p_row[j] - self.gap
-                    if up > best:
-                        best = up
-                        best_move = (p, 1)
-                left = row[j - 1] - self.gap
-                if left > best:
-                    best = left
-                    best_move = (node_index, 2)
-                row[j] = best
-                row_trace[j] = best_move
-            scores[node_index] = row
-            trace[node_index] = row_trace
-            finite = [j for j in range(m + 1) if row[j] > _NEG_INF]
-            best_j = max(finite, key=lambda j: row[j])
+            if vec:
+                row, row_trace = self._row_vec(
+                    node_index, node, sources, seq_codes,
+                    origin, scores, lo, hi, m,
+                    best_first - self.gap, load_blocks,
+                )
+                row_trace[0] = (best_pred_0, 1)
+                cells += max(0, hi - lo + 1)
+                scores[node_index] = row
+                trace[node_index] = row_trace
+                best_j = int(np.argmax(row))
+            else:
+                row = [_NEG_INF] * (m + 1)
+                row_trace = [(-2, -2)] * (m + 1)
+                row[0] = best_first - self.gap
+                row_trace[0] = (best_pred_0, 1)
+                for j in range(lo, hi + 1):
+                    cells += 1
+                    probe.alu(OpClass.SCALAR_ALU, 6)
+                    best = _NEG_INF
+                    best_move = (-2, -2)
+                    sub = self.match if node.base == sequence[j - 1] else -self.mismatch
+                    for p in sources:
+                        p_row = origin if p == -1 else scores[p]
+                        probe.load((p + 2) * 4096 + j * 4, 4)
+                        diag = p_row[j - 1] + sub
+                        if diag > best:
+                            best = diag
+                            best_move = (p, 0)
+                        up = p_row[j] - self.gap
+                        if up > best:
+                            best = up
+                            best_move = (p, 1)
+                    left = row[j - 1] - self.gap
+                    if left > best:
+                        best = left
+                        best_move = (node_index, 2)
+                    row[j] = best
+                    row_trace[j] = best_move
+                scores[node_index] = row
+                trace[node_index] = row_trace
+                finite = [j for j in range(m + 1) if row[j] > _NEG_INF]
+                best_j = max(finite, key=lambda j: row[j])
             if band is not None:
                 windows[node_index] = (max(1, best_j - band), min(m, best_j + band))
         self.cells_computed += cells
+        if vec:
+            # One block per align() call: same addresses and op totals as
+            # the per-cell reference, coarser interleaving.
+            if load_blocks:
+                probe.load_block(np.concatenate(load_blocks), 4)
+            probe.alu_bulk(OpClass.SCALAR_ALU, 6 * cells)
 
         # Best end: highest score at j = m over all sink-ish nodes (free
         # end in the graph direction: any node may end the alignment).
         end_node = max(scores, key=lambda n: scores[n][m])
         pairs = self._traceback(sequence, scores, trace, end_node, origin)
         return PoaAlignment(
-            score=scores[end_node][m], pairs=tuple(pairs), cells_computed=cells
+            score=float(scores[end_node][m]), pairs=tuple(pairs), cells_computed=cells
         )
+
+    def _row_vec(
+        self,
+        node_index: int,
+        node: _PoaNode,
+        sources: list[int],
+        seq_codes: np.ndarray,
+        origin: np.ndarray,
+        scores: dict[int, "list[float] | np.ndarray"],
+        lo: int,
+        hi: int,
+        m: int,
+        row0: float,
+        load_blocks: list[np.ndarray],
+    ) -> tuple[np.ndarray, list[tuple[int, int]]]:
+        """One DP row as whole-row numpy ops, bit-identical to the scalar
+        cell loop.
+
+        All scores are integer-valued float64 (or -inf), so the
+        arithmetic is exact; the left-gap chain
+        ``row[j] = max(base[j], row[j-1] - gap)`` becomes a running
+        maximum of ``base[j] + j*gap``; first-max ``argmax`` over the
+        candidate rows reproduces the strict-``>`` precedence
+        (diag/up per source in order, then left).
+        """
+        row = np.full(m + 1, _NEG_INF, dtype=np.float64)
+        row[0] = row0
+        row_trace: list[tuple[int, int]] = [(-2, -2)] * (m + 1)
+        if hi < lo:
+            return row, row_trace
+        gap = float(self.gap)
+        width = hi - lo + 1
+        j_arr = np.arange(lo, hi + 1, dtype=np.float64)
+        sub = np.where(
+            seq_codes[lo - 1:hi] == ord(node.base),
+            float(self.match), -float(self.mismatch),
+        )
+        src_arr = np.asarray(sources, dtype=np.int64)
+        candidates = np.empty((2 * len(sources), width), dtype=np.float64)
+        for s, p in enumerate(sources):
+            p_row = np.asarray(origin if p == -1 else scores[p])
+            candidates[2 * s] = p_row[lo - 1:hi] + sub
+            candidates[2 * s + 1] = p_row[lo:hi + 1] - gap
+        base_best = candidates.max(axis=0)
+        base_arg = candidates.argmax(axis=0)
+        # Left-gap chain via max-plus prefix scan (exact: integer-valued
+        # floats; -inf propagates).
+        scan = np.empty(width + 1, dtype=np.float64)
+        scan[0] = row[lo - 1] + gap * (lo - 1)
+        scan[1:] = base_best + gap * j_arr
+        np.maximum.accumulate(scan, out=scan)
+        row[lo:hi + 1] = scan[1:] - gap * j_arr
+        prev_final = scan[:-1] - gap * (j_arr - 1)
+        left_wins = (prev_final - gap) > base_best
+        dead = np.isneginf(row[lo:hi + 1])
+        preds = np.where(left_wins, node_index, src_arr[base_arg >> 1])
+        moves = np.where(left_wins, 2, base_arg & 1)
+        preds[dead] = -2
+        moves[dead] = -2
+        row_trace[lo:hi + 1] = zip(preds.tolist(), moves.tolist())
+        # The same (source, column) load addresses the per-cell loop
+        # emits, j-major then source-minor.
+        cols = 4 * np.arange(lo, hi + 1, dtype=np.int64)
+        load_blocks.append(np.add.outer(cols, (src_arr + 2) * 4096).ravel())
+        return row, row_trace
 
     def consensus(self) -> str:
         """Heaviest path through the graph (by node weight then edge)."""

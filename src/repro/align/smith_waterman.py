@@ -83,6 +83,7 @@ class StripedSmithWaterman:
         lanes: int = 8,
         probe: MachineProbe = NULL_PROBE,
         address_space: AddressSpace | None = None,
+        vectorize: bool = True,
     ) -> None:
         if not query:
             raise AlignmentError("empty query")
@@ -100,6 +101,12 @@ class StripedSmithWaterman:
         self._e_base = space.alloc(self.segment_length * word_bytes)
         self._word_bytes = word_bytes
         self._profile = self._build_profile()
+        # The batched column needs open >= extend so that the in-column F
+        # recurrence collapses to a max-plus prefix scan (same condition
+        # as GSSW's vectorized column).
+        open_cost = scoring.gap_open + scoring.gap_extend
+        self.vectorize = vectorize and open_cost >= scoring.gap_extend
+        self._scan_steps = np.arange(self.segment_length + 1, dtype=np.int64)[:, None]
 
     def _build_profile(self) -> dict[str, np.ndarray]:
         """Striped query profile: profile[base][segment][lane]."""
@@ -178,15 +185,41 @@ class StripedSmithWaterman:
             h_store, h_load = h_load, h_store
             f = np.full(self.lanes, _NEG_INF, dtype=np.int64)
 
-            for segment in range(seg):
-                h = h + profile[segment]
-                np.maximum(h, e[segment], out=h)
-                np.maximum(h, f, out=h)
-                np.maximum(h, 0, out=h)
-                h_store[segment] = h
-                e[segment] = np.maximum(h - open_cost, e[segment] - extend_cost)
-                f = np.maximum(h - open_cost, f - extend_cost)
-                h = h_load[segment].copy()
+            if self.vectorize:
+                # The whole column as matrix ops.  ``c`` is the
+                # F-independent part of each cell; with open >= extend
+                # the in-column recurrence ``f[s+1] = max(h[s] - open,
+                # f[s] - extend)`` equals ``max(c[s] - open, f[s] -
+                # extend)``, and substituting ``g[s] = f[s] + s*extend``
+                # turns it into a running maximum over exact int64s —
+                # bit-identical to the segment loop.  E is updated from
+                # the pre-lazy-F H, exactly as the segment loop does.
+                h_in = np.empty((seg, self.lanes), dtype=np.int64)
+                h_in[0] = h
+                if seg > 1:
+                    h_in[1:] = h_load[: seg - 1]
+                c = np.maximum(np.maximum(h_in + profile, e), 0)
+                g = np.empty((seg + 1, self.lanes), dtype=np.int64)
+                g[0] = _NEG_INF
+                np.add(c, extend_cost * self._scan_steps[1:] - open_cost,
+                       out=g[1:])
+                np.maximum.accumulate(g, axis=0, out=g)
+                f_all = g - extend_cost * self._scan_steps
+                np.maximum(c, f_all[:seg], out=h_store)
+                np.maximum(h_store - open_cost, e - extend_cost, out=e)
+                f = f_all[seg]
+            else:
+                for segment in range(seg):
+                    h = h + profile[segment]
+                    np.maximum(h, e[segment], out=h)
+                    np.maximum(h, f, out=h)
+                    np.maximum(h, 0, out=h)
+                    h_store[segment] = h
+                    e[segment] = np.maximum(
+                        h - open_cost, e[segment] - extend_cost
+                    )
+                    f = np.maximum(h - open_cost, f - extend_cost)
+                    h = h_load[segment].copy()
             probe.load_block(profile_row, word_bytes)
             probe.store_block(h_store_row, word_bytes)
             probe.load_block(e_row, word_bytes)

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import GraphError
 from repro.graph.model import SequenceGraph
 from repro.obs import trace
@@ -152,11 +154,167 @@ class ImplicitIntervalTree:
             node *= 2
         return node - self._leaf_base
 
+    def plan_stabs(self, total: int) -> "StabPlan":
+        """Precompute every position's stab, bit-identically to :meth:`stab`.
+
+        Stab outcomes depend only on the position, and the closure chase
+        stabs each position exactly once, so the whole run's tree events
+        can be computed up front.  The trick making this vectorizable:
+        both the prune test (``position < max_end``) and the right-child
+        push test (``position >= first_start``) constrain positions to a
+        prefix/suffix, so the set of positions visiting any node is an
+        *interval* ``[lo, hi)`` — one top-down pass over the heap in
+        static right-first preorder (the exact DFS pop order) yields
+        them, and ragged numpy gathers assemble the per-position visit
+        and hit sequences in that same order.
+        """
+        if self.size == 0 or total == 0:
+            empty_off = np.zeros(total + 1, dtype=np.int64)
+            empty = np.empty(0, dtype=np.int64)
+            return StabPlan(
+                visit_loads=empty,
+                visit_prunes=np.empty(0, dtype=bool),
+                visit_offsets=empty_off,
+                hit_partners=empty,
+                hit_offsets=empty_off.copy(),
+            )
+        leaf_base = self._leaf_base
+        intervals = self.intervals
+        max_end = np.asarray(self._max_end, dtype=np.int64)
+        # Visited-position interval per node, walked in right-first
+        # preorder (stack pushes left then right, so right pops first —
+        # mirroring stab()'s explicit stack).
+        lo = np.zeros(2 * leaf_base, dtype=np.int64)
+        hi = np.zeros(2 * leaf_base, dtype=np.int64)
+        lo[1], hi[1] = 0, total
+        preorder: list[int] = []
+        stack = [1]
+        while stack:
+            node = stack.pop()
+            if lo[node] >= hi[node]:
+                continue
+            preorder.append(node)
+            if node >= leaf_base:
+                continue
+            explored_hi = min(int(hi[node]), int(max_end[node]))
+            explored_lo = int(lo[node])
+            if explored_lo >= explored_hi:
+                continue
+            left = 2 * node
+            right = left + 1
+            lo[left], hi[left] = explored_lo, explored_hi
+            right_first = self._first_leaf(right)
+            if right_first < self.size:
+                lo[right] = max(explored_lo, intervals[right_first][0])
+                hi[right] = explored_hi
+                stack.append(left)
+                stack.append(right)
+            else:
+                stack.append(left)
+
+        nodes = np.asarray(preorder, dtype=np.int64)
+        vlo = lo[nodes]
+        vhi = hi[nodes]
+        positions, rep = _ragged_ranges(vlo, vhi)
+        node_rep = np.repeat(nodes, rep)
+        order = np.argsort(positions, kind="stable")
+        pos_sorted = positions[order]
+        node_sorted = node_rep[order]
+        visit_counts = np.bincount(pos_sorted, minlength=total)
+        visit_offsets = np.zeros(total + 1, dtype=np.int64)
+        np.cumsum(visit_counts, out=visit_offsets[1:])
+        visit_loads = self.base + 16 * node_sorted
+        visit_prunes = max_end[node_sorted] <= pos_sorted
+
+        # Hits: visited leaves with start <= position < end — another
+        # interval intersection, gathered in the same preorder order.
+        leaf_sel = nodes >= leaf_base
+        leaf_index = nodes[leaf_sel] - leaf_base
+        in_range = leaf_index < self.size
+        leaf_index = leaf_index[in_range]
+        if leaf_index.size:
+            starts = np.asarray(
+                [intervals[int(i)][0] for i in leaf_index], dtype=np.int64
+            )
+            ends = np.asarray(
+                [intervals[int(i)][1] for i in leaf_index], dtype=np.int64
+            )
+            others = np.asarray(
+                [intervals[int(i)][2] for i in leaf_index], dtype=np.int64
+            )
+            hlo = np.maximum(vlo[leaf_sel][in_range], starts)
+            hhi = np.minimum(vhi[leaf_sel][in_range], ends)
+            keep = hlo < hhi
+            hlo, hhi = hlo[keep], hhi[keep]
+            starts, others = starts[keep], others[keep]
+            hit_pos, hit_rep = _ragged_ranges(hlo, hhi)
+            hit_partner = np.repeat(others - starts, hit_rep) + hit_pos
+            horder = np.argsort(hit_pos, kind="stable")
+            hit_pos_sorted = hit_pos[horder]
+            hit_partners = hit_partner[horder]
+            hit_counts = np.bincount(hit_pos_sorted, minlength=total)
+        else:
+            hit_partners = np.empty(0, dtype=np.int64)
+            hit_counts = np.zeros(total, dtype=np.int64)
+        hit_offsets = np.zeros(total + 1, dtype=np.int64)
+        np.cumsum(hit_counts, out=hit_offsets[1:])
+        return StabPlan(
+            visit_loads=visit_loads,
+            visit_prunes=visit_prunes,
+            visit_offsets=visit_offsets,
+            hit_partners=hit_partners,
+            hit_offsets=hit_offsets,
+        )
+
+
+@dataclass
+class StabPlan:
+    """Precomputed per-position stab events (see
+    :meth:`ImplicitIntervalTree.plan_stabs`), grouped by position:
+    position *p*'s visits live at ``visit_offsets[p]:visit_offsets[p+1]``
+    in exact DFS order, hits likewise in ``hit_partners``."""
+
+    visit_loads: np.ndarray
+    visit_prunes: np.ndarray
+    visit_offsets: np.ndarray
+    hit_partners: np.ndarray
+    hit_offsets: np.ndarray
+
+    def gather_visits(self, order: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Visit (loads, prunes) for positions in stab *order*."""
+        idx = _ragged_gather(self.visit_offsets, order)
+        return self.visit_loads[idx], self.visit_prunes[idx]
+
+    def gather_hits(self, order: np.ndarray) -> np.ndarray:
+        """Hit partners for positions in stab *order*."""
+        return self.hit_partners[_ragged_gather(self.hit_offsets, order)]
+
+
+def _ragged_ranges(lo: np.ndarray, hi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate ``arange(lo[i], hi[i])`` for all i, plus the lengths."""
+    rep = hi - lo
+    total = int(rep.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), rep
+    seg_start = np.cumsum(rep) - rep
+    flat = np.arange(total, dtype=np.int64)
+    flat += np.repeat(lo - seg_start, rep)
+    return flat, rep
+
+
+def _ragged_gather(offsets: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """Indices selecting each *order* element's ``offsets`` slice, concatenated."""
+    starts = offsets[order]
+    lengths = offsets[order + 1] - starts
+    flat, _ = _ragged_ranges(starts, starts + lengths)
+    return flat
+
 
 def transclose(
     records: list[SequenceRecord],
     matches,
     probe: MachineProbe = NULL_PROBE,
+    vectorize: bool = True,
 ) -> TranscloseResult:
     """Transitively close *matches* over the concatenated *records*.
 
@@ -194,6 +352,10 @@ def transclose(
             intervals.append((t, t + match.length, q))
     with trace.span("seqwish/tree"):
         tree = ImplicitIntervalTree(intervals, space)
+        # The stab plan is pure tree-phase precomputation (no probe
+        # events), so its wall time attributes to seqwish/tree; the
+        # events it feeds still flush inside seqwish/closure below.
+        plan = tree.plan_stabs(total) if vectorize else None
     bitvector_base = space.alloc(total // 8 + 1)
     closure_base_addr = space.alloc(4 * total)
 
@@ -214,6 +376,7 @@ def transclose(
         closure_stores: list[int] = []
         partner_loads: list[int] = []
         tree_acc: tuple[list[int], list[bool]] = ([], [])
+        stab_order: list[int] = []
         alu_total = 0
         for word_start in range(0, total, 64):
             word_end = min(word_start + 64, total)
@@ -234,13 +397,24 @@ def transclose(
                 while stack:
                     current = stack.pop()
                     closure_of[current] = closure_id
-                    alu_total += 2
                     closure_stores.append(closure_base_addr + 4 * current)
                     if text[current] != base:
                         raise GraphError(
                             "non-exact match: closure would merge "
                             f"{base!r} with {text[current]!r}"
                         )
+                    if plan is not None:
+                        stab_order.append(current)
+                        hit_slice = plan.hit_partners[
+                            plan.hit_offsets[current]:plan.hit_offsets[current + 1]
+                        ]
+                        for partner in hit_slice.tolist():
+                            if not seen[partner]:
+                                seen[partner] = 1
+                                bit_stores.append(bitvector_base + partner // 8)
+                                stack.append(partner)
+                        continue
+                    alu_total += 2
                     for start, _end, other in tree.stab(
                         current, probe, stats, acc=tree_acc
                     ):
@@ -261,12 +435,32 @@ def transclose(
                 closure_base.append(base)
         probe.load_block(word_loads, 8)
         probe.branch_trace(1202, word_skips)
-        probe.load_block(tree_acc[0], 16)
-        probe.branch_trace(1201, tree_acc[1])
-        probe.load_block(partner_loads, 1)
+        if plan is not None:
+            # Reassemble the tree/partner event stream in exact stab
+            # order from the precomputed plan — bit-identical to the
+            # per-stab scalar path, including stats.
+            order = np.asarray(stab_order, dtype=np.int64)
+            tree_loads, tree_prunes = plan.gather_visits(order)
+            partners = plan.gather_hits(order)
+            n_visits = int(tree_loads.shape[0])
+            n_hits = int(partners.shape[0])
+            stats.tree_queries += len(stab_order)
+            stats.tree_nodes_visited += n_visits
+            stats.bitvector_reads += n_hits
+            stats.unions += n_hits
+            alu_total += 2 * len(stab_order) + 6 * n_hits
+            probe.load_block(tree_loads, 16)
+            probe.branch_trace(1201, tree_prunes)
+            probe.load_block(bitvector_base + partners // 8, 1)
+            n_tree_loads = n_visits
+        else:
+            probe.load_block(tree_acc[0], 16)
+            probe.branch_trace(1201, tree_acc[1])
+            probe.load_block(partner_loads, 1)
+            n_tree_loads = len(tree_acc[0])
         probe.store_block(closure_stores, 4)
         probe.store_block(bit_stores, 1)
-        probe.alu_bulk(OpClass.SCALAR_ALU, alu_total + 8 * len(tree_acc[0]))
+        probe.alu_bulk(OpClass.SCALAR_ALU, alu_total + 8 * n_tree_loads)
     stats.closures = len(closure_base)
     return TranscloseResult(
         offsets=offsets,
@@ -292,6 +486,7 @@ def induce_graph(
     records: list[SequenceRecord],
     matches,
     probe: MachineProbe = NULL_PROBE,
+    vectorize: bool = True,
 ) -> InduceResult:
     """Close *matches* and induce the compacted sequence graph.
 
@@ -300,7 +495,7 @@ def induce_graph(
     closures that are unbranching *and* never start or end a record —
     so every path enters a node at its first base and leaves at its last.
     """
-    closure = transclose(records, matches, probe=probe)
+    closure = transclose(records, matches, probe=probe, vectorize=vectorize)
     with trace.span("seqwish/induce"):
         graph = _induce_from_closure(records, closure, probe)
     return InduceResult(graph=graph, closure=closure)

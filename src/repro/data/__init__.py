@@ -33,8 +33,10 @@ from repro.data.corpus import (
     build_corpus,
     corpus_fingerprint,
     gbwt_queries,
+    gbwt_queries_range,
     mutate_sequence,
     tsu_pairs,
+    tsu_pairs_range,
 )
 from repro.data.derive import DERIVATIONS, Derivation, derivation, get_derivation
 from repro.data.manifest import (
@@ -57,6 +59,13 @@ from repro.data.scenarios import (
     scenario_spec,
 )
 from repro.data.spec import GENERATOR_VERSION, DatasetSpec
+from repro.data.streaming import (
+    ChunkedSeries,
+    StreamingConfig,
+    streaming,
+    streaming_config,
+    streaming_mode,
+)
 from repro.data.store import (
     ArtifactStore,
     default_data_dir,
@@ -82,8 +91,11 @@ __all__ = [
     "default_manifest_dir", "install_manifest", "load_manifest",
     "loads_manifest", "parse_manifest", "resolve_manifest",
     "SUITE_RATES", "SuiteData", "build_corpus", "corpus",
-    "corpus_fingerprint", "gbwt_queries", "mutate_sequence", "tsu_pairs",
+    "corpus_fingerprint", "gbwt_queries", "gbwt_queries_range",
+    "mutate_sequence", "tsu_pairs", "tsu_pairs_range",
     "DERIVATIONS", "Derivation", "derivation", "get_derivation",
+    "ChunkedSeries", "StreamingConfig", "streaming", "streaming_config",
+    "streaming_mode",
     "ArtifactStore", "default_data_dir", "default_store", "ensure_corpus",
     "set_default_store", "use_store",
 ]

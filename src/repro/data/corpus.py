@@ -28,7 +28,8 @@ from repro.sequence.simulate import ILLUMINA, ReadProfile, ReadSimulator
 
 __all__ = [
     "SUITE_RATES", "SuiteData", "build_corpus", "corpus_fingerprint",
-    "gbwt_queries", "mutate_sequence", "tsu_pairs",
+    "gbwt_queries", "gbwt_queries_range", "mutate_sequence", "tsu_pairs",
+    "tsu_pairs_range",
 ]
 
 
@@ -189,8 +190,23 @@ def tsu_pairs(
     a deterministic number of draws; per-item substreams make the
     guarantee structural and keep every pair independent of the count.)
     """
+    return tsu_pairs_range(0, n_pairs, length, error_rate=error_rate,
+                           seed=seed)
+
+
+def tsu_pairs_range(
+    start: int, stop: int, length: int, error_rate: float = 0.01,
+    seed: int = 0,
+) -> list[tuple[str, str]]:
+    """Pairs ``start..stop`` of the :func:`tsu_pairs` dataset.
+
+    Because each pair lives on its own ``(seed, length, index)``
+    substream, this is exactly ``tsu_pairs(stop, ...)[start:stop]``
+    without generating the prefix — the chunk primitive behind the
+    streaming execution mode.
+    """
     pairs = []
-    for index in range(n_pairs):
+    for index in range(start, stop):
         rng = random.Random(f"tsu-{seed}-{length}-{index}")
         a = "".join(rng.choice("ACGT") for _ in range(length))
         pairs.append((a, mutate_sequence(a, error_rate, rng)))
@@ -208,12 +224,23 @@ def gbwt_queries(
     substream seeded by ``(seed, i)``, so a 200-query set is a prefix of
     the 2000-query set at the same seed.
     """
+    return gbwt_queries_range(graph, 0, n_queries, seed=seed,
+                              min_length=min_length, max_length=max_length)
+
+
+def gbwt_queries_range(
+    graph: SequenceGraph, start: int, stop: int, seed: int = 0,
+    min_length: int = 1, max_length: int = 100,
+) -> list[tuple[int, ...]]:
+    """Queries ``start..stop`` of the :func:`gbwt_queries` dataset —
+    the chunk primitive for streaming (identical to a slice of the full
+    set, per the per-index substream design)."""
     names = graph.path_names()
     queries: list[tuple[int, ...]] = []
-    for index in range(n_queries):
+    for index in range(start, stop):
         rng = random.Random(f"gbwt-{seed}-{index}")
         path = graph.path(names[rng.randrange(len(names))])
         length = rng.randint(min_length, min(max_length, len(path.nodes)))
-        start = rng.randrange(len(path.nodes) - length + 1)
-        queries.append(tuple(path.nodes[start : start + length]))
+        begin = rng.randrange(len(path.nodes) - length + 1)
+        queries.append(tuple(path.nodes[begin : begin + length]))
     return queries

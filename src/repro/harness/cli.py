@@ -131,6 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve cache hits from benchmarks/results/cache/ and write "
              "fresh reports back",
     )
+    run.add_argument(
+        "--stream", action="store_true",
+        help="bounded-memory mode: derive kernel inputs in chunks "
+             "through the artifact store instead of materializing them "
+             "(identical reports; use at large --scale)",
+    )
     run.add_argument("--out", default=None,
                      help="write JSON reports to this path")
     run.add_argument(
@@ -541,7 +547,7 @@ def _command_run(args: argparse.Namespace) -> int:
             scale=args.scale, seed=args.seed,
             cache_config=MACHINES[args.machine],
             jobs=args.jobs, timeout=args.timeout, reuse=args.reuse,
-            scenario=args.scenario,
+            scenario=args.scenario, stream=args.stream,
         )
     if tracer is not None:
         # Fold in spans shipped back from worker processes (parallel

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.data import ensure_corpus, scenario_spec
+from repro.data.streaming import streaming_mode
 from repro.errors import KernelError
 from repro.harness.runner import KernelReport, run_kernel_studies
 from repro.harness.studies import create_study
@@ -71,6 +72,13 @@ class Job:
     cache_config: CacheConfig = MACHINE_B
     scenario: str = "default"
     trace: "TraceContext | None" = None
+    #: Streaming mode holds derived inputs as bounded chunked views
+    #: instead of monolithic in-memory lists.  Reports are bit-identical
+    #: either way (chunk generators share the monolithic RNG
+    #: substreams), so — like ``trace`` — it is excluded from
+    #: :func:`~repro.harness.store.job_key` and both modes share cache
+    #: entries.
+    stream: bool = False
 
 
 @dataclass(frozen=True)
@@ -101,6 +109,7 @@ def compile_plan(
     seed: int = 0,
     cache_config: CacheConfig = MACHINE_B,
     scenario: str = "default",
+    stream: bool = False,
 ) -> ExecutionPlan:
     """Compile one job per kernel, validating names before any runs."""
     validate_names(tuple(kernels), tuple(studies))
@@ -114,6 +123,7 @@ def compile_plan(
                 seed=seed,
                 cache_config=cache_config,
                 scenario=scenario,
+                stream=stream,
             )
             for name in kernels
         )
@@ -136,14 +146,15 @@ def _execute_job(job: Job) -> KernelReport:
     still carries the elapsed wall time up to the failure)."""
     started = time.monotonic()
     try:
-        report = run_kernel_studies(
-            job.kernel,
-            studies=job.studies,
-            scale=job.scale,
-            seed=job.seed,
-            cache_config=job.cache_config,
-            scenario=job.scenario,
-        )
+        with streaming_mode(job.stream):
+            report = run_kernel_studies(
+                job.kernel,
+                studies=job.studies,
+                scale=job.scale,
+                seed=job.seed,
+                cache_config=job.cache_config,
+                scenario=job.scenario,
+            )
     except Exception as error:  # noqa: BLE001 — isolate per-kernel failures
         report = _failure_report(job, f"{type(error).__name__}: {error}")
         report.wall_seconds = time.monotonic() - started

@@ -190,6 +190,7 @@ def run_suite(
     reuse: bool = False,
     store: "object | None" = None,
     scenario: str = "default",
+    stream: bool = False,
 ) -> dict[str, KernelReport]:
     """Run the whole suite (or a subset) under the requested studies.
 
@@ -203,13 +204,16 @@ def run_suite(
       ``benchmarks/results/cache/``).
     * ``scenario`` — named dataset scenario from
       :data:`repro.data.SCENARIO_REGISTRY` every kernel prepares on.
+    * ``stream`` — bounded-memory mode: derived kernel inputs arrive as
+      chunked :class:`~repro.data.streaming.ChunkedSeries` views instead
+      of monolithic lists; reports are bit-identical either way.
     """
     from repro.harness.executor import compile_plan, execute_plan
 
     names = kernels if kernels is not None else tuple(kernel_names())
     plan = compile_plan(
         names, studies=studies, scale=scale, seed=seed,
-        cache_config=cache_config, scenario=scenario,
+        cache_config=cache_config, scenario=scenario, stream=stream,
     )
     return execute_plan(plan, jobs=jobs, timeout=timeout, reuse=reuse, store=store)
 

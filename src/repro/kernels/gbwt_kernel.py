@@ -10,11 +10,31 @@ from __future__ import annotations
 
 import random
 
-from repro.data import derivation, gbwt_queries
+import numpy as np
+
+from repro.data import derivation, gbwt_queries, gbwt_queries_range
+from repro.data.streaming import ChunkedSeries, streaming_config
 from repro.errors import KernelError
-from repro.index.gbwt import GBWT
+from repro.index.gbwt import ENDMARKER, GBWT
 from repro.kernels.base import Kernel, KernelResult, register
 from repro.uarch.events import MachineProbe, OpClass
+
+
+def _chunks(items, size):
+    """Yield *items* in lists of at most *size* (works for iterables)."""
+    chunk: list = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def _gbwt_query_count(spec) -> int:
+    """Dataset size shared by the monolithic and chunked derivations."""
+    return max(200, int(2000 * spec.scale))
 
 
 @derivation("gbwt_queries")
@@ -22,8 +42,14 @@ def _derive_gbwt_queries(data, spec):
     """The paper's query generator: random haplotype subpaths of length
     1-100.  The GBWT index itself stays in ``prepare`` — it builds in
     linear time from the shared graph, so caching buys nothing."""
-    n_queries = max(200, int(2000 * spec.scale))
-    return gbwt_queries(data.graph, n_queries, seed=spec.seed)
+    return gbwt_queries(data.graph, _gbwt_query_count(spec), seed=spec.seed)
+
+
+@derivation("gbwt_queries_chunk")
+def _derive_gbwt_queries_chunk(data, spec, start=0, stop=0):
+    """Queries ``start..stop`` of the ``gbwt_queries`` dataset —
+    identical to a slice of it (per-index RNG substreams)."""
+    return gbwt_queries_range(data.graph, start, stop, seed=spec.seed)
 
 
 @register
@@ -38,11 +64,25 @@ class GBWTKernel(Kernel):
     #: are tens of bytes (Siren et al.).
     RECORD_BYTES = 48
 
+    #: Batched-numpy wavefront walk (scalar reference kept for the
+    #: differential tests).
+    vectorize = True
+
+    #: Queries per lockstep wavefront; also the streaming chunk size.
+    CHUNK = 256
+
     def prepare(self) -> None:
         data = self.dataset()
         self.graph = data.graph
         self.gbwt = GBWT.from_graph(data.graph)
-        self.queries = self.derived("gbwt_queries")
+        config = streaming_config()
+        if config is not None:
+            self.queries = ChunkedSeries(
+                self.spec, "gbwt_queries_chunk",
+                _gbwt_query_count(self.spec), config.chunk_items,
+            )
+        else:
+            self.queries = self.derived("gbwt_queries")
         if not self.queries:
             raise KernelError("no GBWT queries generated")
         # Record layout in haplotype-path order: consecutive nodes of a
@@ -55,8 +95,206 @@ class GBWTKernel(Kernel):
                 if node_id not in self.record_offset:
                     self.record_offset[node_id] = slot
                     slot += 1
+        self._build_rank_index()
+
+    def _build_rank_index(self) -> None:
+        """Flatten the GBWT records into searchsorted-able arrays.
+
+        ``rank(v, w, pos)`` and ``block_offset(w, v)`` become binary
+        searches over composite integer keys, so a whole wavefront of
+        query extensions runs as a handful of numpy calls.
+        """
+        records = self.gbwt._records
+        self._nodes_sorted = np.asarray(sorted(records), dtype=np.int64)
+        n = int(self._nodes_sorted.shape[0])
+        self._n_dense = n
+        dense = {int(v): d for d, v in enumerate(self._nodes_sorted)}
+        # ENDMARKER successors map to dense id n.
+        self._rec_len = np.empty(n, dtype=np.int64)
+        self._slot_of = np.empty(n, dtype=np.int64)
+        max_len = 1
+        visit_v: list[np.ndarray] = []
+        visit_w: list[np.ndarray] = []
+        visit_pos: list[np.ndarray] = []
+        block_keys: list[int] = []
+        block_vals: list[int] = []
+        for d, real in enumerate(self._nodes_sorted):
+            record = records[int(real)]
+            length = len(record.successors)
+            self._rec_len[d] = length
+            self._slot_of[d] = self.record_offset.get(int(real), 0)
+            max_len = max(max_len, length)
+            succ = np.asarray(
+                [n if s == ENDMARKER else dense[s] for s in record.successors],
+                dtype=np.int64,
+            )
+            visit_v.append(np.full(length, d, dtype=np.int64))
+            visit_w.append(succ)
+            visit_pos.append(np.arange(length, dtype=np.int64))
+            for pred, offset in record.block_offset.items():
+                pred_dense = dense.get(pred)
+                if pred_dense is not None:
+                    block_keys.append(d * (n + 1) + pred_dense)
+                    block_vals.append(offset)
+        self._max_rec = max_len
+        vw = np.concatenate(visit_v) * (n + 1) + np.concatenate(visit_w)
+        keys = vw * (max_len + 1) + np.concatenate(visit_pos)
+        self._rank_keys = np.sort(keys)
+        self._pair_ids, pair_start = np.unique(
+            self._rank_keys // (max_len + 1), return_index=True
+        )
+        self._pair_start = pair_start.astype(np.int64)
+        border = np.argsort(np.asarray(block_keys, dtype=np.int64))
+        self._block_keys = np.asarray(block_keys, dtype=np.int64)[border]
+        self._block_vals = np.asarray(block_vals, dtype=np.int64)[border]
+
+    def _rank_block(
+        self, v: np.ndarray, w: np.ndarray, pos: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized ``records[v].rank(w, pos)`` (dense node ids)."""
+        vw = v * (self._n_dense + 1) + w
+        p = np.searchsorted(self._pair_ids, vw)
+        p_clip = np.minimum(p, len(self._pair_ids) - 1)
+        found = self._pair_ids[p_clip] == vw
+        raw = np.searchsorted(self._rank_keys, vw * (self._max_rec + 1) + pos)
+        return np.where(found, raw - self._pair_start[p_clip], 0)
+
+    def _block_offset_block(
+        self, w: np.ndarray, v: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized ``records[w].block_offset.get(v)`` → (offset, found)."""
+        key = w * (self._n_dense + 1) + v
+        p = np.searchsorted(self._block_keys, key)
+        p_clip = np.minimum(p, len(self._block_keys) - 1)
+        found = self._block_keys[p_clip] == key
+        return np.where(found, self._block_vals[p_clip], 0), found
 
     def _execute(self, probe: MachineProbe) -> KernelResult:
+        if self.vectorize:
+            return self._execute_batched(probe)
+        return self._execute_scalar(probe)
+
+    def _execute_batched(self, probe: MachineProbe) -> KernelResult:
+        """Lockstep wavefront over query chunks.
+
+        Events are computed step-major but *reassembled* query-major
+        from padded per-chunk arrays, so the flushed stream is
+        bit-identical to :meth:`_execute_scalar` — same addresses, same
+        order, same branch outcomes.
+        """
+        matches = 0
+        successor_total = 0
+        extend_steps = 0
+        record_base = 1 << 24
+        record_bytes = self.RECORD_BYTES
+        alu_total = 0
+        n_queries = 0
+        record_blocks: list[np.ndarray] = []
+        rank_blocks: list[np.ndarray] = []
+        changed_blocks: list[np.ndarray] = []
+        multi_blocks: list[np.ndarray] = []
+        emptied_blocks: list[np.ndarray] = []
+        fanout: list[bool] = []
+        n = self._n_dense
+        for chunk in _chunks(self.queries, self.CHUNK):
+            size = len(chunk)
+            n_queries += size
+            lengths = np.asarray([len(q) for q in chunk], dtype=np.int64)
+            max_q = int(lengths.max())
+            qn = np.zeros((size, max_q), dtype=np.int64)
+            for i, query in enumerate(chunk):
+                qn[i, : len(query)] = query
+            pos = np.searchsorted(self._nodes_sorted, qn)
+            pos_clip = np.minimum(pos, n - 1)
+            dense = np.where(self._nodes_sorted[pos_clip] == qn, pos_clip, -1)
+
+            cur = dense[:, 0]
+            cur_valid = cur >= 0
+            start = np.zeros(size, dtype=np.int64)
+            end = np.where(cur_valid, self._rec_len[np.maximum(cur, 0)], 0)
+            # Event staging: column 0 holds the full_state record load,
+            # columns 1.. the per-step events; extraction is row-major.
+            ev_record = np.zeros((size, max_q), dtype=np.int64)
+            ev_rank = np.zeros((size, max_q), dtype=np.int64)
+            ev_changed = np.zeros((size, max_q), dtype=bool)
+            ev_multi = np.zeros((size, max_q), dtype=bool)
+            ev_emptied = np.zeros((size, max_q), dtype=bool)
+            steps_taken = np.zeros(size, dtype=np.int64)
+            ev_record[:, 0] = record_base + self._slot_of[np.maximum(cur, 0)] * record_bytes
+            active = (lengths > 1) & (end > start)
+            for k in range(1, max_q):
+                idx = np.flatnonzero(active)
+                if idx.size == 0:
+                    break
+                v = cur[idx]
+                w = dense[idx, k]
+                slot = self._slot_of[w]
+                rec_addr = record_base + slot * record_bytes
+                ev_record[idx, k] = rec_addr
+                ev_rank[idx, k] = rec_addr + (start[idx] % 4) * 8
+                prev_size = end[idx] - start[idx]
+                offset, found = self._block_offset_block(w, v)
+                rank_s = self._rank_block(v, w, start[idx])
+                rank_e = self._rank_block(v, w, end[idx])
+                new_start = np.where(found, offset + rank_s, 0)
+                new_end = np.where(found, offset + rank_e, 0)
+                new_size = np.maximum(0, new_end - new_start)
+                ev_changed[idx, k] = new_size != prev_size
+                ev_multi[idx, k] = new_size > 1
+                empt = new_size == 0
+                ev_emptied[idx, k] = empt
+                steps_taken[idx] = k
+                cur[idx] = w
+                start[idx] = new_start
+                end[idx] = new_end
+                active[idx] = ~empt & (k + 1 < lengths[idx])
+
+            extend_steps += int(steps_taken.sum())
+            alu_total += 12 * int(steps_taken.sum())
+            # Row-major masked extraction = query-major event order.
+            cols = np.arange(max_q, dtype=np.int64)[None, :]
+            step_mask = (cols >= 1) & (cols <= steps_taken[:, None])
+            rec_mask = step_mask.copy()
+            rec_mask[:, 0] = True
+            record_blocks.append(ev_record[rec_mask])
+            rank_blocks.append(ev_rank[step_mask])
+            changed_blocks.append(ev_changed[step_mask])
+            multi_blocks.append(ev_multi[step_mask])
+            emptied_blocks.append(ev_emptied[step_mask])
+            # Per-query epilogue (final sizes, successor fan-out).
+            final_sizes = np.maximum(0, end - start)
+            matches += int(final_sizes.sum())
+            alu_total += int(2 * np.maximum(1, final_sizes).sum())
+            for i in range(size):
+                if final_sizes[i] > 0:
+                    real = int(self._nodes_sorted[cur[i]])
+                    record = self.gbwt._records[real]
+                    succ: set[int] = set()
+                    for index in range(int(start[i]), int(end[i])):
+                        succ.add(record.successors[index])
+                    successor_total += len(succ)
+                    fanout.append(len(succ) > 1)
+                else:
+                    fanout.append(False)
+        probe.load_block(np.concatenate(record_blocks), 16)
+        probe.load_block(np.concatenate(rank_blocks), 8)
+        probe.alu_bulk(OpClass.SCALAR_ALU, alu_total)
+        probe.branch_trace(90, np.concatenate(changed_blocks))
+        probe.branch_trace(93, np.concatenate(multi_blocks))
+        probe.branch_trace(94, np.concatenate(emptied_blocks))
+        probe.branch_trace(91, fanout)
+        return KernelResult(
+            kernel=self.name,
+            wall_seconds=0.0,
+            inputs_processed=n_queries,
+            work={
+                "matches": float(matches),
+                "extend_steps": float(extend_steps),
+                "mean_successors": successor_total / n_queries,
+            },
+        )
+
+    def _execute_scalar(self, probe: MachineProbe) -> KernelResult:
         matches = 0
         successor_total = 0
         extend_steps = 0

@@ -9,10 +9,12 @@ boundary method the paper uses.
 from __future__ import annotations
 
 import random
+import weakref
 
 from repro.align.gssw import GSSW, graph_smith_waterman_scalar
 from repro.align.scoring import VG_DEFAULT
 from repro.data import derivation
+from repro.data.streaming import ChunkedSeries, streaming_config
 from repro.errors import KernelError
 from repro.graph.model import SequenceGraph
 from repro.graph.ops import local_subgraph
@@ -29,10 +31,16 @@ def extract_gssw_inputs(
     k: int = 15,
     w: int = 10,
     context_radius: int = 160,
+    index: "GraphMinimizerIndex | None" = None,
 ) -> list[tuple[str, SequenceGraph]]:
     """Run the pre-alignment stages and collect GSSW's (query, subgraph)
-    inputs — shared by the kernel and the Figure 10/11 case studies."""
-    index = GraphMinimizerIndex(graph, k=k, w=w)
+    inputs — shared by the kernel and the Figure 10/11 case studies.
+
+    Pass a prebuilt *index* to amortize the minimizer-index build over
+    many calls (the streaming chunks do; it is a pure function of the
+    graph, so extraction output is unchanged)."""
+    if index is None:
+        index = GraphMinimizerIndex(graph, k=k, w=w)
     items: list[tuple[str, SequenceGraph]] = []
     for read in reads:
         seeds, flipped = index.oriented_seeds(read.sequence)
@@ -53,6 +61,33 @@ def _derive_gssw_inputs(data, spec):
     return extract_gssw_inputs(data.graph, list(data.short_reads))
 
 
+#: Process-local minimizer indexes keyed by graph identity, so streaming
+#: chunk builds share one index instead of rebuilding the dominant
+#: pre-alignment stage per chunk.  (A weak key: the cache cannot pin a
+#: corpus the store has evicted.  Not a store derivation — a derivation
+#: build holds the spec's flock, so it must not re-enter ``derived()``.)
+_INDEX_CACHE: "weakref.WeakKeyDictionary[SequenceGraph, GraphMinimizerIndex]" \
+    = weakref.WeakKeyDictionary()
+
+
+def _shared_minimizer_index(graph: SequenceGraph) -> GraphMinimizerIndex:
+    index = _INDEX_CACHE.get(graph)
+    if index is None:
+        index = GraphMinimizerIndex(graph, k=15, w=10)
+        _INDEX_CACHE[graph] = index
+    return index
+
+
+@derivation("gssw_inputs_chunk")
+def _derive_gssw_inputs_chunk(data, spec, start=0, stop=0):
+    """The ``gssw_inputs`` extraction restricted to reads
+    ``start..stop``.  Extraction is per-read (the minimizer index is a
+    pure function of the graph), so concatenating chunks reproduces the
+    monolithic list exactly — seed-filtered reads and all."""
+    return extract_gssw_inputs(data.graph, list(data.short_reads)[start:stop],
+                               index=_shared_minimizer_index(data.graph))
+
+
 @register
 class GSSWKernel(Kernel):
     """Align short-read fragments to seed-local acyclic subgraphs."""
@@ -62,7 +97,14 @@ class GSSWKernel(Kernel):
     input_type = "read fragment + subgraph"
 
     def prepare(self) -> None:
-        self.items = self.derived("gssw_inputs")
+        config = streaming_config()
+        if config is not None:
+            self.items = ChunkedSeries(
+                self.spec, "gssw_inputs_chunk",
+                len(self.dataset().short_reads), config.chunk_items,
+            )
+        else:
+            self.items = self.derived("gssw_inputs")
         if not self.items:
             raise KernelError("no GSSW inputs extracted")
 

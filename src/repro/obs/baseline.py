@@ -14,7 +14,8 @@ writes machine-readable ``obs_check.json``, and exits nonzero on any
 Two sources feed the sentinel:
 
 * :func:`check_trajectories` — the committed ``BENCH_sweep.json`` /
-  ``BENCH_serve_load.json`` series listed in :data:`TRACKED_SERIES`.
+  ``BENCH_serve_load.json`` / ``BENCH_trace_throughput.json`` /
+  ``BENCH_scale_sweep.json`` series listed in :data:`TRACKED_SERIES`.
   Fewer than two entries means there is nothing to compare yet; the
   series reports ``no-history`` (which counts as ok) rather than
   blocking young trajectories.
@@ -100,6 +101,19 @@ TRACKED_SERIES: tuple[SeriesSpec, ...] = (
     SeriesSpec("sweep.cold_wall_seconds", "BENCH_sweep.json",
                "cold_wall_seconds", "lower",
                warn_ratio=1.3, regress_ratio=2.0),
+    SeriesSpec("trace_throughput.overall_speedup",
+               "BENCH_trace_throughput.json", "overall_speedup",
+               "higher", warn_ratio=1.3, regress_ratio=2.0),
+    SeriesSpec("trace_throughput.characterization_wall_seconds",
+               "BENCH_trace_throughput.json",
+               "characterization_wall_seconds", "lower",
+               warn_ratio=1.3, regress_ratio=2.0),
+    SeriesSpec("scale_sweep.wall_growth_exponent", "BENCH_scale_sweep.json",
+               "wall_growth_exponent", "lower",
+               warn_ratio=1.2, regress_ratio=1.5),
+    SeriesSpec("scale_sweep.memory_growth_exponent",
+               "BENCH_scale_sweep.json", "memory_growth_exponent",
+               "lower", warn_ratio=1.2, regress_ratio=1.5),
 )
 
 

@@ -1,0 +1,144 @@
+"""Streaming execution mode: chunked views must be invisible.
+
+The contract of ``repro run --stream`` is *bounded memory, identical
+results*: chunk generators are range-parameterized over the same
+per-item RNG substreams as their monolithic counterparts, so a
+:class:`ChunkedSeries` enumerates exactly the monolithic derivation,
+and a streaming kernel run produces a bit-identical
+:class:`~repro.harness.runner.KernelReport` (modulo wall time, spans,
+and the store-traffic observability metrics streaming legitimately
+adds).
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    DatasetSpec,
+    default_store,
+    gbwt_queries,
+    gbwt_queries_range,
+    tsu_pairs,
+    tsu_pairs_range,
+)
+from repro.data.streaming import ChunkedSeries, streaming, streaming_config
+from repro.harness.executor import Job, compile_plan
+from repro.harness.runner import run_kernel_studies
+from repro.harness.store import job_key
+
+
+class TestRangeGenerators:
+    @given(
+        n=st.integers(min_value=0, max_value=24),
+        start=st.integers(min_value=0, max_value=24),
+        stop=st.integers(min_value=0, max_value=24),
+        seed=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_tsu_range_is_a_slice_of_the_full_set(self, n, start, stop, seed):
+        full = tsu_pairs(n, 60, seed=seed)
+        lo, hi = min(start, n), min(max(start, stop), n)
+        assert tsu_pairs_range(lo, hi, 60, seed=seed) == full[lo:hi]
+
+    def test_gbwt_range_is_a_slice_of_the_full_set(self,
+                                                   small_graph_pangenome):
+        graph = small_graph_pangenome.graph
+        full = gbwt_queries(graph, 30, seed=1)
+        for lo, hi in ((0, 30), (0, 7), (7, 19), (29, 30), (12, 12)):
+            assert gbwt_queries_range(graph, lo, hi, seed=1) == full[lo:hi]
+
+
+class TestStreamingContext:
+    def test_inactive_by_default(self):
+        assert streaming_config() is None
+
+    def test_scoped_and_nested(self):
+        with streaming(chunk_items=5) as outer:
+            assert streaming_config() is outer
+            assert outer.chunk_items == 5
+            with streaming(chunk_items=2):
+                assert streaming_config().chunk_items == 2
+            assert streaming_config() is outer
+        assert streaming_config() is None
+
+    def test_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with streaming():
+                raise RuntimeError("boom")
+        assert streaming_config() is None
+
+
+class TestChunkedSeries:
+    @pytest.fixture()
+    def series(self):
+        spec = DatasetSpec(scale=0.25, seed=0)
+        full = default_store().derived(spec, "tsu_pairs", pair_length=80)
+        chunked = ChunkedSeries(spec, "tsu_pairs_chunk", len(full), 3,
+                                params={"pair_length": 80})
+        return full, chunked
+
+    def test_enumerates_the_monolithic_derivation(self, series):
+        full, chunked = series
+        assert list(chunked) == full
+        assert list(chunked) == full  # re-iterable, not a generator
+        assert len(chunked) == len(full)
+        assert bool(chunked) is bool(full)
+
+    def test_random_access(self, series):
+        full, chunked = series
+        for index in range(len(full)):
+            assert chunked[index] == full[index]
+        assert chunked[-1] == full[-1]
+        with pytest.raises(IndexError):
+            chunked[len(full)]
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            ChunkedSeries(DatasetSpec(), "tsu_pairs_chunk", 4, 0)
+
+
+def _report_fingerprint(report):
+    """Everything deterministic in a report: drop wall times, spans, and
+    the store-traffic metrics that streaming legitimately changes."""
+    payload = dataclasses.asdict(report)
+    for volatile in ("wall_seconds", "spans", "metrics"):
+        payload.pop(volatile, None)
+    return payload
+
+
+class TestStreamingReports:
+    @pytest.mark.parametrize("kernel", ["tsu", "gbwt", "gssw"])
+    def test_streaming_report_identical_to_in_memory(self, kernel):
+        studies = ("timing", "topdown", "cache")
+        baseline = run_kernel_studies(kernel, studies=studies, scale=0.25)
+        with streaming(chunk_items=7):
+            streamed = run_kernel_studies(kernel, studies=studies, scale=0.25)
+        assert _report_fingerprint(streamed) == _report_fingerprint(baseline)
+
+    def test_non_streaming_kernels_unaffected(self):
+        baseline = run_kernel_studies("tc", studies=("timing",), scale=0.25)
+        with streaming():
+            streamed = run_kernel_studies("tc", studies=("timing",),
+                                          scale=0.25)
+        assert _report_fingerprint(streamed) == _report_fingerprint(baseline)
+
+
+class TestExecutorWiring:
+    def test_compile_plan_threads_stream_flag(self):
+        plan = compile_plan(("tsu",), studies=("timing",), stream=True)
+        assert all(job.stream for job in plan.jobs)
+        assert not any(job.stream
+                       for job in compile_plan(("tsu",),
+                                               studies=("timing",)).jobs)
+
+    def test_stream_flag_shares_the_result_cache(self):
+        """Streaming reports are result-identical, so both modes must
+        map to the same result-store key (like ``trace``, ``stream`` is
+        how-to-run, not what-to-run)."""
+        job = Job(kernel="tsu", studies=("timing",), scale=0.25)
+        streamed = Job(kernel="tsu", studies=("timing",), scale=0.25,
+                       stream=True)
+        assert job_key(job) == job_key(streamed)

@@ -1,0 +1,46 @@
+"""Batched GBWT record walk vs the scalar reference execute path.
+
+The gbwt kernel's wavefront walk batches queries into lockstep numpy
+chunks; it must replay the exact scalar event stream — whole
+:class:`MachineSummary` equality, not just totals — and produce the
+same work counters, for any chunk size cut of the same query set.
+"""
+
+import pytest
+
+import repro.kernels  # noqa: F401 — populate the registry
+from repro.kernels.base import KERNEL_REGISTRY
+from repro.uarch.machine import TraceMachine
+
+
+def _execute(kernel_cls, vectorize, chunk=None):
+    kernel = kernel_cls(scale=0.25, seed=0)
+    kernel.vectorize = vectorize
+    if chunk is not None:
+        kernel.CHUNK = chunk
+    kernel.ensure_prepared()
+    machine = TraceMachine()
+    result = kernel._execute(machine)
+    return result, machine.summary()
+
+
+@pytest.fixture(scope="module")
+def gbwt_cls(_isolated_dataset_store):
+    return KERNEL_REGISTRY["gbwt"]
+
+
+class TestGbwtDifferential:
+    def test_batched_matches_scalar_exactly(self, gbwt_cls):
+        fast, fast_summary = _execute(gbwt_cls, vectorize=True)
+        slow, slow_summary = _execute(gbwt_cls, vectorize=False)
+        assert fast.work == slow.work
+        assert fast.inputs_processed == slow.inputs_processed
+        assert fast_summary == slow_summary
+
+    @pytest.mark.parametrize("chunk", [1, 7, 64, 10_000])
+    def test_chunk_size_is_invisible(self, gbwt_cls, chunk):
+        """Wavefront width is a throughput knob, not a semantic one."""
+        reference, reference_summary = _execute(gbwt_cls, vectorize=True)
+        cut, cut_summary = _execute(gbwt_cls, vectorize=True, chunk=chunk)
+        assert cut.work == reference.work
+        assert cut_summary == reference_summary
