@@ -12,7 +12,7 @@ The package layers three systems (see DESIGN.md):
   :mod:`repro.gpu` (SIMT simulator), plus :mod:`repro.analysis`.
 """
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 from repro.errors import (
     AlignmentError,

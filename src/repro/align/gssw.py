@@ -23,6 +23,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.align.scoring import AffineScoring, VG_DEFAULT
+from repro.backends import (
+    SCALAR,
+    VECTORIZED,
+    check_backend,
+    report_backend_fallback,
+)
 from repro.errors import AlignmentError
 from repro.graph.model import SequenceGraph
 from repro.graph.ops import topological_sort
@@ -116,7 +122,7 @@ class GSSW:
         probe: MachineProbe = NULL_PROBE,
         store_full_matrix: bool = True,
         address_space: AddressSpace | None = None,
-        vectorize: bool = True,
+        backend: str = VECTORIZED,
     ) -> None:
         if not query:
             raise AlignmentError("empty query")
@@ -142,9 +148,19 @@ class GSSW:
         # lanes then segments visits query positions 0..len(query)-1.
         self._swizzle_positions = np.arange(len(query), dtype=np.int64)
         # The vectorized column needs open >= extend so that the lazy-F
-        # recurrence collapses to a max-plus prefix scan.
+        # recurrence collapses to a max-plus prefix scan; an incompatible
+        # scheme downgrades to the scalar reference and says so on the
+        # kernel.backend_fallback counter.
+        check_backend(backend, (SCALAR, VECTORIZED), "GSSW", AlignmentError)
+        self.backend = backend
         open_cost = scoring.gap_open + scoring.gap_extend
-        self.vectorize = vectorize and open_cost >= scoring.gap_extend
+        self.vectorize = (backend == VECTORIZED
+                          and open_cost >= scoring.gap_extend)
+        if backend == VECTORIZED and not self.vectorize:
+            self.backend = SCALAR
+            report_backend_fallback("gssw", requested=VECTORIZED,
+                                    actual=SCALAR,
+                                    reason="scoring-incompatible")
         self._scan_steps = np.arange(self.segment_length + 1, dtype=np.int64)[:, None]
 
     def _build_profile(self) -> dict[str, np.ndarray]:

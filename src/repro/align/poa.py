@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backends import SCALAR, VECTORIZED, check_backend
 from repro.errors import AlignmentError
 from repro.uarch.events import NULL_PROBE, MachineProbe, OpClass
 
@@ -55,15 +56,18 @@ class PoaGraph:
         mismatch: int = 4,
         gap: int = 4,
         probe: MachineProbe = NULL_PROBE,
-        vectorize: bool = True,
+        backend: str = VECTORIZED,
     ) -> None:
         if match <= 0 or mismatch < 0 or gap <= 0:
             raise AlignmentError("invalid POA scores")
+        check_backend(backend, (SCALAR, VECTORIZED), "PoaGraph",
+                      AlignmentError)
         self.match = match
         self.mismatch = mismatch
         self.gap = gap
         self.probe = probe
-        self.vectorize = vectorize
+        self.backend = backend
+        self.vectorize = backend == VECTORIZED
         self._nodes: list[_PoaNode] = []
         self.sequences_added = 0
         self.cells_computed = 0

@@ -16,6 +16,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.align.scoring import AffineScoring, AlignmentResult, VG_DEFAULT
+from repro.backends import (
+    SCALAR,
+    VECTORIZED,
+    check_backend,
+    report_backend_fallback,
+)
 from repro.errors import AlignmentError
 from repro.uarch.events import NULL_PROBE, AddressSpace, MachineProbe, OpClass
 
@@ -83,7 +89,7 @@ class StripedSmithWaterman:
         lanes: int = 8,
         probe: MachineProbe = NULL_PROBE,
         address_space: AddressSpace | None = None,
-        vectorize: bool = True,
+        backend: str = VECTORIZED,
     ) -> None:
         if not query:
             raise AlignmentError("empty query")
@@ -103,9 +109,19 @@ class StripedSmithWaterman:
         self._profile = self._build_profile()
         # The batched column needs open >= extend so that the in-column F
         # recurrence collapses to a max-plus prefix scan (same condition
-        # as GSSW's vectorized column).
+        # as GSSW's vectorized column); an incompatible scheme downgrades
+        # to the scalar reference and says so on kernel.backend_fallback.
+        check_backend(backend, (SCALAR, VECTORIZED), "StripedSmithWaterman",
+                      AlignmentError)
+        self.backend = backend
         open_cost = scoring.gap_open + scoring.gap_extend
-        self.vectorize = vectorize and open_cost >= scoring.gap_extend
+        self.vectorize = (backend == VECTORIZED
+                          and open_cost >= scoring.gap_extend)
+        if backend == VECTORIZED and not self.vectorize:
+            self.backend = SCALAR
+            report_backend_fallback("ssw", requested=VECTORIZED,
+                                    actual=SCALAR,
+                                    reason="scoring-incompatible")
         self._scan_steps = np.arange(self.segment_length + 1, dtype=np.int64)[:, None]
 
     def _build_profile(self) -> dict[str, np.ndarray]:

@@ -7,13 +7,15 @@ manifest into ``summary_per_tool_per_sample.tsv`` and
 cell — folds into
 
 * ``summary_per_kernel_per_scenario.tsv`` — one row per (kernel,
-  scenario, scale, seed) grid point: wall time, throughput, IPC,
-  dominant top-down slot, origin, gate status;
+  backend, scenario, scale, seed) grid point: wall time, throughput,
+  IPC, dominant top-down slot, origin, gate status;
 * ``leaderboard_by_metric.tsv`` — per metric (throughput, wall time,
-  IPC), kernels ranked by their best cell, with the cross-scenario mean
-  and relative spread, and a *scenario-sensitive* / *scenario-invariant*
-  verdict (the paper's Section V question: which kernels' behaviour is a
-  property of the kernel, and which of the workload);
+  IPC), (kernel, backend) pairs ranked by their best cell, with the
+  cross-scenario mean and relative spread, and a *scenario-sensitive* /
+  *scenario-invariant* verdict (the paper's Section V question: which
+  kernels' behaviour is a property of the kernel, and which of the
+  workload).  Ranking per (kernel, backend) is what lets a sweep with a
+  backend axis rank execution backends per scenario;
 
 plus JSON twins of both (``.json`` next to each ``.tsv``).
 :func:`topdown_drift` answers the shape question directly: kernels
@@ -52,14 +54,20 @@ SUMMARY_TSV = "summary_per_kernel_per_scenario.tsv"
 LEADERBOARD_TSV = "leaderboard_by_metric.tsv"
 
 SUMMARY_COLUMNS = (
-    "kernel", "scenario", "scale", "seed", "fidelity", "origin",
-    "wall_seconds", "throughput", "ipc", "top_slot", "gates", "error",
+    "kernel", "backend", "scenario", "scale", "seed", "fidelity",
+    "origin", "wall_seconds", "throughput", "ipc", "top_slot", "gates",
+    "error",
 )
 
 LEADERBOARD_COLUMNS = (
-    "metric", "rank", "kernel", "best", "best_scenario", "mean",
-    "spread", "scenarios", "verdict",
+    "metric", "rank", "kernel", "backend", "best", "best_scenario",
+    "mean", "spread", "scenarios", "verdict",
 )
+
+
+def _backend_of(result: "CellResult") -> str:
+    """The cell's execution backend (``-`` for pre-backend sweeps)."""
+    return result.backend or result.report.backend or "-"
 
 
 @dataclass(frozen=True)
@@ -67,6 +75,7 @@ class SummaryRow:
     """One grid point of the summary table."""
 
     kernel: str
+    backend: str
     scenario: str
     scale: float
     seed: int
@@ -85,11 +94,12 @@ class SummaryRow:
 
 @dataclass(frozen=True)
 class LeaderboardEntry:
-    """One kernel's standing under one metric."""
+    """One (kernel, backend) pair's standing under one metric."""
 
     metric: str
     rank: int
     kernel: str
+    backend: str
     best: float
     best_scenario: str
     mean: float
@@ -130,7 +140,8 @@ def _metric_value(result: "CellResult", metric: str) -> "float | None":
 
 
 def summary_rows(sweep: "SweepResult") -> list[SummaryRow]:
-    """One row per grid point, sorted (kernel, scenario, scale, seed)."""
+    """One row per grid point, sorted (kernel, backend, scenario,
+    scale, seed)."""
     rows = []
     for result in sweep.results:
         report = result.report
@@ -140,6 +151,7 @@ def summary_rows(sweep: "SweepResult") -> list[SummaryRow]:
                  if result.gate_violations else "ok")
         rows.append(SummaryRow(
             kernel=result.kernel,
+            backend=_backend_of(result),
             scenario=result.scenario,
             scale=result.scale,
             seed=result.seed,
@@ -152,41 +164,49 @@ def summary_rows(sweep: "SweepResult") -> list[SummaryRow]:
             gates=gates,
             error=report.error or "-",
         ))
-    rows.sort(key=lambda row: (row.kernel, row.scenario, row.scale,
-                               row.seed))
+    rows.sort(key=lambda row: (row.kernel, row.backend, row.scenario,
+                               row.scale, row.seed))
     return rows
 
 
-def _scenario_means(sweep: "SweepResult",
-                    metric: str) -> dict[str, dict[str, float]]:
-    """kernel -> scenario -> mean metric over that cell's grid points.
+def _scenario_means(
+    sweep: "SweepResult", metric: str,
+) -> "dict[tuple[str, str], dict[str, float]]":
+    """(kernel, backend) -> scenario -> mean metric over that cell's
+    grid points.
 
     Failed cells (``report.error`` set) and unmeasured values are
     excluded: a crashed kernel's zero wall time must not win a
     leaderboard, and a study that never ran is not a data point.
+    Grouping by backend keeps a scalar oracle's wall time from
+    dragging down the vectorized kernel's mean — each execution
+    variant competes as its own contender.
     """
-    sums: dict[str, dict[str, list[float]]] = {}
+    sums: dict[tuple[str, str], dict[str, list[float]]] = {}
     for result in sweep.results:
         if result.report.error is not None:
             continue
         value = _metric_value(result, metric)
         if value is None:
             continue
-        per_kernel = sums.setdefault(result.kernel, {})
+        per_kernel = sums.setdefault(
+            (result.kernel, _backend_of(result)), {})
         per_kernel.setdefault(result.scenario, []).append(value)
     return {
-        kernel: {
+        contender: {
             scenario: sum(values) / len(values)
             for scenario, values in scenarios.items()
         }
-        for kernel, scenarios in sums.items()
+        for contender, scenarios in sums.items()
     }
 
 
 def leaderboard(sweep: "SweepResult",
                 metrics: "Iterable[str] | None" = None
                 ) -> list[LeaderboardEntry]:
-    """Kernels ranked per metric by their best scenario cell.
+    """(kernel, backend) pairs ranked per metric by their best
+    scenario cell — a sweep with a backend axis thereby ranks
+    execution backends per scenario.
 
     ``spread`` is the relative spread of the per-scenario means,
     ``(max - min) / |mean|``; past :data:`SENSITIVITY_THRESHOLD` the
@@ -203,7 +223,8 @@ def leaderboard(sweep: "SweepResult",
                 f"{', '.join(sorted(LEADERBOARD_METRICS))}"
             )
         standings = []
-        for kernel, per_scenario in _scenario_means(sweep, metric).items():
+        for (kernel, backend), per_scenario in _scenario_means(
+                sweep, metric).items():
             pick = max if higher_is_better else min
             best_scenario = pick(per_scenario, key=per_scenario.get)
             values = list(per_scenario.values())
@@ -217,17 +238,18 @@ def leaderboard(sweep: "SweepResult",
             else:
                 verdict = "scenario-invariant"
             standings.append((per_scenario[best_scenario], best_scenario,
-                              kernel, mean, spread, len(values), verdict))
+                              kernel, backend, mean, spread, len(values),
+                              verdict))
         standings.sort(
             key=lambda item: (-item[0] if higher_is_better else item[0],
-                              item[2])
+                              item[2], item[3])
         )
-        for rank, (best, best_scenario, kernel, mean, spread,
+        for rank, (best, best_scenario, kernel, backend, mean, spread,
                    scenarios, verdict) in enumerate(standings, start=1):
             entries.append(LeaderboardEntry(
-                metric=metric, rank=rank, kernel=kernel, best=best,
-                best_scenario=best_scenario, mean=mean, spread=spread,
-                scenarios=scenarios, verdict=verdict,
+                metric=metric, rank=rank, kernel=kernel, backend=backend,
+                best=best, best_scenario=best_scenario, mean=mean,
+                spread=spread, scenarios=scenarios, verdict=verdict,
             ))
     return entries
 
@@ -304,9 +326,9 @@ def render_leaderboard(entries: list[LeaderboardEntry],
     from repro.analysis.report import render_table
 
     rows = [
-        [entry.metric, entry.rank, entry.kernel, f"{entry.best:.4g}",
-         entry.best_scenario, f"{entry.mean:.4g}", f"{entry.spread:.3f}",
-         entry.scenarios, entry.verdict]
+        [entry.metric, entry.rank, entry.kernel, entry.backend,
+         f"{entry.best:.4g}", entry.best_scenario, f"{entry.mean:.4g}",
+         f"{entry.spread:.3f}", entry.scenarios, entry.verdict]
         for entry in entries
     ]
     return render_table(list(LEADERBOARD_COLUMNS), rows, title=title)

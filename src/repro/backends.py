@@ -1,0 +1,65 @@
+"""Execution-backend vocabulary shared by every layer of the suite.
+
+The backend plane names execution variants instead of threading ad-hoc
+``vectorize`` booleans through each component: ``"scalar"`` is the
+sequential reference (the differential oracle), ``"vectorized"`` the
+batched/SIMD default, and ``"gpu"`` the SIMT device model where a
+kernel implements one.  Substrate components (aligners, transitive
+closure, layout) accept a backend name and validate it here; the kernel
+registry layers per-kernel ``SUPPORTED_BACKENDS`` declarations on top
+(see :mod:`repro.kernels.base`).
+
+A component that *cannot* honour a requested backend for capability
+reasons (GSSW's lazy-F prefix scan needs ``open >= extend``) must not
+downgrade silently: :func:`report_backend_fallback` records the
+downgrade on the ``kernel.backend_fallback`` counter so harness
+surfaces (``repro run``) can warn the user.
+"""
+
+from __future__ import annotations
+
+from repro.obs import metrics
+
+#: The sequential reference implementation (the differential oracle).
+SCALAR = "scalar"
+#: The batched/SIMD implementation (the suite default).
+VECTORIZED = "vectorized"
+#: The SIMT device model (where a kernel implements one).
+GPU = "gpu"
+#: Every backend name the plane knows, oracle-first.
+BACKENDS = (SCALAR, VECTORIZED, GPU)
+
+
+def check_backend(
+    backend: str,
+    supported: tuple[str, ...],
+    component: str,
+    error: type[Exception] = ValueError,
+) -> str:
+    """Validate *backend* against a component's *supported* tuple.
+
+    Raises *error* (the component's domain exception) with a message
+    listing the supported backends; returns the backend unchanged so
+    call sites can validate-and-assign in one expression.
+    """
+    if backend not in supported:
+        raise error(
+            f"{component} does not support backend {backend!r}; "
+            f"supported: {', '.join(supported)}")
+    return backend
+
+
+def report_backend_fallback(
+    component: str, requested: str, actual: str, reason: str
+) -> None:
+    """Record a capability downgrade on ``kernel.backend_fallback``.
+
+    Labels carry what was asked for, what actually ran, and a short
+    kebab-case reason; ``repro run`` scans report metrics for this
+    counter and prints a one-line warning per degraded component.
+    """
+    metrics.counter(
+        "kernel.backend_fallback",
+        component=component, requested=requested, actual=actual,
+        reason=reason,
+    ).inc()

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backends import SCALAR, VECTORIZED, check_backend
 from repro.errors import GraphError
 from repro.graph.model import SequenceGraph
 from repro.obs import trace
@@ -314,7 +315,7 @@ def transclose(
     records: list[SequenceRecord],
     matches,
     probe: MachineProbe = NULL_PROBE,
-    vectorize: bool = True,
+    backend: str = VECTORIZED,
 ) -> TranscloseResult:
     """Transitively close *matches* over the concatenated *records*.
 
@@ -327,6 +328,8 @@ def transclose(
     """
     if not records:
         raise GraphError("transclose needs at least one record")
+    check_backend(backend, (SCALAR, VECTORIZED), "transclose", GraphError)
+    vectorize = backend == VECTORIZED
     with trace.span("seqwish/intervals"):
         offsets: dict[str, int] = {}
         total = 0
@@ -486,7 +489,7 @@ def induce_graph(
     records: list[SequenceRecord],
     matches,
     probe: MachineProbe = NULL_PROBE,
-    vectorize: bool = True,
+    backend: str = VECTORIZED,
 ) -> InduceResult:
     """Close *matches* and induce the compacted sequence graph.
 
@@ -495,7 +498,7 @@ def induce_graph(
     closures that are unbranching *and* never start or end a record —
     so every path enters a node at its first base and leaves at its last.
     """
-    closure = transclose(records, matches, probe=probe, vectorize=vectorize)
+    closure = transclose(records, matches, probe=probe, backend=backend)
     with trace.span("seqwish/induce"):
         graph = _induce_from_closure(records, closure, probe)
     return InduceResult(graph=graph, closure=closure)

@@ -48,7 +48,12 @@ from repro.data import (
 from repro.errors import ReproError
 from repro.harness.runner import run_kernel_studies, run_suite, save_reports
 from repro.harness.studies import study_names
-from repro.kernels import SUITE_KERNELS, create_kernel, kernel_names
+from repro.kernels import (
+    BACKENDS,
+    SUITE_KERNELS,
+    create_kernel,
+    kernel_names,
+)
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace
 from repro.obs.spans import (
@@ -111,6 +116,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario", choices=scenario_names(), default="default",
         help="named dataset scenario every kernel prepares on "
              "(default: default)",
+    )
+    run.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="execution backend to run the kernels on (default: each "
+             "kernel's own default; a kernel that does not implement "
+             "the backend fails at compile time)",
     )
     run.add_argument(
         "--machine", choices=sorted(MACHINES), default="B",
@@ -227,6 +238,13 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--seed", type=int, default=0)
     submit.add_argument(
         "--scenario", choices=scenario_names(), default="default",
+    )
+    submit.add_argument(
+        "--backend", choices=BACKENDS, default=None,
+        help="execution backend for every request (default: each "
+             "kernel's own default); joins the job digest, so the same "
+             "kernel on two backends neither coalesces nor shares a "
+             "cache entry",
     )
     submit.add_argument("--machine", choices=sorted(MACHINES), default="B")
     submit.add_argument(
@@ -463,6 +481,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="manifest name under benchmarks/manifests/ or a TOML path "
              "(default: matrix)",
     )
+    sweep_expand.add_argument(
+        "--backend", dest="backends", nargs="+", default=None,
+        type=_name_list, metavar="BACKEND",
+        help="show the grid multiplier a backend axis would add "
+             "(space- or comma-separated backend names)",
+    )
     sweep_run = sweep_commands.add_parser(
         "run", help="run a kernel × cell × scale grid and save sweep.json"
     )
@@ -492,6 +516,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_run.add_argument(
         "--seeds", nargs="+", type=int, default=[0], metavar="SEED",
         help="dataset seeds (default: 0)",
+    )
+    sweep_run.add_argument(
+        "--backend", dest="backends", nargs="+", default=None,
+        type=_name_list, metavar="BACKEND",
+        help="execution backends to grid over, space- or comma-"
+             "separated (default: each kernel's own default backend); "
+             "every kernel must support every listed backend",
     )
     sweep_run.add_argument("--machine", choices=sorted(MACHINES),
                            default="B")
@@ -535,20 +566,60 @@ def _command_list() -> int:
     return 0
 
 
+#: Series prefix the backend-fallback counter exports under (labels
+#: follow in ``{key=value,...}`` form, alphabetical by key).
+_FALLBACK_PREFIX = "kernel.backend_fallback{"
+
+
+def _fallback_warnings(reports: dict) -> list[str]:
+    """One warning line per backend downgrade recorded in *reports*.
+
+    A component that cannot honor the requested backend (GSSW's striped
+    core rejects scoring with ``gap_open + gap_extend < gap_extend``)
+    degrades to a working one and records a ``kernel.backend_fallback``
+    counter rather than failing the run; surface that here so the
+    degradation is never silent at the CLI.
+    """
+    lines = []
+    for name, report in reports.items():
+        for key, count in (report.metrics.get("counters") or {}).items():
+            if not key.startswith(_FALLBACK_PREFIX):
+                continue
+            labels = dict(
+                part.split("=", 1)
+                for part in key[len(_FALLBACK_PREFIX):-1].split(",")
+                if "=" in part
+            )
+            lines.append(
+                f"warning: {name} ({labels.get('component', '?')}): "
+                f"backend {labels.get('requested', '?')!r} fell back to "
+                f"{labels.get('actual', '?')!r} "
+                f"[{labels.get('reason', 'unspecified')}, x{int(count)}]"
+            )
+    return lines
+
+
 def _command_run(args: argparse.Namespace) -> int:
     kernels = list(args.kernels) + list(args.kernels_opt or [])
     if not kernels:
         kernels = list(SUITE_KERNELS)
     studies = [study for token in args.studies for study in token]
     tracer = Tracer() if args.trace_out else None
-    with trace.use(tracer) if tracer else _null_context():
-        reports = run_suite(
-            tuple(kernels), studies=tuple(studies),
-            scale=args.scale, seed=args.seed,
-            cache_config=MACHINES[args.machine],
-            jobs=args.jobs, timeout=args.timeout, reuse=args.reuse,
-            scenario=args.scenario, stream=args.stream,
-        )
+    try:
+        with trace.use(tracer) if tracer else _null_context():
+            reports = run_suite(
+                tuple(kernels), studies=tuple(studies),
+                scale=args.scale, seed=args.seed,
+                cache_config=MACHINES[args.machine],
+                jobs=args.jobs, timeout=args.timeout, reuse=args.reuse,
+                scenario=args.scenario, stream=args.stream,
+                backend=args.backend,
+            )
+    except ReproError as error:
+        # Compile-time rejections (unknown kernel, unsupported backend)
+        # deserve a one-liner, not a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     if tracer is not None:
         # Fold in spans shipped back from worker processes (parallel
         # runs); merge_records drops the parent's own duplicates.
@@ -562,6 +633,7 @@ def _command_run(args: argparse.Namespace) -> int:
     for name, report in reports.items():
         rows.append([
             name,
+            report.backend or "-",
             report.inputs_processed,
             f"{report.wall_seconds:.3f}",
             f"{report.ipc:.2f}" if report.ipc else "-",
@@ -571,12 +643,14 @@ def _command_run(args: argparse.Namespace) -> int:
             report.error or "-",
         ])
     print(render_table(
-        ["kernel", "#inputs", "seconds", "IPC", "top slot", "validated",
-         "error"],
+        ["kernel", "backend", "#inputs", "seconds", "IPC", "top slot",
+         "validated", "error"],
         rows,
         title=(f"Suite run (scale={args.scale}, machine={args.machine}, "
                f"scenario={args.scenario}, studies={studies})"),
     ))
+    for warning in _fallback_warnings(reports):
+        print(warning, file=sys.stderr)
     if args.out:
         save_reports(reports, args.out)
         print(f"\nreports written to {args.out}")
@@ -741,6 +815,7 @@ def _command_serve_submit(args: argparse.Namespace) -> int:
                     kernel, studies=studies, scale=args.scale,
                     seed=args.seed, scenario=args.scenario,
                     cache_config=MACHINES[args.machine],
+                    backend=args.backend,
                 )
                 for kernel in args.kernels
             ]
@@ -754,13 +829,15 @@ def _command_serve_submit(args: argparse.Namespace) -> int:
             failures += report.error is not None
             rows.append([
                 handle.job.kernel,
+                handle.job.backend or "-",
                 handle.origin,
                 f"{handle.latency_seconds:.3f}",
                 f"{report.wall_seconds:.3f}",
                 report.error or "-",
             ])
     print(render_table(
-        ["kernel", "origin", "latency s", "kernel s", "error"], rows,
+        ["kernel", "backend", "origin", "latency s", "kernel s", "error"],
+        rows,
         title=(f"serve submit (workers={args.workers}, "
                f"isolation={args.isolation}, scale={args.scale})"),
     ))
@@ -1040,6 +1117,12 @@ def _command_sweep_expand(args: argparse.Namespace) -> int:
     paper = manifest.paper_cells()
     print(f"\n{len(paper)} paper-fidelity cell(s): "
           f"{', '.join(cell.name for cell in paper) or '-'}")
+    backends = (tuple(b for token in args.backends for b in token)
+                if args.backends else ())
+    if backends:
+        print(f"backend axis: {', '.join(backends)} — a sweep over this "
+              f"manifest grids {len(manifest.cells)} cells x "
+              f"{len(backends)} backends per kernel/scale/seed")
     return 0
 
 
@@ -1050,14 +1133,17 @@ def _command_sweep_run(args: argparse.Namespace) -> int:
     cells = (tuple(c for token in args.cells for c in token)
              if args.cells else None)
     studies = tuple(study for token in args.studies for study in token)
+    backends = (tuple(b for token in args.backends for b in token)
+                if args.backends else None)
     plan = compile_sweep(
         args.manifest, kernels=kernels, studies=studies,
         scales=tuple(args.scales), seeds=tuple(args.seeds), cells=cells,
-        cache_config=MACHINES[args.machine],
+        cache_config=MACHINES[args.machine], backends=backends,
     )
     print(f"sweep: {len(plan)} grid points "
           f"({len(set(plan.cells))} cells x {len(plan.kernels)} kernels "
-          f"x {len(plan.scales)} scales x {len(plan.seeds)} seeds)")
+          f"x {len(plan.scales)} scales x {len(plan.seeds)} seeds x "
+          f"{len(plan.backends)} backends)")
     result = run_sweep(plan, workers=args.jobs, timeout=args.timeout,
                        reuse=args.reuse)
     path = save_sweep(result, args.dir)

@@ -46,7 +46,7 @@ from repro.errors import KernelError
 from repro.harness.runner import KernelReport, run_kernel_studies
 from repro.harness.studies import create_study
 from repro.harness.store import ResultStore, default_result_store
-from repro.kernels.base import KERNEL_REGISTRY
+from repro.kernels.base import KERNEL_REGISTRY, resolve_backend
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace
 from repro.obs.context import TraceContext, annotate_records
@@ -71,6 +71,11 @@ class Job:
     seed: int = 0
     cache_config: CacheConfig = MACHINE_B
     scenario: str = "default"
+    #: Execution backend.  ``""`` means the kernel's default;
+    #: ``compile_plan`` always stores the *resolved* name, and
+    #: :func:`~repro.harness.store.job_key` resolves before hashing, so
+    #: an explicit default and an implicit one share a cache entry.
+    backend: str = ""
     trace: "TraceContext | None" = None
     #: Streaming mode holds derived inputs as bounded chunked views
     #: instead of monolithic in-memory lists.  Reports are bit-identical
@@ -110,8 +115,15 @@ def compile_plan(
     cache_config: CacheConfig = MACHINE_B,
     scenario: str = "default",
     stream: bool = False,
+    backend: str | None = None,
 ) -> ExecutionPlan:
-    """Compile one job per kernel, validating names before any runs."""
+    """Compile one job per kernel, validating names before any runs.
+
+    *backend* of ``None`` resolves to each kernel's default; an explicit
+    backend must be supported by every requested kernel (a clear
+    :class:`KernelError` otherwise), so a mixed-capability suite request
+    fails at compile time, not mid-run.
+    """
     validate_names(tuple(kernels), tuple(studies))
     scenario_spec(scenario, scale=scale, seed=seed)  # unknown scenario raises
     return ExecutionPlan(
@@ -123,6 +135,7 @@ def compile_plan(
                 seed=seed,
                 cache_config=cache_config,
                 scenario=scenario,
+                backend=resolve_backend(name, backend),
                 stream=stream,
             )
             for name in kernels
@@ -138,6 +151,7 @@ def _failure_report(job: Job, error: str) -> KernelReport:
         seed=job.seed,
         machine=job.cache_config.name,
         scenario=job.scenario,
+        backend=job.backend,
     )
 
 
@@ -154,6 +168,7 @@ def _execute_job(job: Job) -> KernelReport:
                 seed=job.seed,
                 cache_config=job.cache_config,
                 scenario=job.scenario,
+                backend=job.backend or None,
             )
     except Exception as error:  # noqa: BLE001 — isolate per-kernel failures
         report = _failure_report(job, f"{type(error).__name__}: {error}")

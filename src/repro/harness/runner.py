@@ -38,7 +38,9 @@ from repro.uarch.machine import TraceMachine
 #: JSON schema version written by :func:`save_reports` and the result
 #: store; bump when :class:`KernelReport` changes incompatibly.
 #: v3: observability — ``spans``, ``metrics`` and ``phases`` fields.
-SCHEMA_VERSION = 3
+#: v4: the backend plane — reports carry the execution ``backend`` and
+#: it joins the cache key, so pre-backend cached reports invalidate.
+SCHEMA_VERSION = 4
 
 
 #: The built-in study names (the old harness's hard-coded tuple, now a
@@ -79,6 +81,9 @@ class KernelReport:
     #: ``repro run --scenario``); reports predating scenarios read back
     #: as "default", which is what they ran on.
     scenario: str = "default"
+    #: Execution backend the kernel ran on (``scalar`` / ``vectorized``
+    #: / ``gpu``); ``""`` only in reports predating the backend plane.
+    backend: str = ""
     #: Span records collected during the run (see repro.obs.spans for
     #: the record schema); populated whenever a real tracer is
     #: installed, including spans shipped back from worker processes.
@@ -110,6 +115,7 @@ def run_kernel_studies(
     seed: int = 0,
     cache_config: CacheConfig = MACHINE_B,
     scenario: str = "default",
+    backend: str | None = None,
 ) -> KernelReport:
     """Run one kernel under the requested studies (one execution).
 
@@ -128,11 +134,12 @@ def run_kernel_studies(
     the ambient registry.
     """
     plugins = [create_study(study) for study in studies]
+    kernel = create_kernel(name, scale=scale, seed=seed, scenario=scenario,
+                           backend=backend)
     report = KernelReport(
         kernel=name, scale=scale, seed=seed, machine=cache_config.name,
-        scenario=scenario,
+        scenario=scenario, backend=kernel.backend,
     )
-    kernel = create_kernel(name, scale=scale, seed=seed, scenario=scenario)
 
     machine = (
         TraceMachine(cache_config)
@@ -191,6 +198,7 @@ def run_suite(
     store: "object | None" = None,
     scenario: str = "default",
     stream: bool = False,
+    backend: str | None = None,
 ) -> dict[str, KernelReport]:
     """Run the whole suite (or a subset) under the requested studies.
 
@@ -207,6 +215,8 @@ def run_suite(
     * ``stream`` — bounded-memory mode: derived kernel inputs arrive as
       chunked :class:`~repro.data.streaming.ChunkedSeries` views instead
       of monolithic lists; reports are bit-identical either way.
+    * ``backend`` — execution backend for every kernel (``None``: each
+      kernel's default); must be supported by all requested kernels.
     """
     from repro.harness.executor import compile_plan, execute_plan
 
@@ -214,6 +224,7 @@ def run_suite(
     plan = compile_plan(
         names, studies=studies, scale=scale, seed=seed,
         cache_config=cache_config, scenario=scenario, stream=stream,
+        backend=backend,
     )
     return execute_plan(plan, jobs=jobs, timeout=timeout, reuse=reuse, store=store)
 

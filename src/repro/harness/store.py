@@ -51,15 +51,30 @@ def job_key(job: "Job") -> dict:
     same-named cell from a different manifest) changed the corpus
     behind it.  Keying on the content digest makes such edits cache
     misses instead of silently-served stale reports.
+
+    ``backend`` is resolved through the kernel registry before hashing,
+    so a job carrying ``""`` (kernel default) and one carrying the
+    explicit default name share an entry, while distinct backends of
+    the same kernel never collide.
     """
     from repro.data import scenario_spec
+    from repro.errors import KernelError
+    from repro.kernels.base import resolve_backend
 
+    requested = getattr(job, "backend", "")
+    try:
+        backend = resolve_backend(job.kernel, requested or None)
+    except KernelError:
+        # Unregistered kernel (test doubles, foreign job records): key
+        # on the raw request — there is no default to resolve to.
+        backend = requested
     return {
         "kernel": job.kernel,
         "studies": sorted(set(job.studies)),
         "scale": job.scale,
         "seed": job.seed,
         "scenario": job.scenario,
+        "backend": backend,
         "dataset": scenario_spec(
             job.scenario, scale=job.scale, seed=job.seed
         ).digest(),

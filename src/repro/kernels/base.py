@@ -7,6 +7,15 @@ under an optional :class:`~repro.uarch.events.MachineProbe`, and
 ``validate`` self-checks the outputs against an oracle where one exists.
 
 ``KERNEL_REGISTRY`` is the suite's ``mainRun.py``-style entry point.
+
+Execution variants are selected through the **backend plane**: every
+kernel declares the backends it implements (``SUPPORTED_BACKENDS``) and
+which one it runs by default (``DEFAULT_BACKEND``), and callers pick one
+by name — ``"scalar"`` (the sequential differential oracle),
+``"vectorized"`` (the batched default), or ``"gpu"`` (the SIMT device
+model, where implemented).  Requesting a backend a kernel does not
+implement raises :class:`~repro.errors.KernelError` listing the
+supported ones.
 """
 
 from __future__ import annotations
@@ -15,10 +24,18 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.backends import BACKENDS, GPU, SCALAR, VECTORIZED
 from repro.data import DatasetSpec, SuiteData, default_store, scenario_spec
 from repro.errors import KernelError
 from repro.obs import metrics, trace
 from repro.uarch.events import NULL_PROBE, MachineProbe
+
+__all__ = [
+    "BACKENDS", "GPU", "SCALAR", "VECTORIZED",
+    "KERNEL_CLASSES", "KERNEL_REGISTRY", "Kernel", "KernelResult",
+    "create_kernel", "kernel_backends", "kernel_names", "register",
+    "resolve_backend",
+]
 
 
 @dataclass(frozen=True)
@@ -49,14 +66,21 @@ class Kernel(ABC):
     parent_tool: str = ""
     #: What the kernel's input items are (Table 3's "Input Type").
     input_type: str = ""
+    #: Backends this kernel implements.  Kernels with a sequential
+    #: oracle add :data:`SCALAR`; device models add :data:`GPU`.
+    SUPPORTED_BACKENDS: tuple[str, ...] = (VECTORIZED,)
+    #: The backend used when the caller does not pick one.
+    DEFAULT_BACKEND: str = VECTORIZED
 
     def __init__(self, scale: float = 1.0, seed: int = 0,
-                 scenario: str = "default") -> None:
+                 scenario: str = "default",
+                 backend: str | None = None) -> None:
         if scale <= 0:
             raise KernelError("scale must be positive")
         self.scale = scale
         self.seed = seed
         self.scenario = scenario
+        self.backend = _validate_backend(type(self), backend)
         self._prepared = False
         self._prepared_key: str | None = None
 
@@ -98,8 +122,8 @@ class Kernel(ABC):
             self.prepare()
         self._prepared = True
         self._prepared_key = key
-        metrics.gauge("kernel.prepare_seconds",
-                      kernel=self.name).set(prepared.duration)
+        metrics.gauge("kernel.prepare_seconds", kernel=self.name,
+                      backend=self.backend).set(prepared.duration)
 
     def run(self, probe: MachineProbe = NULL_PROBE) -> KernelResult:
         """Prepare if needed, execute, and time the kernel.
@@ -112,9 +136,10 @@ class Kernel(ABC):
         self.ensure_prepared()
         with trace.timed_span(f"kernel/{self.name}/execute") as span:
             result = self._execute(probe)
-        metrics.counter("kernel.runs", kernel=self.name).inc()
-        metrics.gauge("kernel.execute_seconds",
-                      kernel=self.name).set(span.duration)
+        metrics.counter("kernel.runs", kernel=self.name,
+                        backend=self.backend).inc()
+        metrics.gauge("kernel.execute_seconds", kernel=self.name,
+                      backend=self.backend).set(span.duration)
         return KernelResult(
             kernel=result.kernel,
             wall_seconds=span.duration,
@@ -126,8 +151,26 @@ class Kernel(ABC):
         """Optional correctness self-check; raises on failure."""
 
 
-#: name -> factory (scale, seed, scenario) -> Kernel
+def _validate_backend(cls: type[Kernel], backend: str | None) -> str:
+    """Resolve *backend* for *cls*: ``None``/empty means the kernel's
+    default; anything else must be a declared, supported backend."""
+    if not backend:
+        return cls.DEFAULT_BACKEND
+    if backend not in BACKENDS:
+        known = ", ".join(BACKENDS)
+        raise KernelError(f"unknown backend {backend!r}; known: {known}")
+    if backend not in cls.SUPPORTED_BACKENDS:
+        supported = ", ".join(cls.SUPPORTED_BACKENDS)
+        raise KernelError(
+            f"kernel {cls.name!r} does not support backend {backend!r}; "
+            f"supported: {supported}")
+    return backend
+
+
+#: name -> factory (scale, seed, scenario, backend) -> Kernel
 KERNEL_REGISTRY: dict[str, Callable[..., Kernel]] = {}
+#: name -> kernel class, for backend resolution without instantiation.
+KERNEL_CLASSES: dict[str, type[Kernel]] = {}
 
 
 def register(cls: type[Kernel]) -> type[Kernel]:
@@ -136,21 +179,54 @@ def register(cls: type[Kernel]) -> type[Kernel]:
         raise KernelError(f"{cls.__name__} has no kernel name")
     if cls.name in KERNEL_REGISTRY:
         raise KernelError(f"duplicate kernel name {cls.name!r}")
-    KERNEL_REGISTRY[cls.name] = lambda scale=1.0, seed=0, scenario="default": (
-        cls(scale=scale, seed=seed, scenario=scenario)
+    if cls.DEFAULT_BACKEND not in cls.SUPPORTED_BACKENDS:
+        raise KernelError(
+            f"kernel {cls.name!r} default backend {cls.DEFAULT_BACKEND!r} "
+            f"is not in SUPPORTED_BACKENDS {cls.SUPPORTED_BACKENDS}")
+    KERNEL_REGISTRY[cls.name] = (
+        lambda scale=1.0, seed=0, scenario="default", backend=None: cls(
+            scale=scale, seed=seed, scenario=scenario, backend=backend
+        )
     )
+    KERNEL_CLASSES[cls.name] = cls
     return cls
 
 
+def _kernel_class(name: str) -> type[Kernel]:
+    try:
+        return KERNEL_CLASSES[name]
+    except KeyError:
+        known = ", ".join(sorted(KERNEL_CLASSES))
+        raise KernelError(f"unknown kernel {name!r}; known: {known}") from None
+
+
 def create_kernel(name: str, scale: float = 1.0, seed: int = 0,
-                  scenario: str = "default") -> Kernel:
+                  scenario: str = "default",
+                  backend: str | None = None) -> Kernel:
     """Instantiate a registered kernel by name."""
     try:
         factory = KERNEL_REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(KERNEL_REGISTRY))
         raise KernelError(f"unknown kernel {name!r}; known: {known}") from None
-    return factory(scale, seed, scenario)
+    return factory(scale, seed, scenario, backend)
+
+
+def resolve_backend(name: str, backend: str | None = None) -> str:
+    """The concrete backend kernel *name* would run *backend* on.
+
+    ``None`` resolves to the kernel's :attr:`~Kernel.DEFAULT_BACKEND`;
+    an unsupported request raises :class:`~repro.errors.KernelError`
+    listing the supported backends.  Used at plan-compile time so cache
+    keys always carry the resolved name (an explicit default and an
+    implicit one share a digest).
+    """
+    return _validate_backend(_kernel_class(name), backend)
+
+
+def kernel_backends(name: str) -> tuple[str, ...]:
+    """The backends kernel *name* declares, oracle-first."""
+    return _kernel_class(name).SUPPORTED_BACKENDS
 
 
 def kernel_names() -> list[str]:

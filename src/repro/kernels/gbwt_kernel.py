@@ -16,7 +16,13 @@ from repro.data import derivation, gbwt_queries, gbwt_queries_range
 from repro.data.streaming import ChunkedSeries, streaming_config
 from repro.errors import KernelError
 from repro.index.gbwt import ENDMARKER, GBWT
-from repro.kernels.base import Kernel, KernelResult, register
+from repro.kernels.base import (
+    SCALAR,
+    VECTORIZED,
+    Kernel,
+    KernelResult,
+    register,
+)
 from repro.uarch.events import MachineProbe, OpClass
 
 
@@ -64,9 +70,9 @@ class GBWTKernel(Kernel):
     #: are tens of bytes (Siren et al.).
     RECORD_BYTES = 48
 
-    #: Batched-numpy wavefront walk (scalar reference kept for the
-    #: differential tests).
-    vectorize = True
+    #: Batched-numpy wavefront walk by default; the scalar reference
+    #: (the differential oracle) is selectable as a backend.
+    SUPPORTED_BACKENDS = (SCALAR, VECTORIZED)
 
     #: Queries per lockstep wavefront; also the streaming chunk size.
     CHUNK = 256
@@ -170,7 +176,7 @@ class GBWTKernel(Kernel):
         return np.where(found, self._block_vals[p_clip], 0), found
 
     def _execute(self, probe: MachineProbe) -> KernelResult:
-        if self.vectorize:
+        if self.backend == VECTORIZED:
             return self._execute_batched(probe)
         return self._execute_scalar(probe)
 

@@ -19,7 +19,13 @@ from repro.errors import KernelError
 from repro.graph.model import SequenceGraph
 from repro.graph.ops import local_subgraph
 from repro.index.minimizer import GraphMinimizerIndex
-from repro.kernels.base import Kernel, KernelResult, register
+from repro.kernels.base import (
+    SCALAR,
+    VECTORIZED,
+    Kernel,
+    KernelResult,
+    register,
+)
 from repro.sequence.alphabet import reverse_complement
 from repro.sequence.records import Read
 from repro.uarch.events import MachineProbe
@@ -95,6 +101,9 @@ class GSSWKernel(Kernel):
     name = "gssw"
     parent_tool = "vg_map"
     input_type = "read fragment + subgraph"
+    #: The striped-SIMD aligner, with the scalar graph-SW oracle
+    #: selectable as a backend.
+    SUPPORTED_BACKENDS = (SCALAR, VECTORIZED)
 
     def prepare(self) -> None:
         config = streaming_config()
@@ -113,7 +122,8 @@ class GSSWKernel(Kernel):
         score_total = 0
         subgraph_bases = 0
         for query, subgraph in self.items:
-            aligner = GSSW(query, VG_DEFAULT, probe=probe)
+            aligner = GSSW(query, VG_DEFAULT, probe=probe,
+                           backend=self.backend)
             result = aligner.align(subgraph)
             cells += result.cells_computed
             score_total += result.score

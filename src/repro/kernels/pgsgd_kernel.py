@@ -3,23 +3,37 @@
 Inputs (Table 3: "Pangenome"): the full pangenome graph with its paths —
 the one kernel that touches the *whole* graph rather than seed-local
 subgraphs, which is why it alone is memory-bound (Section 5.2).
+
+The only suite kernel with all three backends: ``vectorized`` (batched
+conflict-free runs), ``scalar`` (the sequential oracle), and ``gpu``
+(the SIMT model after "Rapid GPU-Based Pangenome Graph Layout",
+arXiv 2409.00876 — the ``gpu`` study lifts its Table 7-style counters).
 """
 
 from __future__ import annotations
 
 from repro.errors import KernelError
-from repro.kernels.base import Kernel, KernelResult, register
+from repro.kernels.base import (
+    GPU,
+    SCALAR,
+    VECTORIZED,
+    Kernel,
+    KernelResult,
+    register,
+)
 from repro.layout.pgsgd import PGSGDLayout, PGSGDParams
+from repro.layout.pgsgd_gpu import pgsgd_layout_gpu
 from repro.uarch.events import MachineProbe
 
 
 @register
 class PGSGDKernel(Kernel):
-    """Run the CPU PGSGD update loop over the full suite graph."""
+    """Run the PGSGD update loop over the full suite graph."""
 
     name = "pgsgd"
     parent_tool = "pggb"
     input_type = "pangenome"
+    SUPPORTED_BACKENDS = (SCALAR, VECTORIZED, GPU)
 
     def prepare(self) -> None:
         self.graph = self.dataset().graph
@@ -33,7 +47,10 @@ class PGSGDKernel(Kernel):
         )
 
     def _execute(self, probe: MachineProbe) -> KernelResult:
-        layout = PGSGDLayout(self.graph, params=self.params, probe=probe)
+        if self.backend == GPU:
+            return self._execute_gpu()
+        layout = PGSGDLayout(self.graph, params=self.params, probe=probe,
+                             backend=self.backend)
         result = layout.run()
         return KernelResult(
             kernel=self.name,
@@ -44,6 +61,29 @@ class PGSGDKernel(Kernel):
                 "initial_stress": result.stress_history[0],
                 "final_stress": result.final_stress,
                 "path_index_work": float(result.path_index_work),
+            },
+        )
+
+    def _execute_gpu(self) -> KernelResult:
+        """The SIMT device model: emits no CPU probe events (the trace
+        studies skip it); its profile lives in the GPU work counters,
+        which the ``gpu`` study lifts into ``report.gpu``."""
+        gpu = pgsgd_layout_gpu(self.graph, params=self.params)
+        layout = gpu.layout
+        report = gpu.report
+        return KernelResult(
+            kernel=self.name,
+            wall_seconds=0.0,
+            inputs_processed=layout.updates,
+            work={
+                "updates": float(layout.updates),
+                "initial_stress": layout.stress_history[0],
+                "final_stress": layout.final_stress,
+                "gpu_time_ms": report.time_ms,
+                "theoretical_occupancy": report.theoretical_occupancy,
+                "achieved_occupancy": report.achieved_occupancy,
+                "warp_utilization": report.warp_utilization,
+                "memory_bw_utilization": report.memory_bw_utilization,
             },
         )
 

@@ -16,7 +16,13 @@ from repro.align.smith_waterman import StripedSmithWaterman, smith_waterman
 from repro.data import derivation
 from repro.errors import KernelError
 from repro.index.minimizer import SequenceMinimizerIndex
-from repro.kernels.base import Kernel, KernelResult, register
+from repro.kernels.base import (
+    SCALAR,
+    VECTORIZED,
+    Kernel,
+    KernelResult,
+    register,
+)
 from repro.sequence.alphabet import reverse_complement
 from repro.sequence.records import Read, SequenceRecord
 
@@ -64,6 +70,9 @@ class SSWKernel(Kernel):
     name = "ssw"
     parent_tool = "bwa_mem"
     input_type = "read fragment + window"
+    #: The striped-SIMD aligner, with the scalar Gotoh oracle
+    #: selectable as a backend.
+    SUPPORTED_BACKENDS = (SCALAR, VECTORIZED)
 
     def prepare(self) -> None:
         self.items = self.derived("ssw_inputs")
@@ -74,7 +83,8 @@ class SSWKernel(Kernel):
         cells = 0
         score_total = 0
         for query, window in self.items:
-            aligner = StripedSmithWaterman(query, VG_DEFAULT, probe=probe)
+            aligner = StripedSmithWaterman(query, VG_DEFAULT, probe=probe,
+                                           backend=self.backend)
             result = aligner.align(window)
             cells += result.cells_computed
             score_total += result.score

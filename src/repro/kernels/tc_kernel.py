@@ -12,7 +12,13 @@ from repro.build.seqwish import transclose
 from repro.build.wfmash import all_to_all
 from repro.data import derivation
 from repro.errors import KernelError
-from repro.kernels.base import Kernel, KernelResult, register
+from repro.kernels.base import (
+    SCALAR,
+    VECTORIZED,
+    Kernel,
+    KernelResult,
+    register,
+)
 from repro.uarch.events import MachineProbe
 
 
@@ -33,6 +39,9 @@ class TCKernel(Kernel):
     name = "tc"
     parent_tool = "pggb"
     input_type = "alignments"
+    #: Stab-plan batched closure, with the per-position scalar chase
+    #: (the differential oracle) selectable as a backend.
+    SUPPORTED_BACKENDS = (SCALAR, VECTORIZED)
 
     def prepare(self) -> None:
         # The paper runs TC on assemblies; a subset keeps the quadratic
@@ -42,7 +51,8 @@ class TCKernel(Kernel):
             raise KernelError("no matches for TC")
 
     def _execute(self, probe: MachineProbe) -> KernelResult:
-        result = transclose(self.records, self.matches, probe=probe)
+        result = transclose(self.records, self.matches, probe=probe,
+                            backend=self.backend)
         stats = result.stats
         return KernelResult(
             kernel=self.name,

@@ -12,7 +12,7 @@ from repro.data import derivation, tsu_pairs, tsu_pairs_range
 from repro.data.streaming import ChunkedSeries, streaming_config
 from repro.errors import KernelError
 from repro.gpu.tsu import tsu_align_batch
-from repro.kernels.base import Kernel, KernelResult, register
+from repro.kernels.base import GPU, Kernel, KernelResult, register
 from repro.uarch.events import MachineProbe
 
 
@@ -44,6 +44,10 @@ class TSUKernel(Kernel):
     name = "tsu"
     parent_tool = "pggb"
     input_type = "sequence pairs"
+    #: GPU-native: the kernel *is* the SIMT device model, so there is
+    #: no CPU backend to select.
+    SUPPORTED_BACKENDS = (GPU,)
+    DEFAULT_BACKEND = GPU
 
     #: Scaled stand-in for the paper's 10 kbp pairs.
     pair_length = 2000

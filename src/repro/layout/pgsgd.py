@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backends import SCALAR, VECTORIZED, check_backend
 from repro.errors import SimulationError
 from repro.graph.model import SequenceGraph
 from repro.layout.path_index import PathIndex, PathStep
@@ -115,7 +116,7 @@ class PGSGDLayout:
     stream, so the term sequence — and with it every coordinate and
     probe event — is independent of the batching.
 
-    ``vectorize=False`` runs the same sampled terms through the
+    ``backend="scalar"`` runs the same sampled terms through the
     sequential per-term scalar loop — the differential-test reference.
     """
 
@@ -133,12 +134,15 @@ class PGSGDLayout:
         graph: SequenceGraph,
         params: PGSGDParams | None = None,
         probe: MachineProbe = NULL_PROBE,
-        vectorize: bool = True,
+        backend: str = VECTORIZED,
     ) -> None:
+        check_backend(backend, (SCALAR, VECTORIZED), "PGSGDLayout",
+                      SimulationError)
         self.graph = graph
         self.params = params or PGSGDParams()
         self.probe = probe
-        self.vectorize = vectorize
+        self.backend = backend
+        self.vectorize = backend == VECTORIZED
         self.index = PathIndex(graph)
         self._node_anchor: dict[int, int] = {}
         for anchor_index, node_id in enumerate(sorted(graph.node_ids())):

@@ -112,6 +112,78 @@ def pgsgd_layout_gpu(
     return PGSGDGPUResult(layout=layout, report=run.report())
 
 
+#: Random-access latency ladder for the CPU Hogwild loop on the paper's
+#: Xeon Gold 6326: (capacity bytes, loaded-use latency seconds) per
+#: level, DRAM beyond.  A uniform-random anchor access hits each level
+#: in proportion to the fraction of the layout array it holds.
+CPU_CACHE_LADDER: tuple[tuple[float, float], ...] = (
+    (48 * 1024, 1.5e-9),          # L1d
+    (1.25 * 2**20, 7e-9),         # L2
+    (24 * 2**20, 20e-9),          # shared LLC
+)
+CPU_DRAM_LATENCY = 90e-9
+#: ~30 scalar ops (incl. sqrt and divide) per update at ~3 GHz.
+CPU_ARITHMETIC_SECONDS = 10e-9
+CPU_THREADS = 8
+#: Hogwild scales near-linearly until the memory system saturates.
+CPU_PARALLEL_EFFICIENCY = 0.85
+
+#: Fixed device-side costs the CPU loop never pays: one kernel launch
+#: per annealing iteration (the schedule's barriers force a relaunch)
+#: and the layout array's PCIe round trip.
+GPU_LAUNCH_SECONDS = 20e-6
+PCIE_BYTES_PER_SECOND = 12e9
+
+
+def cpu_pgsgd_time_model(
+    n_anchors: int,
+    updates: int,
+    threads: int = CPU_THREADS,
+) -> float:
+    """Run-time model for the multithreaded CPU Hogwild loop (seconds).
+
+    Each update reads and writes two uniform-random anchors, so its
+    memory cost is four accesses at the blended latency of wherever the
+    ``n_anchors * 16 B`` layout array lives — the model that makes the
+    CPU side *size-dependent* (an L1-resident toy graph updates at
+    arithmetic speed; a pangenome-sized array is DRAM-latency-bound,
+    the paper's Section 5.3 regime).
+    """
+    footprint = max(1, n_anchors) * PGSGDLayout.BYTES_PER_ANCHOR
+    latency = 0.0
+    covered = 0.0
+    for capacity, level_latency in CPU_CACHE_LADDER:
+        fraction = min(1.0, capacity / footprint) - covered
+        if fraction > 0.0:
+            latency += fraction * level_latency
+            covered += fraction
+    latency += (1.0 - covered) * CPU_DRAM_LATENCY
+    per_update = CPU_ARITHMETIC_SECONDS + 4.0 * latency
+    return updates * per_update / (threads * CPU_PARALLEL_EFFICIENCY)
+
+
+def gpu_pgsgd_wall_model(
+    seconds_per_update: float,
+    n_anchors: int,
+    updates: int,
+    iterations: int,
+) -> float:
+    """End-to-end GPU wall model (seconds): device update time plus the
+    launch-per-iteration and PCIe-round-trip overheads.
+
+    ``seconds_per_update`` comes from a measured
+    :func:`pgsgd_layout_gpu` run (``report.time_ms / layout.updates``);
+    the device rate is size-independent because the simulator already
+    charges full-pangenome DRAM rates, so graph size enters only
+    through the update count and the transfer volume.
+    """
+    transfer = (2 * n_anchors * PGSGDLayout.BYTES_PER_ANCHOR
+                / PCIE_BYTES_PER_SECOND)
+    return (updates * seconds_per_update
+            + iterations * GPU_LAUNCH_SECONDS
+            + transfer)
+
+
 def _one_update(cpu: PGSGDLayout, eta: float, rng: random.Random) -> tuple[int, int]:
     """Apply one update via the CPU kernel's math; returns touched anchors."""
     step_a, step_b = cpu.index.sample_step_pair(rng, zipf_theta=cpu.params.zipf_theta)

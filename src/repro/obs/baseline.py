@@ -114,6 +114,12 @@ TRACKED_SERIES: tuple[SeriesSpec, ...] = (
     SeriesSpec("scale_sweep.memory_growth_exponent",
                "BENCH_scale_sweep.json", "memory_growth_exponent",
                "lower", warn_ratio=1.2, regress_ratio=1.5),
+    SeriesSpec("layout_crossover.crossover_nodes",
+               "BENCH_layout_crossover.json", "crossover_nodes",
+               "lower", warn_ratio=1.3, regress_ratio=2.0),
+    SeriesSpec("layout_crossover.gpu_speedup_at_max",
+               "BENCH_layout_crossover.json", "gpu_speedup_at_max",
+               "higher", warn_ratio=1.3, regress_ratio=2.0),
 )
 
 

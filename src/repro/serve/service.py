@@ -296,16 +296,19 @@ class BenchService:
     def submit(self, kernel: str, studies: tuple[str, ...] = ("timing",),
                scale: float = 1.0, seed: int = 0,
                scenario: str = "default",
-               cache_config: CacheConfig = MACHINE_B) -> JobHandle:
+               cache_config: CacheConfig = MACHINE_B,
+               backend: str | None = None) -> JobHandle:
         """Validate and enqueue one request; returns immediately.
 
         Raises :class:`~repro.errors.KernelError` on unknown
-        kernel/study/scenario names and :class:`ServiceOverloaded` when
-        the queue is past its high-water mark.
+        kernel/study/scenario/backend names and
+        :class:`ServiceOverloaded` when the queue is past its high-water
+        mark.  *backend* joins the job digest, so requests for distinct
+        backends of one kernel neither coalesce nor share cache entries.
         """
         plan = compile_plan(
             (kernel,), studies=tuple(studies), scale=scale, seed=seed,
-            cache_config=cache_config, scenario=scenario,
+            cache_config=cache_config, scenario=scenario, backend=backend,
         )
         return self.submit_job(plan.jobs[0])
 

@@ -47,6 +47,7 @@ from repro.harness.executor import (
     validate_names,
 )
 from repro.harness.runner import SCHEMA_VERSION, KernelReport, run_metadata
+from repro.kernels.base import resolve_backend
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace
 from repro.sweep.gates import check_paper_gates, gate_studies
@@ -73,6 +74,9 @@ class SweepPlan:
     studies: tuple[str, ...]
     scales: tuple[float, ...]
     seeds: tuple[int, ...]
+    #: Requested backend axis (``""`` = each kernel's default); the
+    #: jobs carry the per-kernel *resolved* names.
+    backends: tuple[str, ...] = ("",)
 
     def __len__(self) -> int:
         return len(self.jobs)
@@ -86,14 +90,21 @@ def compile_sweep(
     seeds: tuple[int, ...] = (0,),
     cells: "tuple[str, ...] | None" = None,
     cache_config: CacheConfig = MACHINE_B,
+    backends: "tuple[str, ...] | None" = None,
 ) -> SweepPlan:
-    """Compile a ``kernel × cell × scale × seed`` grid into a plan.
+    """Compile a ``kernel × cell × scale × seed × backend`` grid.
 
     *manifest* may be a parsed :class:`Manifest`, a registered manifest
     name, or a TOML path; its cells are installed into the scenario
     registry so the executor (and the result cache's dataset digests)
     can resolve them.  *cells* restricts the grid to a subset of cell
     names; paper-fidelity cells get their gate studies unioned in.
+
+    *backends* adds an execution-backend axis (``None``: one implicit
+    axis point, each kernel's default).  Every named backend must be
+    supported by every requested kernel — resolution happens here, at
+    compile time, so a grid mixing e.g. ``gpu`` with a CPU-only kernel
+    fails with a clear error before anything runs.
     """
     if not isinstance(manifest, Manifest):
         manifest = resolve_manifest(manifest)
@@ -109,6 +120,13 @@ def compile_sweep(
         raise SweepError("a sweep needs at least one scale")
     if not seeds:
         raise SweepError("a sweep needs at least one seed")
+    backend_axis = tuple(backends) if backends else ("",)
+    # Resolve every (kernel, backend) pair up front: unsupported
+    # combinations fail at compile time with the registry's error.
+    resolved = {
+        (kernel, backend): resolve_backend(kernel, backend or None)
+        for backend in backend_axis for kernel in kernels
+    }
 
     if cells is None:
         selected = list(manifest.cells)
@@ -135,24 +153,28 @@ def compile_sweep(
         is_paper = cell.fidelity == "paper"
         for scale in scales:
             for seed in seeds:
-                for kernel in kernels:
-                    job_studies = studies
-                    if is_paper:
-                        extra = tuple(
-                            study for study in gate_studies(kernel)
-                            if study not in job_studies
-                        )
-                        job_studies = job_studies + extra
-                    jobs.append(Job(
-                        kernel=kernel,
-                        studies=job_studies,
-                        scale=scale,
-                        seed=seed,
-                        cache_config=cache_config,
-                        scenario=cell.name,
-                    ))
-                    cell_names.append(cell.name)
-                    paper_flags.append(is_paper)
+                for backend in backend_axis:
+                    for kernel in kernels:
+                        job_backend = resolved[(kernel, backend)]
+                        job_studies = studies
+                        if is_paper:
+                            extra = tuple(
+                                study
+                                for study in gate_studies(kernel, job_backend)
+                                if study not in job_studies
+                            )
+                            job_studies = job_studies + extra
+                        jobs.append(Job(
+                            kernel=kernel,
+                            studies=job_studies,
+                            scale=scale,
+                            seed=seed,
+                            cache_config=cache_config,
+                            scenario=cell.name,
+                            backend=job_backend,
+                        ))
+                        cell_names.append(cell.name)
+                        paper_flags.append(is_paper)
     return SweepPlan(
         manifest=manifest,
         jobs=tuple(jobs),
@@ -162,6 +184,7 @@ def compile_sweep(
         studies=studies,
         scales=tuple(scales),
         seeds=tuple(seeds),
+        backends=backend_axis,
     )
 
 
@@ -177,6 +200,9 @@ class CellResult:
     origin: str
     report: KernelReport
     gate_violations: tuple[str, ...] = ()
+    #: Resolved execution backend the grid point ran on ("" in results
+    #: predating the backend plane).
+    backend: str = ""
 
     @property
     def ok(self) -> bool:
@@ -239,6 +265,7 @@ def _results_from_outcomes(
             origin=outcome.origin,
             report=outcome.report,
             gate_violations=_gate_check(plan, index, outcome.report),
+            backend=job.backend,
         ))
     return results
 
@@ -303,6 +330,7 @@ def run_sweep(
                     origin=handle.origin or EXECUTED,
                     report=report,
                     gate_violations=_gate_check(plan, index, report),
+                    backend=handle.job.backend,
                 ))
         else:
             outcomes = execute_jobs(plan.jobs, workers=workers,
@@ -321,6 +349,7 @@ def run_sweep(
             "studies": list(plan.studies),
             "scales": list(plan.scales),
             "seeds": list(plan.seeds),
+            "backends": [backend or "default" for backend in plan.backends],
             "cells": len(set(plan.cells)),
             "grid_points": len(plan),
         },
@@ -349,6 +378,7 @@ def save_sweep(result: SweepResult, out_dir: "str | Path") -> Path:
                 "seed": r.seed,
                 "fidelity": r.fidelity,
                 "origin": r.origin,
+                "backend": r.backend,
                 "gate_violations": list(r.gate_violations),
                 "report": asdict(r.report),
             }
@@ -380,6 +410,7 @@ def load_sweep(path: "str | Path") -> SweepResult:
         )
     results = []
     for record in payload["results"]:
+        report = KernelReport.from_dict(record["report"])
         results.append(CellResult(
             scenario=record["scenario"],
             kernel=record["kernel"],
@@ -387,8 +418,9 @@ def load_sweep(path: "str | Path") -> SweepResult:
             seed=record["seed"],
             fidelity=record.get("fidelity", "bench"),
             origin=record.get("origin", EXECUTED),
-            report=KernelReport.from_dict(record["report"]),
+            report=report,
             gate_violations=tuple(record.get("gate_violations", ())),
+            backend=record.get("backend", report.backend),
         ))
     return SweepResult(
         manifest_name=payload.get("manifest", ""),

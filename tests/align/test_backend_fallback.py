@@ -1,0 +1,94 @@
+"""The striped aligners' reported backend fallback.
+
+The striped (Farrar) cores require ``gap_open + gap_extend >=
+gap_extend``; :class:`~repro.align.scoring.AffineScoring` forbids
+negative penalties, so every *public* scoring satisfies this and the
+vectorized path always engages.  A scoring object from outside that
+validation (research code probing exotic scoring spaces) can still
+violate it — the aligners then degrade to the scalar core, and the
+backend plane requires that degradation to be *reported*: the instance
+ends up labeled ``backend == "scalar"`` and a
+``kernel.backend_fallback`` counter fires, which ``repro run`` surfaces
+as a one-line warning.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.align.gssw import GSSW
+from repro.align.scoring import VG_DEFAULT
+from repro.align.smith_waterman import StripedSmithWaterman
+from repro.backends import SCALAR, VECTORIZED
+from repro.errors import AlignmentError
+from repro.obs import metrics
+
+
+@dataclass(frozen=True)
+class _HostileScoring:
+    """Scoring the striped core cannot represent: gap_open negative
+    enough that opening a gap is *cheaper* than extending one."""
+
+    match: int = 1
+    mismatch: int = 4
+    gap_open: int = -2
+    gap_extend: int = 1
+
+    def substitution(self, a: str, b: str) -> int:
+        return self.match if a == b else -self.mismatch
+
+
+def _counters(registry):
+    return registry.as_dict().get("counters", {})
+
+
+class TestGsswFallback:
+    def test_valid_scoring_keeps_vectorized(self):
+        registry = metrics.MetricsRegistry()
+        with metrics.use(registry):
+            aligner = GSSW("ACGTACGT", VG_DEFAULT, backend=VECTORIZED)
+        assert aligner.backend == VECTORIZED
+        assert aligner.vectorize
+        assert not _counters(registry)
+
+    def test_hostile_scoring_degrades_and_reports(self):
+        registry = metrics.MetricsRegistry()
+        with metrics.use(registry):
+            aligner = GSSW("ACGTACGT", _HostileScoring(),
+                           backend=VECTORIZED)
+        assert aligner.backend == SCALAR
+        assert not aligner.vectorize
+        key = ("kernel.backend_fallback{actual=scalar,component=gssw,"
+               "reason=scoring-incompatible,requested=vectorized}")
+        assert _counters(registry)[key] == 1.0
+
+    def test_explicit_scalar_is_not_a_fallback(self):
+        registry = metrics.MetricsRegistry()
+        with metrics.use(registry):
+            aligner = GSSW("ACGTACGT", _HostileScoring(), backend=SCALAR)
+        assert aligner.backend == SCALAR
+        assert not _counters(registry)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(AlignmentError,
+                           match="supported: scalar, vectorized"):
+            GSSW("ACGT", VG_DEFAULT, backend="gpu")
+
+
+class TestSswFallback:
+    def test_hostile_scoring_degrades_and_reports(self):
+        registry = metrics.MetricsRegistry()
+        with metrics.use(registry):
+            aligner = StripedSmithWaterman("ACGTACGT", _HostileScoring(),
+                                           backend=VECTORIZED)
+        assert aligner.backend == SCALAR
+        assert not aligner.vectorize
+        key = ("kernel.backend_fallback{actual=scalar,component=ssw,"
+               "reason=scoring-incompatible,requested=vectorized}")
+        assert _counters(registry)[key] == 1.0
+
+    def test_fallback_still_aligns_correctly(self):
+        aligner = StripedSmithWaterman("ACGT", _HostileScoring(),
+                                       backend=VECTORIZED)
+        result = aligner.align("ACGT")
+        assert result.score > 0

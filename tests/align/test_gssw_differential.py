@@ -33,10 +33,10 @@ def _case(gp, seed):
     return query or "ACGT", subgraph
 
 
-def _align(query, subgraph, vectorize):
+def _align(query, subgraph, backend):
     machine = TraceMachine()
     result = GSSW(query, VG_DEFAULT, probe=machine,
-                  vectorize=vectorize).align(subgraph)
+                  backend=backend).align(subgraph)
     return result, machine.summary()
 
 
@@ -46,8 +46,8 @@ class TestGsswDifferential:
     def test_alignment_and_event_totals_identical(self, seed,
                                                   small_graph_pangenome):
         query, subgraph = _case(small_graph_pangenome, seed)
-        fast, fast_summary = _align(query, subgraph, vectorize=True)
-        slow, slow_summary = _align(query, subgraph, vectorize=False)
+        fast, fast_summary = _align(query, subgraph, backend="vectorized")
+        slow, slow_summary = _align(query, subgraph, backend="scalar")
         assert fast == slow  # score, end position, cells — the output
         assert fast_summary.op_counts == slow_summary.op_counts
         assert fast_summary.branch_stats == slow_summary.branch_stats
@@ -67,6 +67,6 @@ class TestGsswDifferential:
                                               small_graph_pangenome):
         """End to end against the independent scalar graph-SW oracle."""
         query, subgraph = _case(small_graph_pangenome, seed)
-        fast, _ = _align(query, subgraph, vectorize=True)
+        fast, _ = _align(query, subgraph, backend="vectorized")
         oracle = graph_smith_waterman_scalar(query, subgraph, VG_DEFAULT)
         assert fast.score == oracle.score

@@ -35,9 +35,9 @@ def _sequences(seed: int, count: int, length: int, mutations: int):
     return out
 
 
-def _build(sequences, band, vectorize):
+def _build(sequences, band, backend):
     machine = TraceMachine()
-    graph = PoaGraph(probe=machine, vectorize=vectorize)
+    graph = PoaGraph(probe=machine, backend=backend)
     alignments = [graph.add_sequence(s, band=band) for s in sequences]
     return graph, alignments, machine
 
@@ -54,8 +54,8 @@ class TestPoaDifferential:
     def test_outputs_and_events_bit_identical(self, seed, count, length,
                                               mutations, band):
         sequences = _sequences(seed, count, length, mutations)
-        fast_graph, fast_aligns, fast_machine = _build(sequences, band, True)
-        slow_graph, slow_aligns, slow_machine = _build(sequences, band, False)
+        fast_graph, fast_aligns, fast_machine = _build(sequences, band, "vectorized")
+        slow_graph, slow_aligns, slow_machine = _build(sequences, band, "scalar")
         for fast, slow in zip(fast_aligns, slow_aligns):
             if fast is None or slow is None:
                 assert fast is slow

@@ -24,10 +24,10 @@ def _pair(seed: int, qlen: int, tlen: int):
     return query, "".join(target)
 
 
-def _align(query, target, vectorize):
+def _align(query, target, backend):
     machine = TraceMachine()
     result = StripedSmithWaterman(query, probe=machine,
-                                  vectorize=vectorize).align(target)
+                                  backend=backend).align(target)
     return result, machine.summary()
 
 
@@ -40,8 +40,8 @@ class TestSswDifferential:
     @settings(max_examples=25, deadline=None)
     def test_alignment_and_events_bit_identical(self, seed, qlen, tlen):
         query, target = _pair(seed, qlen, tlen)
-        fast, fast_summary = _align(query, target, vectorize=True)
-        slow, slow_summary = _align(query, target, vectorize=False)
+        fast, fast_summary = _align(query, target, backend="vectorized")
+        slow, slow_summary = _align(query, target, backend="scalar")
         assert fast == slow  # score, ends, cells — dataclass equality
         assert fast_summary == slow_summary
 
@@ -56,6 +56,6 @@ class TestSswDifferential:
         behaviour) while the Gotoh oracle scores it directly."""
         query, target = _pair(seed, qlen, tlen)
         target = target.replace("N", "C")
-        fast, _ = _align(query, target, vectorize=True)
+        fast, _ = _align(query, target, backend="vectorized")
         oracle = smith_waterman(query, target)
         assert fast.score == oracle.score

@@ -39,9 +39,9 @@ def _corpus(seed: int, n_records: int, length: int, mutations: int):
     return records
 
 
-def _close(records, matches, vectorize):
+def _close(records, matches, backend):
     machine = TraceMachine()
-    result = transclose(records, matches, probe=machine, vectorize=vectorize)
+    result = transclose(records, matches, probe=machine, backend=backend)
     return result, machine
 
 
@@ -57,8 +57,8 @@ class TestTranscloseDifferential:
                                               length, mutations):
         records = _corpus(seed, n_records, length, mutations)
         matches, _ = all_to_all(records)
-        fast, fast_machine = _close(records, matches, vectorize=True)
-        slow, slow_machine = _close(records, matches, vectorize=False)
+        fast, fast_machine = _close(records, matches, backend="vectorized")
+        slow, slow_machine = _close(records, matches, backend="scalar")
         assert fast.closure_of == slow.closure_of
         assert fast.closure_base == slow.closure_base
         assert fast.stats == slow.stats
@@ -68,19 +68,19 @@ class TestTranscloseDifferential:
         records = _corpus(seed=7, n_records=4, length=300, mutations=8)
         matches, _ = all_to_all(records)
 
-        def attributed(vectorize):
+        def attributed(backend):
             machine = TraceMachine(MACHINE_B)
             tracer = Tracer()
             attributor = PhaseAttributor(machine)
             tracer.listeners.append(attributor)
             with trace.use(tracer):
                 transclose(records, matches, probe=machine,
-                           vectorize=vectorize)
+                           backend=backend)
             attributor.finish()
             return machine, attributor
 
-        fast_machine, fast = attributed(True)
-        slow_machine, slow = attributed(False)
+        fast_machine, fast = attributed("vectorized")
+        slow_machine, slow = attributed("scalar")
         assert set(fast.phases) == set(slow.phases)
         for phase in fast.phases:
             assert fast.phases[phase].summary(MACHINE_B) \

@@ -99,6 +99,51 @@ class TestCli:
             build_parser().parse_args(["run", "--scenario", "nope"])
 
 
+class TestBackendCli:
+    def test_run_threads_backend_through_to_the_report(
+            self, capsys, tmp_path):
+        path = tmp_path / "r.json"
+        assert main([
+            "run", "--kernels", "gbwt", "--studies", "timing",
+            "--scale", "0.25", "--backend", "scalar", "--out", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend" in out and "scalar" in out
+        payload = json.loads(path.read_text())
+        assert payload["reports"]["gbwt"]["backend"] == "scalar"
+
+    def test_unknown_backend_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--backend", "avx512"])
+
+    def test_unsupported_backend_fails_listing_supported(self, capsys):
+        code = main(["run", "--kernels", "gbv", "--studies", "timing",
+                     "--scale", "0.25", "--backend", "gpu"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "supported: vectorized" in err
+
+    def test_silent_degradation_warns_on_stderr(
+            self, capsys, monkeypatch):
+        """A report carrying a ``kernel.backend_fallback`` counter gets
+        a one-line warning after the run table."""
+        from repro.harness import cli
+        from repro.harness.runner import KernelReport
+
+        key = ("kernel.backend_fallback{actual=scalar,component=gssw,"
+               "reason=scoring-incompatible,requested=vectorized}")
+        report = KernelReport(
+            kernel="gssw", inputs_processed=1, backend="scalar",
+            metrics={"counters": {key: 2.0}})
+        monkeypatch.setattr(cli, "run_suite",
+                            lambda *a, **k: {"gssw": report})
+        assert main(["run", "--kernels", "gssw",
+                     "--studies", "timing"]) == 0
+        err = capsys.readouterr().err
+        assert ("warning: gssw (gssw): backend 'vectorized' fell back "
+                "to 'scalar' [scoring-incompatible, x2]") in err
+
+
 class TestDataCli:
     def test_build_then_list(self, capsys, tmp_path):
         with use_store(ArtifactStore(tmp_path)):
@@ -241,7 +286,7 @@ class TestObsCli:
         assert code == 0
         out = capsys.readouterr().out
         assert '# TYPE kernel_runs_total counter' in out
-        assert 'kernel_runs_total{kernel="fake-ok"} 1' in out
+        assert 'kernel_runs_total{backend="vectorized",kernel="fake-ok"} 1' in out
 
     def test_obs_export_json_snapshot(self, capsys, tmp_path,
                                       fake_kernels):
@@ -255,4 +300,4 @@ class TestObsCli:
         assert code == 0
         snap = json.loads(out.read_text())
         assert snap["schema"] == 1
-        assert "kernel.runs{kernel=fake-ok}" in snap["metrics"]["counters"]
+        assert "kernel.runs{backend=vectorized,kernel=fake-ok}" in snap["metrics"]["counters"]

@@ -119,7 +119,7 @@ class TestExecutorObservability:
         counters = metrics["counters"]
         assert counters["executor.jobs{kernel=fake-ok,outcome=ok}"] == 1.0
         # The worker's own kernel metrics survived the merge.
-        assert counters["kernel.runs{kernel=fake-ok}"] == 1.0
+        assert counters["kernel.runs{backend=vectorized,kernel=fake-ok}"] == 1.0
 
     def test_timeout_report_carries_wall_and_partial_spans(
         self, fake_kernels

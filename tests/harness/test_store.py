@@ -40,6 +40,29 @@ class TestDigest:
 
         assert job_key(_job())["scenario"] == "default"
 
+    def test_backend_changes_the_digest(self):
+        assert (job_digest(_job(backend="scalar"))
+                != job_digest(_job(backend="vectorized")))
+
+    def test_backend_resolved_before_hashing(self):
+        """A job carrying '' (kernel default) and one naming the default
+        explicitly share a cache entry; gpu-native kernels key as gpu
+        even when the job never set a backend."""
+        from repro.harness.store import job_key
+
+        assert (job_digest(_job())
+                == job_digest(_job(backend="vectorized")))
+        assert job_key(_job(kernel="tsu"))["backend"] == "gpu"
+
+    def test_unregistered_kernel_keys_on_raw_backend(self):
+        """Foreign job records must stay digestible — there is no
+        registry default to resolve to."""
+        from repro.harness.store import job_key
+
+        assert job_key(_job(kernel="not-registered"))["backend"] == ""
+        assert (job_key(_job(kernel="not-registered", backend="simd"))
+                ["backend"] == "simd")
+
 
 class TestStore:
     def test_roundtrip(self, tmp_path):

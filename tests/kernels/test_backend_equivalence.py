@@ -1,0 +1,63 @@
+"""Registry-wide backend equivalence: scalar is the differential oracle.
+
+Every kernel that advertises both the ``scalar`` and ``vectorized``
+backends must produce the same result *and* the same machine-event
+stream on both — the property the per-kernel differential suites
+(tests/align, tests/build, tests/layout) check in depth, asserted here
+registry-wide so a kernel can't grow a second backend without entering
+the contract.
+
+The one documented exception is GSSW: its striped path flushes
+per-column event buffers in a different interleave, which can move an
+individual access between cache levels.  The op counts, branch stats
+and event-stream totals still match exactly — only the per-level split
+differs (see tests/align/test_gssw_differential.py).
+"""
+
+import pytest
+
+from repro.backends import SCALAR, VECTORIZED
+from repro.kernels import create_kernel, kernel_backends, kernel_names
+from repro.uarch.machine import TraceMachine
+
+SCALE = 0.25
+
+DUAL_BACKEND_KERNELS = tuple(
+    name for name in kernel_names()
+    if {SCALAR, VECTORIZED} <= set(kernel_backends(name))
+)
+
+#: Kernels whose vectorized path reorders event flushes (totals match,
+#: the per-cache-level split may not).
+CACHE_INTERLEAVE_EXCEPTIONS = ("gssw",)
+
+
+def _run(name, backend):
+    kernel = create_kernel(name, scale=SCALE, seed=0, backend=backend)
+    kernel.ensure_prepared()
+    machine = TraceMachine()
+    result = kernel._execute(machine)
+    return result, machine.summary()
+
+
+class TestBackendEquivalence:
+    def test_expected_dual_backend_set(self):
+        assert DUAL_BACKEND_KERNELS == ("gbwt", "gssw", "pgsgd", "ssw",
+                                        "tc")
+
+    @pytest.mark.parametrize("name", DUAL_BACKEND_KERNELS)
+    def test_scalar_matches_vectorized(self, name,
+                                       _isolated_dataset_store):
+        fast, fast_summary = _run(name, VECTORIZED)
+        slow, slow_summary = _run(name, SCALAR)
+        assert fast.work == slow.work, name
+        assert fast.inputs_processed == slow.inputs_processed, name
+        if name in CACHE_INTERLEAVE_EXCEPTIONS:
+            assert fast_summary.op_counts == slow_summary.op_counts
+            assert fast_summary.branch_stats == slow_summary.branch_stats
+            assert (sum(fast_summary.load_level_counts.values())
+                    == sum(slow_summary.load_level_counts.values()))
+            assert (sum(fast_summary.store_level_counts.values())
+                    == sum(slow_summary.store_level_counts.values()))
+        else:
+            assert fast_summary == slow_summary, name

@@ -1,0 +1,114 @@
+"""The backend plane: vocabulary, declarations, validation, fallback.
+
+Every kernel names its execution backends (``scalar`` reference,
+``vectorized`` batched, ``gpu`` device model) instead of carrying an
+ad-hoc ``vectorize`` bool; this file pins the shared vocabulary in
+:mod:`repro.backends`, each kernel's declared capability set, the
+registry-level validation errors, and the fallback-reporting metric.
+"""
+
+import pytest
+
+from repro.backends import (
+    BACKENDS,
+    GPU,
+    SCALAR,
+    VECTORIZED,
+    check_backend,
+    report_backend_fallback,
+)
+from repro.errors import AlignmentError, KernelError
+from repro.kernels import (
+    CPU_KERNELS,
+    create_kernel,
+    kernel_backends,
+    kernel_names,
+    resolve_backend,
+)
+from repro.obs import metrics
+
+
+class TestVocabulary:
+    def test_three_backends(self):
+        assert BACKENDS == (SCALAR, VECTORIZED, GPU)
+        assert BACKENDS == ("scalar", "vectorized", "gpu")
+
+    def test_check_backend_returns_supported_unchanged(self):
+        assert check_backend(SCALAR, (SCALAR, VECTORIZED), "X") == SCALAR
+
+    def test_check_backend_raises_the_domain_error(self):
+        with pytest.raises(AlignmentError,
+                           match="supported: scalar, vectorized"):
+            check_backend(GPU, (SCALAR, VECTORIZED), "PoaGraph",
+                          AlignmentError)
+
+
+class TestDeclarations:
+    def test_every_kernel_declares_valid_backends(self):
+        for name in kernel_names():
+            supported = kernel_backends(name)
+            assert supported, name
+            assert set(supported) <= set(BACKENDS), name
+            assert resolve_backend(name) in supported, name
+
+    def test_cpu_kernels_membership(self):
+        """Pin the doc's claim: six distinct kernels over seven entries,
+        GWFA contributing two (long-read and chromosome input classes
+        are profiled separately)."""
+        assert sorted(CPU_KERNELS) == [
+            "gbv", "gbwt", "gssw", "gwfa-cr", "gwfa-lr", "pgsgd", "tc",
+        ]
+        gwfa_entries = [n for n in CPU_KERNELS if n.startswith("gwfa-")]
+        assert len(gwfa_entries) == 2
+        assert len({n.split("-")[0] for n in CPU_KERNELS}) == 6
+
+    def test_tsu_is_gpu_native(self):
+        assert kernel_backends("tsu") == (GPU,)
+        assert resolve_backend("tsu") == GPU
+        assert create_kernel("tsu").backend == GPU
+
+    def test_pgsgd_spans_all_three(self):
+        assert set(kernel_backends("pgsgd")) == {SCALAR, VECTORIZED, GPU}
+
+    def test_dual_backend_cpu_kernels(self):
+        for name in ("gssw", "ssw", "tc", "gbwt"):
+            assert set(kernel_backends(name)) == {SCALAR, VECTORIZED}, name
+
+
+class TestValidation:
+    def test_unknown_backend_lists_known(self):
+        with pytest.raises(KernelError,
+                           match="known: scalar, vectorized, gpu"):
+            create_kernel("tc", backend="avx512")
+
+    def test_unsupported_backend_lists_supported(self):
+        with pytest.raises(
+            KernelError,
+            match="'gbv' does not support backend 'gpu'; "
+                  "supported: vectorized",
+        ):
+            create_kernel("gbv", backend="gpu")
+
+    def test_resolve_unknown_kernel_raises(self):
+        with pytest.raises(KernelError, match="unknown kernel"):
+            resolve_backend("no-such-kernel")
+
+    def test_resolution_defaults_and_passthrough(self):
+        assert resolve_backend("tc") == VECTORIZED
+        assert resolve_backend("tc", None) == VECTORIZED
+        assert resolve_backend("tc", "") == VECTORIZED
+        assert resolve_backend("tc", SCALAR) == SCALAR
+        assert resolve_backend("tsu", "") == GPU
+
+
+class TestFallbackMetric:
+    def test_report_backend_fallback_counts_labeled(self):
+        registry = metrics.MetricsRegistry()
+        with metrics.use(registry):
+            report_backend_fallback("gssw", requested=VECTORIZED,
+                                    actual=SCALAR,
+                                    reason="scoring-incompatible")
+        counters = registry.as_dict()["counters"]
+        key = ("kernel.backend_fallback{actual=scalar,component=gssw,"
+               "reason=scoring-incompatible,requested=vectorized}")
+        assert counters[key] == 1.0

@@ -13,9 +13,8 @@ from repro.kernels.base import KERNEL_REGISTRY
 from repro.uarch.machine import TraceMachine
 
 
-def _execute(kernel_cls, vectorize, chunk=None):
-    kernel = kernel_cls(scale=0.25, seed=0)
-    kernel.vectorize = vectorize
+def _execute(kernel_cls, backend, chunk=None):
+    kernel = kernel_cls(scale=0.25, seed=0, backend=backend)
     if chunk is not None:
         kernel.CHUNK = chunk
     kernel.ensure_prepared()
@@ -31,8 +30,8 @@ def gbwt_cls(_isolated_dataset_store):
 
 class TestGbwtDifferential:
     def test_batched_matches_scalar_exactly(self, gbwt_cls):
-        fast, fast_summary = _execute(gbwt_cls, vectorize=True)
-        slow, slow_summary = _execute(gbwt_cls, vectorize=False)
+        fast, fast_summary = _execute(gbwt_cls, backend="vectorized")
+        slow, slow_summary = _execute(gbwt_cls, backend="scalar")
         assert fast.work == slow.work
         assert fast.inputs_processed == slow.inputs_processed
         assert fast_summary == slow_summary
@@ -40,7 +39,7 @@ class TestGbwtDifferential:
     @pytest.mark.parametrize("chunk", [1, 7, 64, 10_000])
     def test_chunk_size_is_invisible(self, gbwt_cls, chunk):
         """Wavefront width is a throughput knob, not a semantic one."""
-        reference, reference_summary = _execute(gbwt_cls, vectorize=True)
-        cut, cut_summary = _execute(gbwt_cls, vectorize=True, chunk=chunk)
+        reference, reference_summary = _execute(gbwt_cls, backend="vectorized")
+        cut, cut_summary = _execute(gbwt_cls, backend="vectorized", chunk=chunk)
         assert cut.work == reference.work
         assert cut_summary == reference_summary

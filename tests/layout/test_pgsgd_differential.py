@@ -19,10 +19,10 @@ from repro.layout.pgsgd import PGSGDLayout, PGSGDParams
 from repro.uarch.machine import TraceMachine
 
 
-def _run(graph, params, vectorize):
+def _run(graph, params, backend):
     machine = TraceMachine()
     result = PGSGDLayout(graph, params, probe=machine,
-                         vectorize=vectorize).run()
+                         backend=backend).run()
     return result, machine
 
 
@@ -43,8 +43,8 @@ class TestPgsgdDifferential:
             seed=seed, initialization=init, virtual_anchor_scale=scale,
         )
         graph = small_graph_pangenome.graph
-        fast, fast_machine = _run(graph, params, vectorize=True)
-        slow, slow_machine = _run(graph, params, vectorize=False)
+        fast, fast_machine = _run(graph, params, backend="vectorized")
+        slow, slow_machine = _run(graph, params, backend="scalar")
         assert fast.positions == slow.positions
         assert fast.stress_history == slow.stress_history
         assert fast.updates == slow.updates
@@ -60,7 +60,7 @@ class TestPgsgdDifferential:
                                       seed=3)
         params = PGSGDParams(iterations=8, updates_per_iteration=2000,
                              seed=0, virtual_anchor_scale=512)
-        first, _ = _run(gp.graph, params, vectorize=True)
-        second, _ = _run(gp.graph, params, vectorize=True)
-        scalar, _ = _run(gp.graph, params, vectorize=False)
+        first, _ = _run(gp.graph, params, backend="vectorized")
+        second, _ = _run(gp.graph, params, backend="vectorized")
+        scalar, _ = _run(gp.graph, params, backend="scalar")
         assert first.positions == second.positions == scalar.positions

@@ -62,9 +62,9 @@ class TestTracedKernelRun:
 
     def test_run_metrics_exported_on_report(self):
         _, report = _traced_tc_report()
-        assert report.metrics["counters"]["kernel.runs{kernel=tc}"] == 1.0
+        assert report.metrics["counters"]["kernel.runs{backend=vectorized,kernel=tc}"] == 1.0
         gauges = report.metrics["gauges"]
-        assert gauges["kernel.execute_seconds{kernel=tc}"] > 0
+        assert gauges["kernel.execute_seconds{backend=vectorized,kernel=tc}"] > 0
 
     def test_untraced_run_has_no_span_overhead_fields(self):
         report = run_kernel_studies("tc", studies=("timing",), scale=0.25)

@@ -117,6 +117,47 @@ class TestCompile:
             compile_sweep(mini(), kernels=("no-such-kernel",))
 
 
+class TestBackendAxis:
+    def test_backend_axis_multiplies_grid(self):
+        base = compile_sweep(mini(), kernels=("tc",))
+        plan = compile_sweep(mini(), kernels=("tc",),
+                             backends=("scalar", "vectorized"))
+        assert len(plan) == 2 * len(base)
+        assert plan.backends == ("scalar", "vectorized")
+        assert ({job.backend for job in plan.jobs}
+                == {"scalar", "vectorized"})
+
+    def test_default_axis_resolves_kernel_default(self):
+        plan = compile_sweep(mini(), kernels=("tc",))
+        assert plan.backends == ("",)
+        assert all(job.backend == "vectorized" for job in plan.jobs)
+
+    def test_backends_get_distinct_cache_entries(self):
+        from repro.harness.store import job_digest
+
+        plan = compile_sweep(mini(), kernels=("tc",), cells=("p4-d1",),
+                             backends=("scalar", "vectorized"))
+        digests = {job_digest(job) for job in plan.jobs}
+        assert len(digests) == len(plan.jobs) == 2
+
+    def test_unsupported_backend_fails_at_compile(self):
+        with pytest.raises(KernelError,
+                           match="does not support backend 'gpu'"):
+            compile_sweep(mini(), kernels=("tc",), backends=("gpu",))
+
+    def test_results_and_roundtrip_carry_backend(self, tmp_path):
+        plan = compile_sweep(mini(), kernels=("tc",), cells=("p4-d1",),
+                             backends=("scalar", "vectorized"))
+        sweep = run_sweep(plan, runner=ok_runner)
+        assert sweep.metadata["backends"] == ["scalar", "vectorized"]
+        assert ({r.backend for r in sweep.results}
+                == {"scalar", "vectorized"})
+        path = save_sweep(sweep, tmp_path / SWEEP_FILE)
+        loaded = load_sweep(path)
+        assert ({r.backend for r in loaded.results}
+                == {"scalar", "vectorized"})
+
+
 class TestRunnerPath:
     def test_runner_results_and_fidelity(self):
         plan = compile_sweep(mini(), kernels=("tc",))
